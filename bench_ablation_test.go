@@ -1,0 +1,106 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// weight-stationary dataflow, the 8-way RRAM re-banking, the activation
+// buffer bandwidth calibration, and the K-tile partitioning granularity.
+// Each prints a small table showing how the headline ResNet-18 EDP benefit
+// moves when the choice is changed.
+package m3d
+
+import (
+	"fmt"
+	"testing"
+
+	"m3d/internal/arch"
+	"m3d/internal/workload"
+)
+
+func benefitOf(b *testing.B, a3d, a2d *arch.Accel) (speedup, energy, edp float64) {
+	sp, er, e, err := a3d.Benefit(a2d, workload.ResNet18())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sp, er, e
+}
+
+// BenchmarkAblationDataflow compares the paper's weight-stationary CS
+// against an output-stationary variant (Sec. II picks WS for utilization).
+func BenchmarkAblationDataflow(b *testing.B) {
+	var lines string
+	for i := 0; i < b.N; i++ {
+		lines = ""
+		for _, df := range []arch.Dataflow{arch.WeightStationaryFlow, arch.OutputStationaryFlow} {
+			a2d := arch.CaseStudy2D()
+			a2d.Dataflow = df
+			a3d := a2d.WithParallelCS(8)
+			sp, er, edp := benefitOf(b, a3d, a2d)
+			lines += fmt.Sprintf("  %-18s speedup %5.2fx  energy %5.3f  EDP %5.2fx\n", df, sp, er, edp)
+		}
+	}
+	logRows(b, "abl-dataflow", func() string {
+		return "Ablation: CS dataflow (paper chose weight-stationary)\n" + lines
+	})
+}
+
+// BenchmarkAblationBanking removes the 8-way re-banking: 8 CSs sharing the
+// single 2D bank's bandwidth — the architectural half of the paper's
+// design point without the memory half.
+func BenchmarkAblationBanking(b *testing.B) {
+	var lines string
+	for i := 0; i < b.N; i++ {
+		a2d := arch.CaseStudy2D()
+
+		banked := a2d.WithParallelCS(8) // 8 banks, 8x total bandwidth
+		spB, _, edpB := benefitOf(b, banked, a2d)
+
+		shared := a2d.WithParallelCS(8)
+		shared.Banks = 1 // one bank: total bandwidth unchanged
+		spS, _, edpS := benefitOf(b, shared, a2d)
+
+		lines = fmt.Sprintf("  8 CS + 8 banks   speedup %5.2fx  EDP %5.2fx\n"+
+			"  8 CS + 1 bank    speedup %5.2fx  EDP %5.2fx\n", spB, edpB, spS, edpS)
+	}
+	logRows(b, "abl-banking", func() string {
+		return "Ablation: RRAM re-banking (the paper partitions into 8x banks)\n" + lines
+	})
+}
+
+// BenchmarkAblationActBufferBW sweeps the activation streaming bandwidth
+// the Table I banding was calibrated at (168 bits/cycle/CS).
+func BenchmarkAblationActBufferBW(b *testing.B) {
+	var lines string
+	for i := 0; i < b.N; i++ {
+		lines = ""
+		for _, scale := range []float64{0.25, 0.5, 1, 2, 4} {
+			a2d := arch.CaseStudy2D()
+			a2d.ActBWBitsPerCycle *= scale
+			a3d := a2d.WithParallelCS(8)
+			sp, _, edp := benefitOf(b, a3d, a2d)
+			lines += fmt.Sprintf("  act BW %6.0f b/cyc  speedup %5.2fx  EDP %5.2fx\n",
+				a2d.ActBWBitsPerCycle, sp, edp)
+		}
+	}
+	logRows(b, "abl-actbw", func() string {
+		return "Ablation: activation buffer bandwidth (calibrated 168 b/cyc/CS)\n" + lines
+	})
+}
+
+// BenchmarkAblationPartitionGranularity narrows the systolic array (and
+// with it the K-tile, the unit of cross-CS partitioning) — the paper notes
+// its analysis extends to finer granularity than whole CSs.
+func BenchmarkAblationPartitionGranularity(b *testing.B) {
+	var lines string
+	for i := 0; i < b.N; i++ {
+		lines = ""
+		for _, cols := range []int{32, 16, 8} {
+			a2d := arch.CaseStudy2D()
+			a2d.CS.K = cols
+			a2d.CS.C = 512 / cols // keep P_peak at 256 MACs/cycle
+			a3d := a2d.WithParallelCS(8)
+			sp, _, edp := benefitOf(b, a3d, a2d)
+			lines += fmt.Sprintf("  K-tile %2d (C-spatial %2d)  speedup %5.2fx  EDP %5.2fx\n",
+				cols, a2d.CS.C, sp, edp)
+		}
+	}
+	logRows(b, "abl-grain", func() string {
+		return "Ablation: partition granularity at iso-P_peak (finer K-tiles raise N#)\n" + lines
+	})
+}

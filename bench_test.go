@@ -1,0 +1,313 @@
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the rows/series the paper reports (via -v /
+// b.Logf) and measures the cost of regenerating them. Absolute numbers
+// come from the in-repo substrate (see DESIGN.md for substitutions); the
+// asserted shapes live in the package tests, and EXPERIMENTS.md records
+// paper-vs-measured values.
+package m3d
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"m3d/internal/core"
+	"m3d/internal/tech"
+)
+
+var (
+	benchPDK = tech.Default130()
+	logOnce  sync.Map
+)
+
+// logRows prints a block once per benchmark name.
+func logRows(b *testing.B, key string, render func() string) {
+	if _, done := logOnce.LoadOrStore(key, true); done {
+		return
+	}
+	b.Log("\n" + render())
+}
+
+func BenchmarkTable1ResNet18Layers(b *testing.B) {
+	var rows []core.BenefitRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.Table1(benchPDK)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logRows(b, "table1", func() string {
+		s := "Table I (paper: per-layer 2.5-7.9x, total 5.64x/0.99x/5.66x)\n"
+		for _, r := range rows {
+			s += fmt.Sprintf("  %-12s speedup %5.2fx  energy %5.2fx  EDP %5.2fx\n",
+				r.Name, r.Speedup, 1/r.EnergyRatio, r.EDPBenefit)
+		}
+		return s
+	})
+}
+
+func BenchmarkFig5ModelBenefits(b *testing.B) {
+	var rows []core.BenefitRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.Fig5(benchPDK)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logRows(b, "fig5", func() string {
+		s := "Fig. 5 (paper: 5.7x-7.5x speedup & EDP at ~0.99x energy)\n"
+		for _, r := range rows {
+			s += fmt.Sprintf("  %-11s speedup %5.2fx  energy %0.3f  EDP %5.2fx\n",
+				r.Name, r.Speedup, 1/r.EnergyRatio, r.EDPBenefit)
+		}
+		return s
+	})
+}
+
+func BenchmarkFig7ArchitectureValidation(b *testing.B) {
+	var rows []core.Fig7Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.Fig7(benchPDK)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logRows(b, "fig7", func() string {
+		s := "Fig. 7 (paper: 5.3x-11.5x, analytic within 10% of ZigZag)\n"
+		for _, r := range rows {
+			s += fmt.Sprintf("  %-6s mapper %5.2fx  analytic %5.2fx  diff %4.1f%%\n",
+				r.Arch, r.Mapper.EDPBenefit, r.Analytic.EDPBenefit, 100*r.RelativeEDPDiff)
+		}
+		return s
+	})
+}
+
+func BenchmarkFig8BandwidthCSSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cb, mb, err := core.Fig8(benchPDK)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logRows(b, "fig8", func() string {
+				s := "Fig. 8 (Obs. 5: compute-bound wants CSs, memory-bound wants bandwidth)\n"
+				for _, pt := range cb {
+					if float64(pt.NumCS) == pt.BWScale {
+						s += fmt.Sprintf("  compute-bound %2d CS / %2.0fx BW: %6.2fx\n",
+							pt.NumCS, pt.BWScale, pt.EDPBenefit)
+					}
+				}
+				for _, pt := range mb {
+					if pt.NumCS == 1 {
+						s += fmt.Sprintf("  memory-bound   1 CS / %2.0fx BW: %6.2fx\n",
+							pt.BWScale, pt.EDPBenefit)
+					}
+				}
+				return s
+			})
+		}
+	}
+}
+
+func BenchmarkFig9RRAMCapacitySweep(b *testing.B) {
+	var rows []core.Fig9Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.Fig9(benchPDK, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logRows(b, "fig9", func() string {
+		s := "Fig. 9 (paper: 1x @ 12 MB -> 6.8x @ 128 MB)\n"
+		for _, r := range rows {
+			s += fmt.Sprintf("  %3d MB  N=%2d  EDP %5.2fx\n", r.CapacityMB, r.N, r.EDPBenefit)
+		}
+		return s
+	})
+}
+
+func BenchmarkFig10bcFETWidthRelaxation(b *testing.B) {
+	var rows []core.Fig10Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.Fig10bc(benchPDK, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logRows(b, "fig10bc", func() string {
+		s := "Fig. 10b-c (paper: no loss to delta=1.6x, small benefits at 2.5x)\n"
+		for _, r := range rows {
+			s += fmt.Sprintf("  delta %4.2f  N3D %2d  N2Dnew %2d  EDP %5.2fx\n",
+				r.Delta, r.N3D, r.N2DNew, r.EDPBenefit)
+		}
+		return s
+	})
+}
+
+func BenchmarkObs8ViaPitch(b *testing.B) {
+	var rows []core.Fig10Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.Obs8(benchPDK, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logRows(b, "obs8", func() string {
+		s := "Obs. 8 (paper: beta<=1.3 free; >=1.6 limited-to-no benefit)\n"
+		for _, r := range rows {
+			s += fmt.Sprintf("  beta %4.2f (delta %4.2f)  EDP %5.2fx\n", r.Beta, r.Delta, r.EDPBenefit)
+		}
+		return s
+	})
+}
+
+func BenchmarkFig10dInterleavedTiers(b *testing.B) {
+	var rows []core.Fig10dRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.Fig10d(benchPDK, nil, 2.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logRows(b, "fig10d", func() string {
+		s := "Fig. 10d / Obs. 9-10 (paper: 5.7->6.9, plateau 7.1; ~60 K limit)\n"
+		for _, r := range rows {
+			s += fmt.Sprintf("  Y=%d  N=%3d  EDP %5.2fx  rise %5.1f K  feasible=%v\n",
+				r.Y, r.N, r.EDPBenefit, r.TempRiseK, r.Thermal)
+		}
+		return s
+	})
+}
+
+func BenchmarkObs3SRAMBaseline(b *testing.B) {
+	var rram, sram core.BenefitRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rram, sram, err = core.Obs3(benchPDK)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logRows(b, "obs3", func() string {
+		return fmt.Sprintf("Obs. 3 (paper: 8->16 CS, 5.7x->6.8x)\n  %s: %5.2fx\n  %s: %5.2fx\n",
+			rram.Name, rram.EDPBenefit, sram.Name, sram.EDPBenefit)
+	})
+}
+
+func BenchmarkObs10ThermalLimit(b *testing.B) {
+	var y1, y2, y4 int
+	for i := 0; i < b.N; i++ {
+		y1 = MaxThermalTiers(benchPDK, 1.0)
+		y2 = MaxThermalTiers(benchPDK, 2.0)
+		y4 = MaxThermalTiers(benchPDK, 4.0)
+	}
+	logRows(b, "obs10", func() string {
+		return fmt.Sprintf("Obs. 10 (Eq. 17, 60 K budget): max tiers = %d @1W, %d @2W, %d @4W\n", y1, y2, y4)
+	})
+}
+
+// BenchmarkFig2CaseStudyFlow runs the physical-design case study through
+// the full RTL-to-GDS flow at reduced scale (identical flow, small SoC).
+func BenchmarkFig2CaseStudyFlow(b *testing.B) {
+	var cmp *core.PhysicalComparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		cmp, err = core.RunCaseStudyFlow(benchPDK, 2, 2, 2<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logRows(b, "fig2", func() string {
+		return fmt.Sprintf("Fig. 2 flow (reduced scale): die %0.3f mm2, cells 2D=%d M3D=%d, "+
+			"freed Si %.1f%%, upper-tier power %.2f%%, peak density ratio %.3f\n",
+			float64(cmp.TwoD.Die.Area())/1e12, cmp.TwoD.Cells, cmp.M3D.Cells,
+			100*cmp.FreedSiFrac, 100*cmp.UpperTierPowerFrac, cmp.PeakDensityRatio)
+	})
+}
+
+// BenchmarkObs2PowerDensity measures the Obs. 2 quantities from the flow.
+func BenchmarkObs2PowerDensity(b *testing.B) {
+	var cmp *core.PhysicalComparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		cmp, err = core.RunCaseStudyFlow(benchPDK, 2, 2, 2<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logRows(b, "obs2", func() string {
+		return fmt.Sprintf("Obs. 2 (paper: upper layers <1%% power, peak density +1%%): "+
+			"upper-tier %.2f%%, peak density ratio %.3f\n",
+			100*cmp.UpperTierPowerFrac, cmp.PeakDensityRatio)
+	})
+}
+
+// BenchmarkFoldingOnlyBaseline quantifies the refs [3-4]-style folding
+// approach the paper's introduction contrasts against.
+func BenchmarkFoldingOnlyBaseline(b *testing.B) {
+	var cmp *core.FoldingComparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		cmp, err = core.RunFoldingStudy(benchPDK, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logRows(b, "folding", func() string {
+		return fmt.Sprintf("Folding-only (paper intro: ~1.1-1.4x): footprint %0.2f, HPWL %0.2f, EDP %0.2fx\n",
+			cmp.FootprintRatio, cmp.HPWLRatio, cmp.EDPBenefit)
+	})
+}
+
+// BenchmarkConclusionUpperLogic evaluates the conclusion's "full CMOS on
+// upper layers" extension: CNFET-tier CSs beyond the case study's 8.
+func BenchmarkConclusionUpperLogic(b *testing.B) {
+	var rows []core.FutureWorkRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = core.FutureWorkUpperLogic(benchPDK)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logRows(b, "futurework", func() string {
+		s := "Conclusion (2): upper-layer logic (paper: benefits will grow)\n"
+		for _, r := range rows {
+			s += fmt.Sprintf("  %-34s Si=%d CN=%d  speedup %5.2fx  EDP %5.2fx\n",
+				r.Name, r.NSi, r.NCN, r.Speedup, r.EDPBenefit)
+		}
+		return s
+	})
+}
+
+// BenchmarkScalingValidation cross-checks the Eq. 2 area arithmetic
+// against the placed-and-routed flow at reduced scale.
+func BenchmarkScalingValidation(b *testing.B) {
+	var pts []core.ScalingPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = core.ValidateScaling(benchPDK, []int{2}, 2<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	logRows(b, "scaling", func() string {
+		s := "Flow-vs-model freed-Si validation\n"
+		for _, pt := range pts {
+			s += fmt.Sprintf("  side %d: measured %.3f predicted %.3f (err %.0f%%)\n",
+				pt.ArraySide, pt.MeasuredFreedFrac, pt.PredictedFreedFrac, 100*pt.RelErr)
+		}
+		return s
+	})
+}

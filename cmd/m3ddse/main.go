@@ -1,0 +1,126 @@
+// Command m3ddse runs custom analytical design-space sweeps: BEOL FET
+// width relaxation (Case 1), ILV pitch (Case 2), interleaved tiers
+// (Case 3), RRAM capacity (Fig. 9), and bandwidth/CS grids (Fig. 8) on
+// the ResNet-18 reference workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"m3d/internal/core"
+	"m3d/internal/report"
+	"m3d/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("m3ddse: ")
+	sweep := flag.String("sweep", "delta", "sweep kind: delta | beta | tiers | capacity | grid")
+	points := flag.String("points", "", "comma-separated sweep points (defaults per sweep)")
+	tierPower := flag.Float64("tierpower", 2.0, "per-tier-pair power (W) for the tiers sweep")
+	flag.Parse()
+
+	p := tech.Default130()
+
+	switch *sweep {
+	case "delta":
+		rows, err := core.Fig10bc(p, parseFloats(*points))
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb := report.New("Case 1: BEOL access FET width relaxation",
+			"delta", "N3D", "N2Dnew", "EDP benefit")
+		for _, r := range rows {
+			tb.Add(fmt.Sprintf("%.2f", r.Delta), r.N3D, r.N2DNew, report.Ratio(r.EDPBenefit))
+		}
+		render(tb)
+	case "beta":
+		rows, err := core.Obs8(p, parseFloats(*points))
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb := report.New("Case 2: ILV pitch scale",
+			"beta", "delta_eff", "N3D", "N2Dnew", "EDP benefit")
+		for _, r := range rows {
+			tb.Add(fmt.Sprintf("%.2f", r.Beta), fmt.Sprintf("%.2f", r.Delta), r.N3D, r.N2DNew, report.Ratio(r.EDPBenefit))
+		}
+		render(tb)
+	case "tiers":
+		rows, err := core.Fig10d(p, parseInts(*points), *tierPower)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb := report.New(fmt.Sprintf("Case 3: interleaved tier pairs (%.1f W/pair)", *tierPower),
+			"Y", "N", "EDP benefit", "Temp rise K", "feasible")
+		for _, r := range rows {
+			tb.Add(r.Y, r.N, report.Ratio(r.EDPBenefit), fmt.Sprintf("%.1f", r.TempRiseK), r.Thermal)
+		}
+		render(tb)
+	case "capacity":
+		rows, err := core.Fig9(p, parseInts(*points))
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb := report.New("RRAM capacity sweep (Obs. 6)", "MB", "N", "EDP benefit")
+		for _, r := range rows {
+			tb.Add(r.CapacityMB, r.N, report.Ratio(r.EDPBenefit))
+		}
+		render(tb)
+	case "grid":
+		cb, mb, err := core.Fig8(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("compute-bound grid (CS, BWscale, EDP):")
+		for _, pt := range cb {
+			fmt.Printf("  %2d  %5.1f  %.2fx\n", pt.NumCS, pt.BWScale, pt.EDPBenefit)
+		}
+		fmt.Println("memory-bound grid (CS, BWscale, EDP):")
+		for _, pt := range mb {
+			fmt.Printf("  %2d  %5.1f  %.2fx\n", pt.NumCS, pt.BWScale, pt.EDPBenefit)
+		}
+	default:
+		log.Fatalf("unknown sweep %q (want delta|beta|tiers|capacity|grid)", *sweep)
+	}
+}
+
+func render(tb *report.Table) {
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseFloats(s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			log.Fatalf("bad sweep point %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseInts(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			log.Fatalf("bad sweep point %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Command m3dflow runs the RTL-to-GDS implementation flow (Fig. 4b) for
+// the 2D baseline and the iso-footprint M3D accelerator and prints the
+// post-route comparison (the paper's Fig. 2). Optionally writes both GDS
+// layouts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"m3d/internal/flow"
+	"m3d/internal/macro"
+	"m3d/internal/report"
+	"m3d/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("m3dflow: ")
+	side := flag.Int("side", 4, "systolic array side per CS (16 = paper scale)")
+	numCS := flag.Int("cs", 8, "parallel computing sub-systems in the M3D design")
+	rramMB := flag.Int("rram", 8, "on-chip RRAM capacity in MB")
+	gdsPrefix := flag.String("gds", "", "write <prefix>_2d.gds and <prefix>_m3d.gds")
+	vPath := flag.String("verilog", "", "write the M3D structural netlist to this file")
+	defPath := flag.String("def", "", "write the M3D placement DEF to this file")
+	seed := flag.Int64("seed", 1, "placement seed")
+	flag.Parse()
+
+	p := tech.Default130()
+	spec := flow.SoCSpec{
+		ArrayRows:      *side,
+		ArrayCols:      *side,
+		RRAMCapBits:    int64(*rramMB) << 23,
+		GlobalSRAMBits: 64 << 10,
+		Seed:           *seed,
+	}
+
+	var f2d, f3d *os.File
+	var err error
+	if *gdsPrefix != "" {
+		if f2d, err = os.Create(*gdsPrefix + "_2d.gds"); err != nil {
+			log.Fatal(err)
+		}
+		defer f2d.Close()
+		if f3d, err = os.Create(*gdsPrefix + "_m3d.gds"); err != nil {
+			log.Fatal(err)
+		}
+		defer f3d.Close()
+	}
+
+	log.Printf("running 2D baseline flow (%dx%d PEs, %d MB RRAM)...", *side, *side, *rramMB)
+	spec2 := spec
+	spec2.Style = macro.Style2D
+	spec2.NumCS = 1
+	spec2.Banks = 1
+	if f2d != nil {
+		spec2.WriteGDS = f2d
+	}
+	twoD, err := flow.Run(p, spec2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("running iso-footprint M3D flow (%d CSs)...", *numCS)
+	spec3 := spec
+	spec3.Style = macro.Style3D
+	spec3.NumCS = *numCS
+	spec3.Banks = *numCS
+	spec3.Die = twoD.Die
+	if f3d != nil {
+		spec3.WriteGDS = f3d
+	}
+	for _, out := range []struct {
+		path string
+		dst  *io.Writer
+	}{{*vPath, &spec3.WriteVerilog}, {*defPath, &spec3.WriteDEF}} {
+		if out.path == "" {
+			continue
+		}
+		f, err := os.Create(out.path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		*out.dst = f
+	}
+	m3d, err := flow.Run(p, spec3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := report.New("Post-route comparison (cf. paper Fig. 2)",
+		"Metric", "2D baseline", "iso-footprint M3D")
+	tb.Add("Die", report.MM2(twoD.Die.Area()), report.MM2(m3d.Die.Area()))
+	tb.Add("Computing sub-systems", 1, *numCS)
+	tb.Add("Std cells", twoD.Cells, m3d.Cells)
+	tb.Add("Macros", twoD.Macros, m3d.Macros)
+	tb.Add("HPWL (mm)", float64(twoD.HPWL)/1e6, float64(m3d.HPWL)/1e6)
+	tb.Add("Routed WL (mm)", float64(twoD.RoutedWL)/1e6, float64(m3d.RoutedWL)/1e6)
+	tb.Add("Vias", twoD.Vias, m3d.Vias)
+	tb.Add("ILVs", twoD.ILVs, m3d.ILVs)
+	tb.Add("Fmax", report.MHz(twoD.FmaxHz), report.MHz(m3d.FmaxHz))
+	tb.Add("Timing met @20MHz", twoD.TimingMet, m3d.TimingMet)
+	tb.Add("Drivers upsized", twoD.Upsized, m3d.Upsized)
+	tb.Add("Power", report.MW(twoD.Power.TotalW), report.MW(m3d.Power.TotalW))
+	tb.Add("Peak density (W/mm2)", twoD.Power.PeakDensityWPerMM2, m3d.Power.PeakDensityWPerMM2)
+	tb.Add("Upper-tier power frac", twoD.Power.UpperTierFraction(), m3d.Power.UpperTierFraction())
+	tb.Add("Free Si area", report.MM2(twoD.Area.FreeSiNM2), report.MM2(m3d.Area.FreeSiNM2))
+	tb.Add("RRAM cell array", report.MM2(twoD.Area.CellsNM2), report.MM2(m3d.Area.CellsNM2))
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFreed Si under arrays: %s (the space the M3D architecture fills with %d parallel CSs)\n",
+		report.MM2(m3d.Area.FreeSiNM2-twoD.Area.FreeSiNM2), *numCS)
+}

@@ -1,0 +1,78 @@
+// Command m3dlib exports the PDK and cell library in standard interchange
+// formats: technology LEF, cell LEF, Liberty timing (.lib) for the Si and
+// CNFET variants, and LEF blocks for the RRAM/SRAM macros.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"m3d/internal/cell"
+	"m3d/internal/lef"
+	"m3d/internal/liberty"
+	"m3d/internal/macro"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("m3dlib: ")
+	outDir := flag.String("out", "pdk_export", "output directory")
+	rramMB := flag.Int("rram", 8, "example RRAM bank capacity (MB) for the macro LEF")
+	flag.Parse()
+
+	p := tech.Default130()
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	write := func(name string, fn func(f *os.File) error) {
+		path := filepath.Join(*outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		st, _ := f.Stat()
+		fmt.Printf("wrote %-24s %6d bytes\n", path, st.Size())
+	}
+
+	write("m3d130.tech.lef", func(f *os.File) error { return lef.WriteTech(f, p) })
+
+	for _, tier := range []tech.Tier{tech.TierSiCMOS, tech.TierCNFET} {
+		lib, err := cell.NewLibrary(p, tier)
+		if err != nil {
+			log.Fatal(err)
+		}
+		write(fmt.Sprintf("m3d130_%s.lef", tier), func(f *os.File) error {
+			return lef.WriteCells(f, p, lib)
+		})
+		write(fmt.Sprintf("m3d130_%s.lib", tier), func(f *os.File) error {
+			return liberty.Write(f, p, lib)
+		})
+	}
+
+	var refs []*netlist.MacroRef
+	for _, style := range []macro.Style{macro.Style2D, macro.Style3D} {
+		bank, err := macro.NewRRAMBank(p, macro.RRAMBankSpec{
+			CapacityBits: int64(*rramMB) << 23, WordBits: 256, Style: style,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		refs = append(refs, bank.Ref)
+	}
+	sram, err := macro.NewSRAM(p, macro.SRAMSpec{CapacityBits: 4 << 20, WordBits: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	refs = append(refs, sram.Ref)
+	write("m3d130_macros.lef", func(f *os.File) error { return lef.WriteMacros(f, refs) })
+}

@@ -1,0 +1,262 @@
+// Command m3dreport regenerates every table and figure of the paper's
+// evaluation in one run: Table I, Fig. 5, Fig. 7, Fig. 8, Fig. 9,
+// Fig. 10b-d, and Observations 2/3/8/10. Pass -flow to include the
+// physical-design case study (slower: it runs the full RTL-to-GDS flow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"m3d/internal/analytic"
+	"m3d/internal/core"
+	"m3d/internal/report"
+	"m3d/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("m3dreport: ")
+	withFlow := flag.Bool("flow", false, "also run the physical-design flow case study (slow)")
+	flowSide := flag.Int("flowside", 4, "systolic array side for the flow case study")
+	flag.Parse()
+
+	p := tech.Default130()
+	out := os.Stdout
+
+	if err := printAnalytical(p, out); err != nil {
+		log.Fatal(err)
+	}
+	if *withFlow {
+		if err := printFlowStudy(p, *flowSide, out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func printAnalytical(p *tech.PDK, out *os.File) error {
+	// Eq. 2 calibration.
+	am, err := core.AreaModel(p, int64(64)<<23)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== Area model (Eq. 2) ==\n")
+	fmt.Fprintf(out, "A_CS=%s  A_cells=%s  A_perif=%s  gamma_cells=%.2f  N=%d\n\n",
+		report.MM2(int64(am.ACS)), report.MM2(int64(am.ACells)),
+		report.MM2(int64(am.APerif)), am.GammaCells(), am.N())
+
+	// Table I.
+	t1, err := core.Table1(p)
+	if err != nil {
+		return err
+	}
+	tb := report.New("== Table I: ResNet-18 layer-by-layer M3D benefits ==",
+		"Layer", "Speedup", "Energy", "EDP benefit")
+	for _, r := range t1 {
+		tb.Add(r.Name, report.Ratio(r.Speedup), fmt.Sprintf("%.2fx", 1/r.EnergyRatio), report.Ratio(r.EDPBenefit))
+	}
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	// Fig. 5.
+	f5, err := core.Fig5(p)
+	if err != nil {
+		return err
+	}
+	tb = report.New("== Fig. 5: whole-model benefits (paper: 5.7x-7.5x at ~0.99x energy) ==",
+		"Model", "Speedup", "Energy ratio", "EDP benefit")
+	for _, r := range f5 {
+		tb.Add(r.Name, report.Ratio(r.Speedup), fmt.Sprintf("%.3f", r.EnergyRatio), report.Ratio(r.EDPBenefit))
+	}
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	// Fig. 7.
+	f7, err := core.Fig7(p)
+	if err != nil {
+		return err
+	}
+	tb = report.New("== Fig. 7: Table II architectures, mapper vs analytical (paper: within 10%) ==",
+		"Arch", "Mapper EDP", "Analytic EDP", "Diff %")
+	for _, r := range f7 {
+		tb.Add(r.Arch, report.Ratio(r.Mapper.EDPBenefit), report.Ratio(r.Analytic.EDPBenefit),
+			fmt.Sprintf("%.1f", 100*r.RelativeEDPDiff))
+	}
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	// Fig. 8.
+	cb, mb, err := core.Fig8(p)
+	if err != nil {
+		return err
+	}
+	tb = report.New("== Fig. 8a: EDP benefit, compute-bound load (16 ops/bit) ==",
+		"CS\\BW", "1x", "2x", "4x", "8x", "16x")
+	renderSweep(tb, cb)
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	tb = report.New("== Fig. 8b: EDP benefit, memory-bound load (16 bits/op) ==",
+		"CS\\BW", "1x", "2x", "4x", "8x", "16x")
+	renderSweep(tb, mb)
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	// Fig. 9.
+	f9, err := core.Fig9(p, nil)
+	if err != nil {
+		return err
+	}
+	tb = report.New("== Fig. 9: RRAM capacity vs benefit (paper: 1x @12MB -> 6.8x @128MB) ==",
+		"Capacity MB", "N (Eq.2)", "EDP benefit")
+	for _, r := range f9 {
+		tb.Add(r.CapacityMB, r.N, report.Ratio(r.EDPBenefit))
+	}
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	// Fig. 10b-c.
+	f10, err := core.Fig10bc(p, nil)
+	if err != nil {
+		return err
+	}
+	tb = report.New("== Fig. 10b-c: CNFET width relaxation delta (paper: no loss to 1.6x) ==",
+		"delta", "N3D", "N2Dnew", "EDP benefit")
+	for _, r := range f10 {
+		tb.Add(fmt.Sprintf("%.2f", r.Delta), r.N3D, r.N2DNew, report.Ratio(r.EDPBenefit))
+	}
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	// Obs. 8.
+	o8, err := core.Obs8(p, nil)
+	if err != nil {
+		return err
+	}
+	tb = report.New("== Obs. 8: ILV pitch scale beta (paper: <=1.3x free, >=1.6x erodes) ==",
+		"beta", "effective delta", "N3D", "N2Dnew", "EDP benefit")
+	for _, r := range o8 {
+		tb.Add(fmt.Sprintf("%.2f", r.Beta), fmt.Sprintf("%.2f", r.Delta), r.N3D, r.N2DNew, report.Ratio(r.EDPBenefit))
+	}
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	// Fig. 10d + Obs. 10.
+	f10d, err := core.Fig10d(p, nil, 2.0)
+	if err != nil {
+		return err
+	}
+	tb = report.New("== Fig. 10d / Obs. 9-10: interleaved tier pairs (paper: 5.7->6.9, plateau 7.1) ==",
+		"Y", "N", "EDP benefit", "Temp rise K", "Thermally feasible")
+	for _, r := range f10d {
+		tb.Add(r.Y, r.N, report.Ratio(r.EDPBenefit), fmt.Sprintf("%.1f", r.TempRiseK), r.Thermal)
+	}
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	// Obs. 3.
+	rram, sram, err := core.Obs3(p)
+	if err != nil {
+		return err
+	}
+	tb = report.New("== Obs. 3: SRAM-based 2D baseline (paper: 8->16 CS, 5.7x->6.8x) ==",
+		"Baseline", "Speedup", "EDP benefit")
+	tb.Add(rram.Name, report.Ratio(rram.Speedup), report.Ratio(rram.EDPBenefit))
+	tb.Add(sram.Name, report.Ratio(sram.Speedup), report.Ratio(sram.EDPBenefit))
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+
+	// Conclusion (2): full CMOS on upper layers.
+	fw, err := core.FutureWorkUpperLogic(p)
+	if err != nil {
+		return err
+	}
+	tb = report.New("== Conclusion (2): upper-layer logic extension (benefits grow) ==",
+		"Design point", "Si CSs", "CNFET CSs", "Speedup", "EDP benefit")
+	for _, r := range fw {
+		tb.Add(r.Name, r.NSi, r.NCN, report.Ratio(r.Speedup), report.Ratio(r.EDPBenefit))
+	}
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+// renderSweep pivots Fig. 8 sweep points into a CS × bandwidth grid.
+func renderSweep(tb *report.Table, pts []analytic.SweepPoint) {
+	byCS := map[int]map[float64]float64{}
+	var csList []int
+	var bwList []float64
+	for _, pt := range pts {
+		if byCS[pt.NumCS] == nil {
+			byCS[pt.NumCS] = map[float64]float64{}
+			csList = append(csList, pt.NumCS)
+		}
+		if _, seen := byCS[pt.NumCS][pt.BWScale]; !seen && pt.NumCS == csList[0] {
+			bwList = append(bwList, pt.BWScale)
+		}
+		byCS[pt.NumCS][pt.BWScale] = pt.EDPBenefit
+	}
+	for _, n := range csList {
+		row := []interface{}{fmt.Sprintf("%d CS", n)}
+		for _, b := range bwList {
+			row = append(row, report.Ratio(byCS[n][b]))
+		}
+		tb.Add(row...)
+	}
+}
+
+func printFlowStudy(p *tech.PDK, side int, out *os.File) error {
+	fmt.Fprintf(out, "== Sec. II physical-design case study (flow, %dx%d PEs/CS) ==\n", side, side)
+	cmp, err := core.RunCaseStudyFlow(p, side, 8, 8<<20)
+	if err != nil {
+		return err
+	}
+	tb := report.New("", "Metric", "2D baseline", "iso-footprint M3D")
+	tb.Add("Die", report.MM2(cmp.TwoD.Die.Area()), report.MM2(cmp.M3D.Die.Area()))
+	tb.Add("Std cells", cmp.TwoD.Cells, cmp.M3D.Cells)
+	tb.Add("Routed WL (mm)", float64(cmp.TwoD.RoutedWL)/1e6, float64(cmp.M3D.RoutedWL)/1e6)
+	tb.Add("ILVs", cmp.TwoD.ILVs, cmp.M3D.ILVs)
+	tb.Add("Fmax", report.MHz(cmp.TwoD.FmaxHz), report.MHz(cmp.M3D.FmaxHz))
+	tb.Add("Timing met @20MHz", cmp.TwoD.TimingMet, cmp.M3D.TimingMet)
+	tb.Add("Power", report.MW(cmp.TwoD.Power.TotalW), report.MW(cmp.M3D.Power.TotalW))
+	tb.Add("Free Si area", report.MM2(cmp.TwoD.Area.FreeSiNM2), report.MM2(cmp.M3D.Area.FreeSiNM2))
+	tb.Add("Hold violations", cmp.TwoD.Hold.Violations, cmp.M3D.Hold.Violations)
+	tb.Add("IR drop (mV)", cmp.TwoD.IRDrop.WorstDropV*1e3, cmp.M3D.IRDrop.WorstDropV*1e3)
+	tb.Add("DRC violations", len(cmp.TwoD.Audit.Violations), len(cmp.M3D.Audit.Violations))
+	if err := tb.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Freed Si fraction: %.1f%%   Upper-tier power: %.2f%%   Peak density ratio: %.3f\n\n",
+		100*cmp.FreedSiFrac, 100*cmp.UpperTierPowerFrac, cmp.PeakDensityRatio)
+
+	fold, err := core.RunFoldingStudy(p, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== Folding-only baseline (refs [3-4]; paper: ~1.1-1.4x) ==\n")
+	fmt.Fprintf(out, "Footprint ratio: %.2f   HPWL ratio: %.2f   EDP benefit: %.2fx\n\n",
+		fold.FootprintRatio, fold.HPWLRatio, fold.EDPBenefit)
+	return nil
+}

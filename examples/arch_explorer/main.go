@@ -1,0 +1,47 @@
+// Architecture exploration (the paper's Fig. 7 / Table II): evaluate six
+// accelerator architectures under both the mapping engine (our ZigZag
+// stand-in) and the analytical framework, then sweep bandwidth vs CS count
+// (Fig. 8) to see when extra compute or extra bandwidth pays off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"m3d"
+)
+
+func main() {
+	log.SetFlags(0)
+	pdk := m3d.Default130()
+
+	rows, err := m3d.Fig7(pdk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fig. 7: Table II architectures on AlexNet convolutions")
+	fmt.Printf("%-7s %12s %14s %8s\n", "Arch", "Mapper EDP", "Analytic EDP", "Diff")
+	for _, r := range rows {
+		fmt.Printf("%-7s %11.2fx %13.2fx %7.1f%%\n",
+			r.Arch, r.Mapper.EDPBenefit, r.Analytic.EDPBenefit, 100*r.RelativeEDPDiff)
+	}
+
+	cb, mb, err := m3d.Fig8(pdk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFig. 8 (Obs. 5): where do extra CSs vs extra bandwidth pay off?")
+	fmt.Println("compute-bound load (16 ops/bit):")
+	printDiag(cb)
+	fmt.Println("memory-bound load (16 bits/op):")
+	printDiag(mb)
+}
+
+// printDiag prints the (n CS, n× BW) diagonal — the balanced-scaling line.
+func printDiag(pts []m3d.SweepPoint) {
+	for _, pt := range pts {
+		if float64(pt.NumCS) == pt.BWScale {
+			fmt.Printf("  %2d CS, %4.0fx BW -> EDP %6.2fx\n", pt.NumCS, pt.BWScale, pt.EDPBenefit)
+		}
+	}
+}

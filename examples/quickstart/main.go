@@ -1,0 +1,51 @@
+// Quickstart: evaluate the paper's headline result in a few lines — the
+// iso-footprint, iso-on-chip-memory-capacity M3D accelerator vs its 2D
+// baseline on ResNet-18, using the architectural cost model and the
+// analytical framework.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"m3d"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Technology: the parameterized 130 nm foundry M3D PDK model.
+	pdk := m3d.Default130()
+
+	// 2. Area model (Eq. 2): how many parallel computing sub-systems does
+	// moving the RRAM access FETs to the BEOL CNFET tier free room for?
+	am, err := m3d.BuildAreaModel(pdk, 64<<23) // 64 MB on-chip RRAM
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gamma_cells = %.2f  ->  N = %d parallel CSs (paper: 8)\n\n",
+		am.GammaCells(), am.N())
+
+	// 3. Architectural comparison on ResNet-18 (the paper's Table I).
+	a2d, a3d, n, err := m3d.CaseStudyPair(pdk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	speedup, energyRatio, edp, err := a3d.Benefit(a2d, m3d.ResNet18())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ResNet-18, %d-CS M3D vs 2D baseline:\n", n)
+	fmt.Printf("  speedup      %.2fx   (paper: 5.64x)\n", speedup)
+	fmt.Printf("  energy       %.2fx   (paper: 0.99x)\n", 1/energyRatio)
+	fmt.Printf("  EDP benefit  %.2fx   (paper: 5.66x)\n\n", edp)
+
+	// 4. The same result from the paper's analytical framework (Eqs. 1-8).
+	for _, model := range m3d.Zoo() {
+		sp, _, e, err := a3d.Benefit(a2d, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s speedup %.2fx  EDP %.2fx\n", model.Name, sp, e)
+	}
+}

@@ -1,0 +1,41 @@
+// Multi-tier stacking under the thermal budget (the paper's Fig. 10d and
+// Obs. 9-10): sweep interleaved compute+memory tier pairs, watch the EDP
+// benefit plateau against the workload's parallelizability, and find where
+// the Eq. 17 temperature rise crosses the 60 K budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"m3d"
+)
+
+func main() {
+	log.SetFlags(0)
+	pdk := m3d.Default130()
+
+	for _, power := range []float64{1.0, 2.0, 4.0} {
+		rows, err := m3d.Fig10d(pdk, []int{1, 2, 3, 4, 6, 8, 12}, power)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ResNet-18, %.1f W per tier pair (budget: %.0f K rise):\n",
+			power, pdk.MaxTempRiseK)
+		for _, r := range rows {
+			mark := "ok"
+			if !r.Thermal {
+				mark = "OVER BUDGET"
+			}
+			fmt.Printf("  Y=%2d  N=%3d  EDP %5.2fx  rise %5.1f K  %s\n",
+				r.Y, r.N, r.EDPBenefit, r.TempRiseK, mark)
+		}
+		fmt.Printf("  -> max feasible tiers at this power: %d\n\n",
+			m3d.MaxThermalTiers(pdk, power))
+	}
+
+	// Obs. 9's aside: a highly parallelizable layer keeps scaling.
+	stack := m3d.NewThermalStack(pdk, []float64{2, 2, 2})
+	fmt.Printf("3-pair stack at 2 W each: rise %.1f K, feasible: %v\n",
+		stack.TempRiseK(), stack.Feasible(pdk.MaxTempRiseK))
+}

@@ -1,0 +1,3 @@
+module m3d
+
+go 1.22

@@ -1,0 +1,121 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// AreaModel carries the 2D baseline chip's area decomposition (Fig. 6a):
+// one computing sub-system, the memory cell arrays, the memory peripherals,
+// and buses/IO. Units are arbitrary but consistent (we use nm²).
+type AreaModel struct {
+	ACS    float64 // A_C,2D: one computing sub-system
+	ACells float64 // A_M,2D^cells: memory cell arrays (cells + access FETs)
+	APerif float64 // A_M,2D^perif: memory peripherals/controllers (Si)
+	ABusIO float64 // A_bus,2D: buses and IO
+}
+
+// Validate checks the model.
+func (a AreaModel) Validate() error {
+	if a.ACS <= 0 || a.ACells <= 0 || a.APerif < 0 || a.ABusIO < 0 {
+		return fmt.Errorf("analytic: area model needs positive CS and cell areas")
+	}
+	return nil
+}
+
+// Total2D is A_2D, the baseline chip footprint.
+func (a AreaModel) Total2D() float64 {
+	return a.ACS + a.ACells + a.APerif + a.ABusIO
+}
+
+// GammaCells is γ_2D^cells = A_cells / A_CS.
+func (a AreaModel) GammaCells() float64 { return a.ACells / a.ACS }
+
+// GammaPerif is γ_2D^perif = A_perif / A_CS.
+func (a AreaModel) GammaPerif() float64 { return a.APerif / a.ACS }
+
+// N is Eq. 2: the parallel CS count of the iso-footprint M3D chip, from
+// the Si area freed by moving memory access FETs to the BEOL tier.
+func (a AreaModel) N() int {
+	n := int(math.Floor(1 + a.GammaCells()))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Case1Result reports the FET-width-relaxation analysis for one δ.
+type Case1Result struct {
+	Delta float64
+	// Footprint is the common (grown) chip footprint.
+	Footprint float64
+	// N3D / N2DNew are the CS counts of the M3D chip and the
+	// commensurately-grown 2D baseline (Eq. 9).
+	N3D, N2DNew int
+}
+
+// Case1 evaluates the paper's Case 1 geometry at BEOL FET width relaxation
+// δ ≥ 1: the M3D cell array grows to δ·A_cells; if it outgrows the original
+// footprint both chips grow, and the larger 2D baseline hosts extra
+// parallel CSs (Eq. 9) while the M3D chip's freed Si hosts more still.
+func (a AreaModel) Case1(delta float64) (Case1Result, error) {
+	if err := a.Validate(); err != nil {
+		return Case1Result{}, err
+	}
+	if delta < 1 {
+		return Case1Result{}, fmt.Errorf("analytic: δ=%g must be ≥ 1", delta)
+	}
+	a2d := a.Total2D()
+	cells3D := delta * a.ACells
+
+	// Common footprint: the M3D chip must fit the relaxed array in BEOL
+	// and (peripherals + CSs) in Si; the comparison is iso-footprint.
+	footprint := math.Max(a2d, cells3D+a.APerif+a.ABusIO)
+
+	// M3D Si budget: everything except peripherals and bus/IO.
+	n3d := int(math.Floor((footprint - a.APerif - a.ABusIO) / a.ACS))
+	if n3d < 1 {
+		n3d = 1
+	}
+
+	// Eq. 9: the grown 2D baseline's extra CS capacity. Its Si still holds
+	// the (unrelaxed) cell array with Si access FETs. The paper's [·]
+	// brackets floor (Eq. 2 yields N=8 from γ=7.55 only under floor).
+	n2d := int(math.Floor(math.Max(cells3D-a2d, a.ACS) / a.ACS))
+	if n2d < 1 {
+		n2d = 1
+	}
+	return Case1Result{Delta: delta, Footprint: footprint, N3D: n3d, N2DNew: n2d}, nil
+}
+
+// Case2Delta converts a via-pitch scale β into the effective area
+// relaxation of Case 2: the cell is via-pitch-limited at m·β² per cell, so
+// the effective δ is max(1, m·(β·pitch)² / cellArea2D). cellArea2D and
+// pitch are in consistent units; m is vias per cell.
+func Case2Delta(beta float64, viasPerCell int, pitch, cellArea2D float64) (float64, error) {
+	if beta < 1 {
+		return 0, fmt.Errorf("analytic: β=%g must be ≥ 1", beta)
+	}
+	if viasPerCell <= 0 || pitch <= 0 || cellArea2D <= 0 {
+		return 0, fmt.Errorf("analytic: Case 2 needs positive via count, pitch, and cell area")
+	}
+	viaLimited := float64(viasPerCell) * (beta * pitch) * (beta * pitch)
+	if viaLimited <= cellArea2D {
+		return 1, nil
+	}
+	return viaLimited / cellArea2D, nil
+}
+
+// Case3N is the paper's Case 3 CS count for Y interleaved compute+memory
+// tier pairs, each memory tier carrying its own peripherals and IO:
+// N = Y·⌊1 + γ_cells + γ_perif⌋.
+func (a AreaModel) Case3N(y int) (int, error) {
+	if y < 1 {
+		return 0, fmt.Errorf("analytic: Y=%d must be ≥ 1", y)
+	}
+	per := int(math.Floor(1 + a.GammaCells() + a.GammaPerif()))
+	if per < 1 {
+		per = 1
+	}
+	return y * per, nil
+}

@@ -1,0 +1,146 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// tLike is the generalized Eq. 4 time: n parallel CSs sharing total
+// bandwidth b.
+func tLike(p Params, w Load, n int, b float64) float64 {
+	nm := n
+	if w.NPart >= 1 && w.NPart < nm {
+		nm = w.NPart
+	}
+	if nm < 1 {
+		nm = 1
+	}
+	return math.Max(w.D0*float64(n)/b, w.F0/(float64(nm)*p.PPeak))
+}
+
+// eLike is the generalized Eq. 7/11 energy: n parallel CSs, total
+// bandwidth b, memory access energy alpha, memory idle energy emIdle.
+func eLike(p Params, w Load, n int, b, alpha, emIdle float64) float64 {
+	nm := n
+	if w.NPart >= 1 && w.NPart < nm {
+		nm = w.NPart
+	}
+	if nm < 1 {
+		nm = 1
+	}
+	t := tLike(p, w, n, b)
+	return alpha*w.D0 +
+		emIdle*(t-w.D0*float64(n)/b) +
+		float64(n-nm)*p.ECIdle*t +
+		float64(nm)*p.ECIdle*(t-w.F0/(float64(nm)*p.PPeak)) +
+		p.EC*w.F0
+}
+
+// Case1Benefit evaluates Eqs. 10-12: the M3D EDP benefit at BEOL FET width
+// relaxation δ, against the commensurately-grown 2D baseline with N_2D^new
+// parallel CSs. The per-CS memory bandwidth of both chips is preserved as
+// CS counts change (banks scale with CSs in M3D; the 2D baseline keeps its
+// single memory system).
+func Case1Benefit(p Params, a AreaModel, loads []Load, delta float64) (Result, Case1Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, Case1Result{}, err
+	}
+	geo, err := a.Case1(delta)
+	if err != nil {
+		return Result{}, Case1Result{}, err
+	}
+	if len(loads) == 0 {
+		return Result{}, Case1Result{}, fmt.Errorf("analytic: no loads")
+	}
+	// M3D bandwidth: per-CS share preserved from the reference design.
+	perCSB3D := p.B3D / float64(p.N)
+	b3d := perCSB3D * float64(geo.N3D)
+
+	var t2, t3, e2, e3 float64
+	for _, w := range loads {
+		t2 += tLike(p, w, geo.N2DNew, p.B2D)
+		t3 += tLike(p, w, geo.N3D, b3d)
+		e2 += eLike(p, w, geo.N2DNew, p.B2D, p.Alpha2D, p.EMIdle2D)
+		e3 += eLike(p, w, geo.N3D, b3d, p.Alpha3D, p.EMIdle3D)
+	}
+	s := t2 / t3
+	return Result{Speedup: s, EnergyRatio: e2 / e3, EDPBenefit: s * e2 / e3}, geo, nil
+}
+
+// Case2Benefit evaluates the via-pitch case: β is converted to an
+// effective δ (via-pitch-limited cell growth) and fed through Case 1.
+func Case2Benefit(p Params, a AreaModel, loads []Load, beta float64,
+	viasPerCell int, pitch, cellArea2D float64) (Result, Case1Result, error) {
+
+	delta, err := Case2Delta(beta, viasPerCell, pitch, cellArea2D)
+	if err != nil {
+		return Result{}, Case1Result{}, err
+	}
+	return Case1Benefit(p, a, loads, delta)
+}
+
+// Case3Benefit evaluates Y interleaved compute+memory tier pairs vs the
+// original 2D baseline: N scales as Y·⌊1+γ_cells+γ_perif⌋ (each memory
+// tier brings its own peripherals/IO), and total M3D bandwidth scales with
+// Y (one banked memory system per pair).
+func Case3Benefit(p Params, a AreaModel, loads []Load, y int) (Result, int, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, 0, err
+	}
+	n, err := a.Case3N(y)
+	if err != nil {
+		return Result{}, 0, err
+	}
+	if len(loads) == 0 {
+		return Result{}, 0, fmt.Errorf("analytic: no loads")
+	}
+	b3d := p.B3D * float64(y)
+	var t2, t3, e2, e3 float64
+	for _, w := range loads {
+		t2 += T2D(p, w)
+		t3 += tLike(p, w, n, b3d)
+		e2 += E2D(p, w)
+		e3 += eLike(p, w, n, b3d, p.Alpha3D, p.EMIdle3D)
+	}
+	s := t2 / t3
+	return Result{Speedup: s, EnergyRatio: e2 / e3, EDPBenefit: s * e2 / e3}, n, nil
+}
+
+// SweepPoint is one cell of the Fig. 8 heat map.
+type SweepPoint struct {
+	NumCS      int
+	BWScale    float64
+	EDPBenefit float64
+}
+
+// SweepBandwidthCS evaluates the Fig. 8 grid: EDP benefit as a function of
+// parallel CS count and total-bandwidth scale, for a workload with the
+// given compute intensity (ops per bit). Each point is an M3D design with
+// n CSs and b×B2D total bandwidth vs the 1-CS 2D baseline.
+func SweepBandwidthCS(p Params, w Load, csCounts []int, bwScales []float64) ([]SweepPoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	for _, n := range csCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("analytic: CS count %d must be ≥ 1", n)
+		}
+		for _, b := range bwScales {
+			if b <= 0 {
+				return nil, fmt.Errorf("analytic: bandwidth scale %g must be positive", b)
+			}
+			b3d := p.B2D * b
+			t2 := T2D(p, w)
+			t3 := tLike(p, w, n, b3d)
+			e2 := E2D(p, w)
+			e3 := eLike(p, w, n, b3d, p.Alpha3D, p.EMIdle3D)
+			out = append(out, SweepPoint{
+				NumCS:      n,
+				BWScale:    b,
+				EDPBenefit: (t2 / t3) * (e2 / e3),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,277 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// caseArea mirrors the Sec. II case study: γ_cells ≈ 7.5 → N = 8 (Eq. 2).
+// Bus/IO area is sized so the grown 2D baseline gains its second CS just
+// past δ≈1.7 (β≈1.3), reproducing the paper's Obs. 7/8 thresholds.
+func caseArea() AreaModel {
+	return AreaModel{ACS: 1.0, ACells: 7.55, APerif: 1.06, ABusIO: 2.0}
+}
+
+// resnetLikeLoads is a coarse ResNet-18-like layer mix: mostly
+// compute-bound, highly partitionable layers plus a few low-intensity ones.
+func resnetLikeLoads() []Load {
+	return []Load{
+		{F0: 118e6, D0: 1.3e6, NPart: 4},  // early conv
+		{F0: 462e6, D0: 13e6, NPart: 4},   // L1 stage
+		{F0: 410e6, D0: 7e6, NPart: 8},    // L2 stage
+		{F0: 410e6, D0: 3.5e6, NPart: 16}, // L3 stage
+		{F0: 410e6, D0: 2e6, NPart: 32},   // L4 stage
+		{F0: 6.4e6, D0: 2.4e6, NPart: 8},  // DS layers
+		{F0: 0.5e6, D0: 4.1e6, NPart: 63}, // FC
+	}
+}
+
+func TestEq2N(t *testing.T) {
+	if got := caseArea().N(); got != 8 {
+		t.Errorf("Eq. 2 N = %d, want 8 (γ_cells=7.55)", got)
+	}
+	small := AreaModel{ACS: 1, ACells: 0.3, APerif: 0.05, ABusIO: 0.05}
+	if got := small.N(); got != 1 {
+		t.Errorf("small memory N = %d, want 1", got)
+	}
+}
+
+func TestGammas(t *testing.T) {
+	a := caseArea()
+	if a.GammaCells() != 7.55 || a.GammaPerif() != 1.06 {
+		t.Error("gamma computation wrong")
+	}
+	if math.Abs(a.Total2D()-11.61) > 1e-12 {
+		t.Errorf("total area = %g, want 11.61", a.Total2D())
+	}
+}
+
+func TestCase1GeometryUnchangedAtSmallDelta(t *testing.T) {
+	a := caseArea()
+	geo, err := a.Case1(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.Footprint != a.Total2D() {
+		t.Errorf("δ=1 footprint %g != A2D %g", geo.Footprint, a.Total2D())
+	}
+	if geo.N2DNew != 1 {
+		t.Errorf("δ=1 N2Dnew = %d, want 1", geo.N2DNew)
+	}
+	if geo.N3D < a.N() {
+		t.Errorf("δ=1 N3D = %d, want ≥ %d", geo.N3D, a.N())
+	}
+}
+
+func TestCase1GeometryGrowsWithDelta(t *testing.T) {
+	a := caseArea()
+	g16, err := a.Case1(1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g25, err := a.Case1(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g16.Footprint <= a.Total2D() {
+		t.Error("δ=1.6 should outgrow the original footprint")
+	}
+	if g25.N3D <= g16.N3D || g25.N2DNew <= g16.N2DNew {
+		t.Error("both CS counts must grow with δ (Fig. 10b)")
+	}
+	// The M3D chip always hosts more CSs than the grown 2D baseline.
+	if g25.N3D <= g25.N2DNew {
+		t.Errorf("N3D %d should exceed N2Dnew %d", g25.N3D, g25.N2DNew)
+	}
+}
+
+func TestCase1DeltaValidation(t *testing.T) {
+	if _, err := caseArea().Case1(0.5); err == nil {
+		t.Error("δ<1 should fail")
+	}
+	bad := AreaModel{}
+	if _, err := bad.Case1(1); err == nil {
+		t.Error("empty area model should fail")
+	}
+}
+
+func TestObservation7WidthRelaxationCurve(t *testing.T) {
+	// Obs. 7: benefits hold to δ≈1.6, decline after, but remain >1 at 2.5.
+	p := caseParams()
+	a := caseArea()
+	loads := resnetLikeLoads()
+
+	at := func(delta float64) float64 {
+		r, _, err := Case1Benefit(p, a, loads, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.EDPBenefit
+	}
+	b10, b16, b25 := at(1.0), at(1.6), at(2.5)
+	if b10 < 4.5 || b10 > 7.5 {
+		t.Errorf("δ=1 EDP benefit = %.2f, want ≈5.7", b10)
+	}
+	if b16 < 0.75*b10 {
+		t.Errorf("δ=1.6 benefit %.2f dropped more than 25%% from %.2f (Obs. 7 says ≈no loss)", b16, b10)
+	}
+	if b25 >= b16 {
+		t.Errorf("δ=2.5 benefit %.2f should be below δ=1.6 %.2f", b25, b16)
+	}
+	if b25 <= 1 {
+		t.Errorf("δ=2.5 should retain small benefits, got %.2f", b25)
+	}
+}
+
+func TestCase2DeltaThreshold(t *testing.T) {
+	// The baseline cell is via-pitch limited (area = m·pitch² = 50,700 nm²
+	// at m=3, 130 nm pitch), so δ_eff = β².
+	d, err := Case2Delta(1.2, 3, 130, 50700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 1.43 || d > 1.45 {
+		t.Errorf("β=1.2 δ = %g, want β²=1.44", d)
+	}
+	d, err = Case2Delta(2.0, 3, 130, 50700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 3.99 || d > 4.01 {
+		t.Errorf("β=2 δ = %g, want 4", d)
+	}
+	// A cell bigger than the via limit stays at δ=1 for small β.
+	d, err = Case2Delta(1.2, 3, 130, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("FET-limited cell at β=1.2: δ = %g, want 1", d)
+	}
+	if _, err := Case2Delta(0.5, 3, 130, 50700); err == nil {
+		t.Error("β<1 should fail")
+	}
+	if _, err := Case2Delta(1.5, 0, 130, 50700); err == nil {
+		t.Error("zero vias should fail")
+	}
+}
+
+func TestObservation8ViaPitchCurve(t *testing.T) {
+	// Obs. 8: β ≤ 1.3 free; β ≥ 1.6-2 erodes benefits substantially.
+	p := caseParams()
+	a := caseArea()
+	loads := resnetLikeLoads()
+	cellArea := 50700.0
+	pitch := 130.0
+
+	at := func(beta float64) float64 {
+		r, _, err := Case2Benefit(p, a, loads, beta, 3, pitch, cellArea)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.EDPBenefit
+	}
+	b10, b13, b16 := at(1.0), at(1.3), at(1.6)
+	if b13 < 0.9*b10 {
+		t.Errorf("β=1.3 benefit %.2f should be ≈ β=1 benefit %.2f (Obs. 8)", b13, b10)
+	}
+	if b16 >= 0.7*b10 {
+		t.Errorf("β=1.6 benefit %.2f should clearly erode vs %.2f (Obs. 8)", b16, b10)
+	}
+}
+
+func TestObservation9InterleavedTiers(t *testing.T) {
+	// Obs. 9: one extra compute+memory pair raises the benefit, then it
+	// plateaus as N exceeds the workload's partitionability.
+	p := caseParams()
+	a := caseArea()
+	loads := resnetLikeLoads()
+
+	at := func(y int) float64 {
+		r, _, err := Case3Benefit(p, a, loads, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.EDPBenefit
+	}
+	b1, b2, b4, b8 := at(1), at(2), at(4), at(8)
+	if b2 <= b1 {
+		t.Errorf("Y=2 (%.2f) should beat Y=1 (%.2f)", b2, b1)
+	}
+	// Plateau: Y=8 gains little over Y=4.
+	if b8 > 1.25*b4 {
+		t.Errorf("benefit should plateau: Y=4 %.2f vs Y=8 %.2f", b4, b8)
+	}
+	if _, _, err := Case3Benefit(p, a, loads, 0); err == nil {
+		t.Error("Y=0 should fail")
+	}
+}
+
+func TestCase3HighlyParallelLayer(t *testing.T) {
+	// Obs. 9's aside: a highly parallelizable layer (L4.1-like, N#=32)
+	// approaches a much higher plateau (~23x in the paper).
+	p := caseParams()
+	a := caseArea()
+	layer := []Load{{F0: 410e6, D0: 0.4e6, NPart: 32}}
+	r, _, err := Case3Benefit(p, a, layer, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EDPBenefit < 15 {
+		t.Errorf("highly parallel layer at Y=4 = %.1fx, want ≥15x (paper ≈23x)", r.EDPBenefit)
+	}
+}
+
+func TestFig8SweepShape(t *testing.T) {
+	p := caseParams()
+	// Compute-bound load (16 ops/bit).
+	w := Load{F0: 16e6, D0: 1e6, NPart: 64}
+	pts, err := SweepBandwidthCS(p, w, []int{1, 2, 4, 8}, []float64{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 16 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	get := func(n int, b float64) float64 {
+		for _, pt := range pts {
+			if pt.NumCS == n && pt.BWScale == b {
+				return pt.EDPBenefit
+			}
+		}
+		t.Fatalf("missing point %d/%g", n, b)
+		return 0
+	}
+	// Compute-bound: more CSs help (at matching bandwidth).
+	if get(8, 8) <= get(2, 8) {
+		t.Error("compute-bound: 8 CS should beat 2 CS")
+	}
+	// More bandwidth alone doesn't help a compute-bound load.
+	if get(1, 8) > get(1, 1)*1.05 {
+		t.Error("compute-bound: bandwidth alone should not help")
+	}
+	if _, err := SweepBandwidthCS(p, w, []int{0}, []float64{1}); err == nil {
+		t.Error("zero CS should fail")
+	}
+	if _, err := SweepBandwidthCS(p, w, []int{1}, []float64{0}); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+}
+
+func TestCase1MonotoneGeometryProperty(t *testing.T) {
+	a := caseArea()
+	f := func(raw uint8) bool {
+		d1 := 1 + float64(raw)/64.0
+		d2 := d1 + 0.3
+		g1, err1 := a.Case1(d1)
+		g2, err2 := a.Case1(d2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return g2.Footprint >= g1.Footprint && g2.N3D >= g1.N3D && g2.N2DNew >= g1.N2DNew
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeltaStarMatchesSweep(t *testing.T) {
+	a := caseArea()
+	// δ*₂ is where the grown 2D baseline first reaches 2 CSs; the Case 1
+	// geometry must agree on both sides of it.
+	d2, err := a.DeltaStar(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= 1.5 || d2 >= 2.0 {
+		t.Errorf("δ*₂ = %.3f, expected in (1.5, 2) for the case-study areas", d2)
+	}
+	below, err := a.Case1(d2 - 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	above, err := a.Case1(d2 + 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below.N2DNew != 1 {
+		t.Errorf("just below δ*₂ the baseline should still have 1 CS, got %d", below.N2DNew)
+	}
+	if above.N2DNew < 2 {
+		t.Errorf("just above δ*₂ the baseline should have 2 CSs, got %d", above.N2DNew)
+	}
+}
+
+func TestDeltaStarClampsAtOne(t *testing.T) {
+	// A tiny memory next to a huge CS: any δ ≥ 1 already exceeds the
+	// threshold, so δ* clamps at 1.
+	a := AreaModel{ACS: 100, ACells: 1, APerif: 1, ABusIO: 1}
+	d, err := a.DeltaStar(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 1 {
+		t.Errorf("δ* = %g must be ≥ 1", d)
+	}
+}
+
+func TestDeltaStarValidation(t *testing.T) {
+	if _, err := caseArea().DeltaStar(0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := (AreaModel{}).DeltaStar(1); err == nil {
+		t.Error("empty model should fail")
+	}
+}
+
+func TestBetaStarIsSqrtDeltaStar(t *testing.T) {
+	a := caseArea()
+	d, err := a.DeltaStar(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.BetaStar(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b*b-d) > 1e-12 {
+		t.Errorf("β*² = %g != δ* = %g", b*b, d)
+	}
+	// The paper's Obs. 8 threshold: β* ≈ 1.3 with the case-study areas.
+	if b < 1.2 || b > 1.45 {
+		t.Errorf("β*₂ = %.3f, expected ≈1.3 (Obs. 8)", b)
+	}
+}
+
+func TestBalanceBandwidth(t *testing.T) {
+	p := caseParams()
+	w := Load{F0: 16e6, D0: 1e6, NPart: 64}
+	b, err := BalanceBandwidth(p, w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At exactly B = b, memory time equals compute time.
+	mem := w.D0 * 8 / b
+	cmp := w.F0 / (8 * p.PPeak)
+	if math.Abs(mem-cmp)/cmp > 1e-9 {
+		t.Errorf("balance point wrong: mem %g vs compute %g", mem, cmp)
+	}
+	// Below balance: memory bound; above: compute bound.
+	pLow := p
+	pLow.N = 8
+	pLow.B3D = b * 0.5
+	if T3D(pLow, w) <= cmp {
+		t.Error("below balance the load should be memory bound")
+	}
+	pHigh := p
+	pHigh.N = 8
+	pHigh.B3D = b * 2
+	if T3D(pHigh, w) != cmp {
+		t.Error("above balance the load should be compute bound")
+	}
+	if _, err := BalanceBandwidth(p, Load{}, 1); err == nil {
+		t.Error("empty load should fail")
+	}
+	if _, err := BalanceBandwidth(p, w, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestOpsPerBitPivot(t *testing.T) {
+	p := caseParams()
+	pivot, err := OpsPerBitPivot(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pivot != p.PPeak/p.B2D {
+		t.Errorf("pivot = %g", pivot)
+	}
+	// A load at the pivot has equal compute and memory time in 2D.
+	w := Load{F0: pivot * 1e6, D0: 1e6, NPart: 1}
+	if math.Abs(w.F0/p.PPeak-w.D0/p.B2D) > 1e-9 {
+		t.Error("pivot load not balanced")
+	}
+	bad := p
+	bad.B2D = 0
+	if _, err := OpsPerBitPivot(bad); err == nil {
+		t.Error("invalid params should fail")
+	}
+}

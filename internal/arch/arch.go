@@ -1,0 +1,320 @@
+// Package arch models the AI accelerator architectures the paper studies:
+// the case-study computing sub-system (a 16×16 weight-stationary systolic
+// array backed by banked on-chip RRAM, Sec. II) and the six Table II
+// architecture presets. It provides the per-layer cost model (cycles and
+// energy) used as the "architectural simulation to determine the AI/ML
+// workload cycle count" in the flow's system-level EDP assessment.
+package arch
+
+import (
+	"fmt"
+
+	"m3d/internal/workload"
+)
+
+// Spatial is the PE-array spatial unrolling of Table II: how many output
+// channels (K), input channels (C), and output pixels (OX, OY) are computed
+// in parallel each cycle. Dimensions of 1 mean no unrolling.
+type Spatial struct {
+	K, C, OX, OY int
+}
+
+// PEs returns the processing-element count (MACs per cycle at full
+// utilization — the paper's P_peak).
+func (s Spatial) PEs() int { return s.K * s.C * s.OX * s.OY }
+
+// Energy holds the accelerator's energy model parameters.
+type Energy struct {
+	// MACJ is energy per multiply-accumulate including pipeline registers.
+	MACJ float64
+	// RRAMReadJPerBit is on-chip RRAM read energy (cell + peripherals).
+	RRAMReadJPerBit float64
+	// SRAMJPerBit is buffer access energy.
+	SRAMJPerBit float64
+	// CSIdleJPerCycle is the idle (clock + leakage) energy of one CS per
+	// cycle — the paper's E_C^idle.
+	CSIdleJPerCycle float64
+	// MemIdleJPerCycle is the memory system idle energy per cycle — the
+	// paper's E_M^idle (small for non-volatile RRAM).
+	MemIdleJPerCycle float64
+}
+
+// MemHier describes the SRAM buffer hierarchy (Table II columns).
+type MemHier struct {
+	RegPerPEBits int
+	LocalKB      float64
+	GlobalMB     float64
+}
+
+// Dataflow selects the stationary operand of the CS (Sec. II uses weight
+// stationary, "which has high utilization on AI/ML workloads").
+type Dataflow int
+
+const (
+	// WeightStationaryFlow keeps weights pinned in the PEs: each weight is
+	// read from RRAM once; activations and partial sums stream.
+	WeightStationaryFlow Dataflow = iota
+	// OutputStationaryFlow keeps output accumulators pinned: weights are
+	// re-streamed from RRAM for every output-pixel tile pass.
+	OutputStationaryFlow
+)
+
+// String names the dataflow.
+func (d Dataflow) String() string {
+	if d == OutputStationaryFlow {
+		return "output-stationary"
+	}
+	return "weight-stationary"
+}
+
+// Accel is a complete accelerator configuration: N computing sub-systems
+// sharing a banked on-chip RRAM.
+type Accel struct {
+	Name string
+	// CS spatial organization (identical for every parallel CS).
+	CS Spatial
+	// Dataflow is the CS's stationary operand (default weight-stationary).
+	Dataflow Dataflow
+	// FillCycles is the systolic fill/drain overhead per K-tile pass.
+	FillCycles int
+	// NumCS is N: parallel computing sub-systems (1 in the 2D baseline).
+	NumCS int
+
+	// ActBits / WeightBits are the datapath precisions.
+	ActBits, WeightBits int
+
+	// RRAMCapBits is total on-chip RRAM (iso across 2D/M3D comparisons).
+	RRAMCapBits int64
+	// Banks × BankWordBits/cycle is the total RRAM bandwidth B; per-CS
+	// bandwidth is B/NumCS (the paper's equal partition).
+	Banks        int
+	BankWordBits int
+
+	// ActBWBitsPerCycle is the activation streaming bandwidth per CS from
+	// the buffer hierarchy.
+	ActBWBitsPerCycle float64
+
+	Mem    MemHier
+	Energy Energy
+	// ClockHz converts cycles to time.
+	ClockHz float64
+}
+
+// Validate checks the configuration.
+func (a *Accel) Validate() error {
+	if a.CS.PEs() <= 0 {
+		return fmt.Errorf("arch: %s has no PEs", a.Name)
+	}
+	if a.NumCS <= 0 {
+		return fmt.Errorf("arch: %s needs at least one CS", a.Name)
+	}
+	if a.Banks <= 0 || a.BankWordBits <= 0 {
+		return fmt.Errorf("arch: %s needs banked RRAM bandwidth", a.Name)
+	}
+	if a.ActBits <= 0 || a.WeightBits <= 0 {
+		return fmt.Errorf("arch: %s needs positive precisions", a.Name)
+	}
+	if a.ActBWBitsPerCycle <= 0 {
+		return fmt.Errorf("arch: %s needs activation bandwidth", a.Name)
+	}
+	if a.ClockHz <= 0 {
+		return fmt.Errorf("arch: %s needs a clock", a.Name)
+	}
+	return nil
+}
+
+// TotalRRAMBWBitsPerCycle is B (total memory bandwidth per cycle).
+func (a *Accel) TotalRRAMBWBitsPerCycle() float64 {
+	return float64(a.Banks * a.BankWordBits)
+}
+
+// PPeak is the per-CS peak MACs per cycle.
+func (a *Accel) PPeak() int { return a.CS.PEs() }
+
+// AccBitsOrDefault returns the accumulator precision: wide enough for the
+// products plus headroom for deep reductions.
+func (a *Accel) AccBitsOrDefault() int { return a.ActBits + a.WeightBits + 8 }
+
+// Bound labels what limits a layer's runtime.
+type Bound string
+
+// Bound values.
+const (
+	ComputeBound Bound = "compute"
+	WeightBound  Bound = "weight-bw"
+	ActBound     Bound = "act-bw"
+)
+
+// LayerCost is the per-layer evaluation result.
+type LayerCost struct {
+	Layer workload.Layer
+	// Cycles is the layer runtime (max of the three components).
+	Cycles int64
+	// ComputeCycles / WeightCycles / ActCycles are the roofline components.
+	ComputeCycles, WeightCycles, ActCycles int64
+	// EnergyJ is total energy (compute + memory + idle).
+	EnergyJ float64
+	// Nmax is the number of CSs the layer can use (min(N#, N)).
+	Nmax int
+	// NPartitions is N#: the layer's maximum parallel partitions.
+	NPartitions int
+	// Bound labels the limiting resource.
+	Bound Bound
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// EvalLayer runs the architectural cost model on one layer.
+//
+// Compute: the layer's loop nest maps onto the CS spatial dims with ceiling
+// rounding (under-utilization on ragged edges), plus a systolic fill
+// overhead per K-tile. Output-channel tiles are the unit of parallelism
+// across CSs (the paper's N# workload partitions).
+//
+// Memory: weights stream from the CS's RRAM bank share; activations stream
+// through the buffer hierarchy at ActBWBitsPerCycle. Input activations are
+// replicated across the CSs sharing a layer (each computes different output
+// channels of the same inputs); outputs are partitioned.
+func (a *Accel) EvalLayer(l workload.Layer) LayerCost {
+	groups := int64(1)
+	if l.Groups > 1 {
+		groups = int64(l.Groups)
+	}
+	tilesK := ceilDiv(int64(l.K), int64(a.CS.K))
+	// Grouped convolutions reduce each output channel's input fan-in to
+	// C/groups; a C-spatial array is under-utilized accordingly.
+	tilesC := ceilDiv(int64(l.C)/groups, int64(a.CS.C))
+	tilesOX := ceilDiv(int64(l.OX), int64(a.CS.OX))
+	tilesOY := ceilDiv(int64(l.OY), int64(a.CS.OY))
+
+	nPart := int(tilesK)
+	nmax := a.NumCS
+	if nPart < nmax {
+		nmax = nPart
+	}
+
+	kTilesPerCS := ceilDiv(tilesK, int64(nmax))
+	passCycles := tilesC * tilesOX * tilesOY * int64(l.R) * int64(l.S)
+	compute := kTilesPerCS * (passCycles + int64(a.FillCycles))
+
+	// Weight streaming: each CS reads its K-slice of weights from its own
+	// bank share. Output-stationary re-fetches weights once per
+	// output-pixel tile pass.
+	weightBits := l.Weights() * int64(a.WeightBits)
+	if a.Dataflow == OutputStationaryFlow {
+		weightBits *= tilesOX * tilesOY
+	}
+	perCSBankBW := a.TotalRRAMBWBitsPerCycle() / float64(a.NumCS)
+	weightCyc := int64(float64(weightBits) / float64(nmax) / perCSBankBW)
+
+	// Activation streaming: inputs replicated, outputs partitioned.
+	// Partial sums accumulate in the local buffers in both dataflows, so
+	// each output crosses the global stream once.
+	inBits := l.InputActs() * int64(a.ActBits)
+	outBits := l.OutputActs() * int64(a.ActBits)
+	actCyc := int64((float64(inBits) + float64(outBits)/float64(nmax)) / a.ActBWBitsPerCycle)
+
+	cycles := compute
+	bound := ComputeBound
+	if weightCyc > cycles {
+		cycles = weightCyc
+		bound = WeightBound
+	}
+	if actCyc > cycles {
+		cycles = actCyc
+		bound = ActBound
+	}
+
+	e := a.Energy
+	energy := float64(l.MACs()) * e.MACJ
+	energy += float64(weightBits) * e.RRAMReadJPerBit
+	// Buffer traffic energy: inputs once, outputs once (broadcast energy
+	// charged once; replication is a bandwidth cost, not an energy copy).
+	energy += (float64(inBits) + float64(outBits)) * e.SRAMJPerBit
+	// Idle energy: fully idle CSs all run, active CSs idle off the compute
+	// phase, memory idles off the weight-streaming phase (Eqs. 6-7).
+	energy += float64(a.NumCS-nmax) * float64(cycles) * e.CSIdleJPerCycle
+	energy += float64(nmax) * float64(cycles-compute) * e.CSIdleJPerCycle
+	energy += float64(cycles-weightCyc) * e.MemIdleJPerCycle
+
+	return LayerCost{
+		Layer:         l,
+		Cycles:        cycles,
+		ComputeCycles: compute,
+		WeightCycles:  weightCyc,
+		ActCycles:     actCyc,
+		EnergyJ:       energy,
+		Nmax:          nmax,
+		NPartitions:   nPart,
+		Bound:         bound,
+	}
+}
+
+// ModelCost aggregates EvalLayer over a model.
+type ModelCost struct {
+	Model   string
+	Layers  []LayerCost
+	Cycles  int64
+	EnergyJ float64
+	// TimeS is Cycles / ClockHz.
+	TimeS float64
+}
+
+// EDP returns the energy-delay product (J·s).
+func (m ModelCost) EDP() float64 { return m.EnergyJ * m.TimeS }
+
+// BoundBreakdown returns the fraction of runtime spent in layers limited
+// by each resource — the roofline diagnosis behind Table I's banding.
+func (m ModelCost) BoundBreakdown() map[Bound]float64 {
+	out := map[Bound]float64{}
+	if m.Cycles == 0 {
+		return out
+	}
+	for _, lc := range m.Layers {
+		out[lc.Bound] += float64(lc.Cycles) / float64(m.Cycles)
+	}
+	return out
+}
+
+// EvalModel evaluates all layers of a model.
+func (a *Accel) EvalModel(m workload.Model) (ModelCost, error) {
+	if err := a.Validate(); err != nil {
+		return ModelCost{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return ModelCost{}, err
+	}
+	out := ModelCost{Model: m.Name}
+	for _, l := range m.Layers {
+		c := a.EvalLayer(l)
+		out.Layers = append(out.Layers, c)
+		out.Cycles += c.Cycles
+		out.EnergyJ += c.EnergyJ
+	}
+	out.TimeS = float64(out.Cycles) / a.ClockHz
+	return out, nil
+}
+
+// Benefit compares this accelerator against a baseline on a model,
+// returning (speedup, energyRatio, edpBenefit) — the paper's Fig. 5 /
+// Table I quantities (baseline ÷ this for speedup and EDP; energyRatio is
+// baseline energy ÷ this energy, so >1 means this uses less energy).
+func (a *Accel) Benefit(baseline *Accel, m workload.Model) (speedup, energyRatio, edp float64, err error) {
+	mine, err := a.EvalModel(m)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	base, err := baseline.EvalModel(m)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	speedup = base.TimeS / mine.TimeS
+	energyRatio = base.EnergyJ / mine.EnergyJ
+	edp = base.EDP() / mine.EDP()
+	return speedup, energyRatio, edp, nil
+}

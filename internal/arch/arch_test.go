@@ -1,0 +1,330 @@
+package arch
+
+import (
+	"testing"
+
+	"m3d/internal/workload"
+)
+
+func TestCaseStudyPresetsValidate(t *testing.T) {
+	for _, a := range []*Accel{CaseStudy2D(), CaseStudy3D()} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	a2, a3 := CaseStudy2D(), CaseStudy3D()
+	if a3.NumCS != 8 || a3.Banks != 8 {
+		t.Errorf("M3D preset must have 8 CS / 8 banks, got %d/%d", a3.NumCS, a3.Banks)
+	}
+	// Iso-memory capacity.
+	if a2.RRAMCapBits != a3.RRAMCapBits {
+		t.Error("2D and M3D presets must be iso-on-chip-memory-capacity")
+	}
+	// 8× total bandwidth, equal per-CS bandwidth.
+	if a3.TotalRRAMBWBitsPerCycle() != 8*a2.TotalRRAMBWBitsPerCycle() {
+		t.Error("M3D must have 8x total bandwidth")
+	}
+}
+
+func TestPPeak(t *testing.T) {
+	if got := CaseStudy2D().PPeak(); got != 256 {
+		t.Errorf("case-study P_peak = %d, want 256 (16x16)", got)
+	}
+}
+
+func TestEvalLayerComputeBoundConv(t *testing.T) {
+	a := CaseStudy2D()
+	l := workload.ResNet18().Layers[1] // L1.0 CONV1
+	c := a.EvalLayer(l)
+	if c.Bound != ComputeBound {
+		t.Errorf("L1 conv should be compute bound in 2D, got %s", c.Bound)
+	}
+	// F0/P_peak = 115.6M/256 ≈ 451.6k cycles (plus fill).
+	if c.Cycles < 450_000 || c.Cycles > 460_000 {
+		t.Errorf("L1 conv cycles = %d, want ≈452k", c.Cycles)
+	}
+	if c.NPartitions != 4 { // K=64 / 16
+		t.Errorf("N# = %d, want 4", c.NPartitions)
+	}
+}
+
+func TestTableIBanding(t *testing.T) {
+	// The paper's Table I banding: L1 convs ≈3.7x (N#=4), L2+ convs
+	// ≈7.4-7.9x, DS layers lowest, total ≈5.66x.
+	a2, a3 := CaseStudy2D(), CaseStudy3D()
+	m := workload.ResNet18()
+	speedup := func(name string) float64 {
+		for _, l := range m.Layers {
+			if l.Name == name {
+				return float64(a2.EvalLayer(l).Cycles) / float64(a3.EvalLayer(l).Cycles)
+			}
+		}
+		t.Fatalf("layer %q missing", name)
+		return 0
+	}
+	l1 := speedup("L1.0 CONV1")
+	if l1 < 3.3 || l1 > 4.3 {
+		t.Errorf("L1 conv speedup = %.2f, want ≈3.7-4 (paper 3.72)", l1)
+	}
+	l4 := speedup("L4.1 CONV2")
+	if l4 < 7.0 || l4 > 8.2 {
+		t.Errorf("L4 conv speedup = %.2f, want ≈7.8 (paper 7.83)", l4)
+	}
+	dsl := speedup("L2.0 DS")
+	if dsl < 2.0 || dsl > 3.5 {
+		t.Errorf("L2 DS speedup = %.2f, want ≈2.6 (paper 2.57)", dsl)
+	}
+	// DS layers must trail their stage's conv layers.
+	if dsl >= speedup("L2.0 CONV2") {
+		t.Error("DS must be slower to accelerate than convs")
+	}
+}
+
+func TestCaseStudyTotalBenefit(t *testing.T) {
+	// Paper: 5.64x speedup, 0.99x energy, 5.66x EDP on ResNet-18.
+	sp, er, edp, err := CaseStudy3D().Benefit(CaseStudy2D(), workload.ResNet18())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 4.8 || sp > 6.5 {
+		t.Errorf("total speedup = %.2f, want ≈5.6 (paper 5.64)", sp)
+	}
+	if er < 0.93 || er > 1.03 {
+		t.Errorf("energy ratio = %.3f, want ≈0.99", er)
+	}
+	if edp < 4.6 || edp > 6.6 {
+		t.Errorf("EDP benefit = %.2f, want ≈5.66", edp)
+	}
+}
+
+func TestFig5RangeAcrossModels(t *testing.T) {
+	// Paper Fig. 5: 5.7x-7.5x speedup and EDP across AlexNet/VGG/ResNets
+	// at ≈0.99x energy. Our shape target: every model lands in ≈[4.5, 8.5]
+	// with energy ratio near 1.
+	a2, a3 := CaseStudy2D(), CaseStudy3D()
+	for _, m := range workload.Zoo() {
+		sp, er, edp, err := a3.Benefit(a2, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if sp < 4.0 || sp > 8.5 {
+			t.Errorf("%s: speedup %.2f outside the Fig. 5 band", m.Name, sp)
+		}
+		if er < 0.9 || er > 1.05 {
+			t.Errorf("%s: energy ratio %.3f should be ≈0.99", m.Name, er)
+		}
+		if edp < 3.8 || edp > 9.0 {
+			t.Errorf("%s: EDP benefit %.2f outside the Fig. 5 band", m.Name, edp)
+		}
+	}
+}
+
+func TestMoreCSHelpsUntilPartitionLimit(t *testing.T) {
+	// A K=64 layer partitions 4 ways on a 16-wide array: N=4 and N=8 give
+	// the same compute time.
+	l := workload.ResNet18().Layers[1]
+	base := CaseStudy2D()
+	c4 := base.WithParallelCS(4).EvalLayer(l)
+	c8 := base.WithParallelCS(8).EvalLayer(l)
+	if c4.ComputeCycles != c8.ComputeCycles {
+		t.Errorf("beyond N#, compute time must not improve: %d vs %d", c4.ComputeCycles, c8.ComputeCycles)
+	}
+	if c8.Nmax != 4 {
+		t.Errorf("Nmax = %d, want 4", c8.Nmax)
+	}
+}
+
+func TestIdleEnergyGrowsWithUnusedCS(t *testing.T) {
+	l := workload.ResNet18().Layers[1] // N# = 4
+	e8 := CaseStudy2D().WithParallelCS(8).EvalLayer(l).EnergyJ
+	e4 := CaseStudy2D().WithParallelCS(4).EvalLayer(l).EnergyJ
+	if e8 <= e4 {
+		t.Errorf("idle CSs must cost energy: E(8)=%g <= E(4)=%g", e8, e4)
+	}
+}
+
+func TestWithBandwidthScale(t *testing.T) {
+	a := CaseStudy2D().WithBandwidthScale(2)
+	if a.BankWordBits != 512 {
+		t.Errorf("word bits = %d, want 512", a.BankWordBits)
+	}
+	// FC layers are weight-bandwidth bound; doubling bandwidth halves time.
+	fcl := workload.ResNet18().Layers[20]
+	if fcl.Type != workload.FC {
+		t.Fatal("layer 20 should be FC")
+	}
+	c1 := CaseStudy2D().EvalLayer(fcl)
+	c2 := a.EvalLayer(fcl)
+	if c1.Bound != WeightBound {
+		t.Fatalf("FC should be weight bound, got %s", c1.Bound)
+	}
+	ratio := float64(c1.Cycles) / float64(c2.Cycles)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("2x bandwidth should ≈halve FC time, got %.2fx", ratio)
+	}
+}
+
+func TestTableIIPresets(t *testing.T) {
+	all := AllTableII()
+	if len(all) != 6 {
+		t.Fatalf("presets = %d", len(all))
+	}
+	for i, a := range all {
+		if err := a.Validate(); err != nil {
+			t.Errorf("Arch%d: %v", i+1, err)
+		}
+		if a.PPeak() != 1024 {
+			t.Errorf("Arch%d: PEs = %d, want 1024 (normalized)", i+1, a.PPeak())
+		}
+		if a.RRAMCapBits != int64(256)<<23 {
+			t.Errorf("Arch%d: RRAM = %d, want 256MB", i+1, a.RRAMCapBits)
+		}
+	}
+	if _, err := TableII(0); err == nil {
+		t.Error("arch 0 should fail")
+	}
+	if _, err := TableII(7); err == nil {
+		t.Error("arch 7 should fail")
+	}
+}
+
+func TestTableIIBenefitsSpread(t *testing.T) {
+	// Fig. 7: EDP benefits 5.3x-11.5x across architectures on AlexNet.
+	// Shape target: all in [3, 14] and a meaningful spread (max/min > 1.3).
+	alex := workload.AlexNet()
+	minB, maxB := 1e18, 0.0
+	for i, a := range AllTableII() {
+		m3d := a.WithParallelCS(8)
+		_, _, edp, err := m3d.Benefit(a, alex)
+		if err != nil {
+			t.Fatalf("Arch%d: %v", i+1, err)
+		}
+		if edp < 2.5 || edp > 15 {
+			t.Errorf("Arch%d EDP benefit %.2f outside plausible Fig. 7 band", i+1, edp)
+		}
+		if edp < minB {
+			minB = edp
+		}
+		if edp > maxB {
+			maxB = edp
+		}
+	}
+	if maxB/minB < 1.2 {
+		t.Errorf("architectures should spread: min %.2f max %.2f", minB, maxB)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mods := []func(*Accel){
+		func(a *Accel) { a.CS.K = 0 },
+		func(a *Accel) { a.NumCS = 0 },
+		func(a *Accel) { a.Banks = 0 },
+		func(a *Accel) { a.ActBits = 0 },
+		func(a *Accel) { a.ActBWBitsPerCycle = 0 },
+		func(a *Accel) { a.ClockHz = 0 },
+	}
+	for i, mod := range mods {
+		a := CaseStudy2D()
+		mod(a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d not caught", i)
+		}
+	}
+}
+
+func TestEvalModelAggregates(t *testing.T) {
+	a := CaseStudy2D()
+	m := workload.ResNet18()
+	mc, err := a.EvalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Layers) != len(m.Layers) {
+		t.Fatal("layer costs missing")
+	}
+	var cyc int64
+	var e float64
+	for _, lc := range mc.Layers {
+		cyc += lc.Cycles
+		e += lc.EnergyJ
+	}
+	if cyc != mc.Cycles || e != mc.EnergyJ {
+		t.Error("aggregation mismatch")
+	}
+	if mc.TimeS <= 0 || mc.EDP() <= 0 {
+		t.Error("time/EDP must be positive")
+	}
+}
+
+func TestDataflowAblation(t *testing.T) {
+	// The paper picks weight-stationary for its high utilization; on a
+	// conv workload the OS variant re-streams weights every output tile
+	// and must lose on energy (more RRAM reads) without a speed win.
+	ws := CaseStudy2D()
+	os := CaseStudy2D()
+	os.Dataflow = OutputStationaryFlow
+	m := workload.ResNet18()
+	cws, err := ws.EvalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cos, err := os.EvalModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cos.EnergyJ <= cws.EnergyJ {
+		t.Errorf("OS should burn more RRAM energy on convs: WS %g vs OS %g", cws.EnergyJ, cos.EnergyJ)
+	}
+	if cos.Cycles < cws.Cycles {
+		t.Errorf("OS should not be faster here: WS %d vs OS %d cycles", cws.Cycles, cos.Cycles)
+	}
+	if WeightStationaryFlow.String() == OutputStationaryFlow.String() {
+		t.Error("dataflow names must differ")
+	}
+}
+
+func TestDepthwiseUnderutilization(t *testing.T) {
+	// A depthwise layer uses one input channel per output: a 16-row
+	// C-spatial array runs at ~1/16 utilization, so cycles shrink far less
+	// than MACs.
+	a := CaseStudy2D()
+	dense := workload.Layer{Name: "d", Type: workload.Conv, K: 64, C: 64, R: 3, S: 3, OX: 28, OY: 28, Stride: 1}
+	dw := dense
+	dw.Groups = 64
+	cd := a.EvalLayer(dense)
+	cw := a.EvalLayer(dw)
+	macRatio := float64(dense.MACs()) / float64(dw.MACs()) // 64
+	cycRatio := float64(cd.ComputeCycles) / float64(cw.ComputeCycles)
+	if cycRatio > macRatio/10 {
+		t.Errorf("depthwise should be badly utilized: MACs 64x fewer but cycles only %.1fx fewer", cycRatio)
+	}
+}
+
+func TestBoundBreakdown(t *testing.T) {
+	a := CaseStudy2D()
+	mc, err := a.EvalModel(workload.ResNet18())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := mc.BoundBreakdown()
+	var sum float64
+	for _, f := range bb {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("bound fractions sum to %g, want 1", sum)
+	}
+	// The 2D baseline is overwhelmingly compute bound (Table I's premise).
+	if bb[ComputeBound] < 0.9 {
+		t.Errorf("2D compute-bound fraction = %.2f, want > 0.9", bb[ComputeBound])
+	}
+	// The M3D design shifts time toward the memory/activation roofline.
+	mc3, err := CaseStudy3D().EvalModel(workload.ResNet18())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb3 := mc3.BoundBreakdown()
+	if bb3[ActBound]+bb3[WeightBound] <= bb[ActBound]+bb[WeightBound] {
+		t.Error("M3D should spend relatively more time memory-bound")
+	}
+}

@@ -1,0 +1,151 @@
+package arch
+
+import "fmt"
+
+// Energy and bandwidth calibration for the 130 nm case study. ActBW is the
+// per-CS activation streaming bandwidth through the buffer hierarchy,
+// calibrated so the ResNet-18 per-layer speedup banding reproduces the
+// paper's Table I (conv layers compute-bound, DS layers activation-bound).
+const (
+	caseStudyActBW = 168.0 // bits per cycle per CS
+	caseStudyClock = 20e6  // the paper's relaxed 20 MHz target
+
+	macJ      = 3.0e-12  // 8×16-bit MAC at 130 nm, 1.2 V
+	rramReadJ = 0.64e-12 // per bit, cell + peripherals
+	sramJ     = 0.05e-12 // per bit
+	csIdleJ   = 23e-12   // per CS per cycle (≈3% of active)
+	memIdleJ  = 1e-12    // per cycle (non-volatile RRAM)
+)
+
+// MB64 is the case-study on-chip RRAM capacity in bits.
+const MB64 = int64(64) << 23
+
+// defaultEnergy returns the calibrated energy model.
+func defaultEnergy() Energy {
+	return Energy{
+		MACJ:             macJ,
+		RRAMReadJPerBit:  rramReadJ,
+		SRAMJPerBit:      sramJ,
+		CSIdleJPerCycle:  csIdleJ,
+		MemIdleJPerCycle: memIdleJ,
+	}
+}
+
+// CaseStudy2D returns the paper's Sec. II baseline: one 16×16
+// weight-stationary systolic CS next to 64 MB of on-chip RRAM in a single
+// bank (Fig. 2a-b).
+func CaseStudy2D() *Accel {
+	return &Accel{
+		Name:              "case-study-2D",
+		CS:                Spatial{K: 16, C: 16, OX: 1, OY: 1},
+		FillCycles:        32,
+		NumCS:             1,
+		ActBits:           8,
+		WeightBits:        8,
+		RRAMCapBits:       MB64,
+		Banks:             1,
+		BankWordBits:      256,
+		ActBWBitsPerCycle: caseStudyActBW,
+		Mem:               MemHier{RegPerPEBits: 24, LocalKB: 64, GlobalMB: 0.5},
+		Energy:            defaultEnergy(),
+		ClockHz:           caseStudyClock,
+	}
+}
+
+// CaseStudy3D returns the paper's iso-footprint, iso-on-chip-memory M3D
+// design point: 8 parallel CSs, RRAM partitioned into 8 banks for 8× total
+// bandwidth (Fig. 2c-d). Per-CS bandwidth equals the 2D baseline.
+func CaseStudy3D() *Accel {
+	a := CaseStudy2D()
+	a.Name = "case-study-M3D"
+	return a.WithParallelCS(8)
+}
+
+// WithParallelCS returns a copy reconfigured to n parallel CSs with the
+// RRAM partitioned into n× the banks (total bandwidth scales by
+// n/previous-n; per-CS bandwidth is unchanged). This is the M3D
+// architectural transformation of Sec. II.
+func (a *Accel) WithParallelCS(n int) *Accel {
+	if n <= 0 {
+		n = 1
+	}
+	out := *a
+	out.Banks = a.Banks * n / a.NumCS
+	if out.Banks < 1 {
+		out.Banks = 1
+	}
+	out.NumCS = n
+	out.Name = fmt.Sprintf("%s-x%d", a.Name, n)
+	return &out
+}
+
+// WithBandwidthScale returns a copy with the total RRAM bandwidth scaled by
+// f (by changing the bank word width), leaving the CS count alone — the
+// Fig. 8 second axis.
+func (a *Accel) WithBandwidthScale(f float64) *Accel {
+	out := *a
+	out.BankWordBits = int(float64(a.BankWordBits) * f)
+	if out.BankWordBits < 1 {
+		out.BankWordBits = 1
+	}
+	out.Name = fmt.Sprintf("%s-bw%.2g", a.Name, f)
+	return &out
+}
+
+// TableII returns the six accelerator architecture presets of the paper's
+// Table II (variants of popular AI accelerators [14-18] plus the Sec. II
+// design), normalized to 1024 PEs and 256 MB of on-chip RRAM. n is 1-based.
+func TableII(n int) (*Accel, error) {
+	base := func(name string, sp Spatial, mem MemHier) *Accel {
+		return &Accel{
+			Name:              name,
+			CS:                sp,
+			FillCycles:        sp.K + sp.C, // systolic-style fill
+			NumCS:             1,
+			ActBits:           8,
+			WeightBits:        8,
+			RRAMCapBits:       int64(256) << 23,
+			Banks:             1,
+			BankWordBits:      256,
+			ActBWBitsPerCycle: caseStudyActBW,
+			Mem:               mem,
+			Energy:            defaultEnergy(),
+			ClockHz:           caseStudyClock,
+		}
+	}
+	switch n {
+	case 1: // AR/VR codec-avatar style [14]
+		return base("Arch1", Spatial{K: 16, C: 16, OX: 2, OY: 2},
+			MemHier{RegPerPEBits: 24, LocalKB: 64 + 64 + 256, GlobalMB: 2}), nil
+	case 2: // TPU-style [15]
+		return base("Arch2", Spatial{K: 8, C: 8, OX: 4, OY: 4},
+			MemHier{RegPerPEBits: 24, LocalKB: 32, GlobalMB: 2}), nil
+	case 3: // Edge-TPU style [16]
+		return base("Arch3", Spatial{K: 32, C: 32, OX: 1, OY: 1},
+			MemHier{RegPerPEBits: (128 + 1024) * 8, LocalKB: 0, GlobalMB: 2}), nil
+	case 4: // Ascend style [17]
+		return base("Arch4", Spatial{K: 32, C: 2, OX: 4, OY: 4},
+			MemHier{RegPerPEBits: 24, LocalKB: 64 + 32, GlobalMB: 2}), nil
+	case 5: // FSD style [18]
+		return base("Arch5", Spatial{K: 32, C: 1, OX: 8, OY: 4},
+			MemHier{RegPerPEBits: 40, LocalKB: 2, GlobalMB: 2}), nil
+	case 6: // the Sec. II accelerator scaled to 1024 PEs
+		return base("Arch6", Spatial{K: 32, C: 32, OX: 1, OY: 1},
+			MemHier{RegPerPEBits: 26, LocalKB: 64, GlobalMB: 0.5}), nil
+	default:
+		return nil, fmt.Errorf("arch: Table II defines architectures 1-6, got %d", n)
+	}
+}
+
+// AllTableII returns the six presets in order.
+func AllTableII() []*Accel {
+	out := make([]*Accel, 0, 6)
+	for i := 1; i <= 6; i++ {
+		a, err := TableII(i)
+		if err != nil {
+			panic(err) // unreachable: 1..6 are defined
+		}
+		out = append(out, a)
+	}
+	return out
+}

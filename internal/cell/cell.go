@@ -1,0 +1,257 @@
+// Package cell provides the standard cell library for the M3D PDK. Cells
+// are characterized directly from the tech device models (a switch-level
+// RC characterization in the spirit of an NLDM .lib): each cell carries its
+// footprint in placement sites, pin capacitances, an effective drive
+// resistance, intrinsic delay, switching energy, and leakage power.
+//
+// Two library variants exist per PDK: the FEOL Si CMOS library and the BEOL
+// CNFET library (same cell set, weaker drive, used when the M3D flow places
+// logic or memory access devices on the upper tier).
+package cell
+
+import (
+	"fmt"
+	"sort"
+
+	"m3d/internal/tech"
+)
+
+// Kind enumerates the library cell functions.
+type Kind int
+
+// Library cell functions. DFF is the sequential element; the rest are
+// combinational.
+const (
+	Inv Kind = iota
+	Buf
+	Nand2
+	Nor2
+	And2
+	Or2
+	Xor2
+	Mux2
+	Aoi22
+	Maj3
+	HalfAdder
+	FullAdder
+	DFF
+	ClkBuf
+	TieHi
+	TieLo
+)
+
+var kindNames = map[Kind]string{
+	Inv: "INV", Buf: "BUF", Nand2: "NAND2", Nor2: "NOR2", And2: "AND2",
+	Or2: "OR2", Xor2: "XOR2", Mux2: "MUX2", Aoi22: "AOI22", Maj3: "MAJ3",
+	HalfAdder: "HA", FullAdder: "FA", DFF: "DFF", ClkBuf: "CLKBUF",
+	TieHi: "TIEHI", TieLo: "TIELO",
+}
+
+// String returns the library name of the cell function.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Cell is one characterized library cell at one drive strength.
+type Cell struct {
+	Name  string // e.g. "NAND2_X2"
+	Kind  Kind
+	Drive int       // drive strength multiplier (1, 2, 4, ...)
+	Tier  tech.Tier // implementing tier (SiCMOS or CNFET)
+
+	// Sites is the footprint width in placement sites; height is one row.
+	Sites int
+	// AreaNM2 is the cell area in nm².
+	AreaNM2 int64
+
+	// InputCapF is the capacitance of each input pin (F).
+	InputCapF float64
+	// NumInputs is the number of signal inputs (excluding clock).
+	NumInputs int
+	// Sequential marks flip-flops.
+	Sequential bool
+
+	// DriveResOhm is the effective output resistance (ohm).
+	DriveResOhm float64
+	// IntrinsicDelayS is the parasitic (unloaded) delay (s).
+	IntrinsicDelayS float64
+	// SwitchEnergyJ is the internal energy per output transition (J),
+	// excluding the load.
+	SwitchEnergyJ float64
+	// LeakageW is the static leakage power (W).
+	LeakageW float64
+
+	// SetupS/ClkQS apply to sequential cells.
+	SetupS float64
+	ClkQS  float64
+}
+
+// Delay returns the cell propagation delay (s) into a load of cLoad farads.
+func (c *Cell) Delay(cLoad float64) float64 {
+	return c.IntrinsicDelayS + 0.69*c.DriveResOhm*cLoad
+}
+
+// dimensioning of each cell function: equivalent min-size transistor pairs
+// (for area/cap/leakage) and logical effort style drive factor.
+type proto struct {
+	kind    Kind
+	txPairs float64 // transistor pairs at drive 1 (area + leakage proxy)
+	inCapX  float64 // input cap in units of min inverter input cap
+	effortR float64 // drive resistance relative to min inverter
+	parX    float64 // intrinsic delay in units of inverter FO1 delay
+	inputs  int
+	seq     bool
+}
+
+var protos = []proto{
+	{Inv, 1, 1.0, 1.0, 1.0, 1, false},
+	{Buf, 2, 1.0, 0.7, 2.0, 1, false},
+	{Nand2, 2, 1.33, 1.0, 1.5, 2, false},
+	{Nor2, 2, 1.67, 1.2, 1.6, 2, false},
+	{And2, 3, 1.33, 0.9, 2.2, 2, false},
+	{Or2, 3, 1.67, 1.0, 2.4, 2, false},
+	{Xor2, 5, 2.0, 1.4, 3.0, 2, false},
+	{Mux2, 5, 2.0, 1.3, 2.8, 3, false},
+	{Aoi22, 4, 1.6, 1.3, 2.2, 4, false},
+	{Maj3, 6, 1.8, 1.3, 2.6, 3, false},
+	{HalfAdder, 8, 2.0, 1.4, 3.5, 2, false},
+	{FullAdder, 14, 2.2, 1.5, 4.2, 3, false},
+	{DFF, 12, 1.4, 1.1, 3.0, 1, true},
+	{ClkBuf, 4, 1.2, 0.45, 2.0, 1, false},
+	{TieHi, 1, 0, 1e6, 0, 0, false},
+	{TieLo, 1, 0, 1e6, 0, 0, false},
+}
+
+// Library is a characterized cell library for one tier of one PDK.
+type Library struct {
+	Name  string
+	Tier  tech.Tier
+	PDK   *tech.PDK
+	cells map[string]*Cell
+}
+
+// drives are the strengths characterized for every cell function.
+var drives = []int{1, 2, 4, 8}
+
+// NewLibrary characterizes a library for the given tier of the PDK.
+// TierSiCMOS uses the Si FET; TierCNFET uses the (weaker) CNFET.
+func NewLibrary(p *tech.PDK, tier tech.Tier) (*Library, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("cell: invalid PDK: %w", err)
+	}
+	var fet tech.FET
+	switch tier {
+	case tech.TierSiCMOS:
+		fet = p.SiFET
+	case tech.TierCNFET:
+		fet = p.CNFET
+	default:
+		return nil, fmt.Errorf("cell: tier %v cannot host standard cells", tier)
+	}
+	lib := &Library{
+		Name:  fmt.Sprintf("%s_%s", p.Name, tier),
+		Tier:  tier,
+		PDK:   p,
+		cells: make(map[string]*Cell),
+	}
+
+	minW := fet.MinWidth
+	r0 := fet.EffectiveResistance(p.VDD, minW)
+	c0 := fet.GateCapF(minW) * 2 // P+N pair input cap
+	fo1 := 0.69 * r0 * c0        // FO1 inverter delay scale
+	// Area of one min transistor pair, snapped later to sites. The 5.3×
+	// factor is layout overhead (wells, contacts, intra-cell routing,
+	// pin access) typical of a 130 nm standard-cell template.
+	pairArea := 5.3 * 2 * float64(fet.FootprintNM2PerUm) * float64(minW) / 1000.0
+	leak0 := fet.IoffNAPerUm * (float64(minW) / 1000.0) * 1e-9 * p.VDD * 2
+
+	for _, pr := range protos {
+		for _, d := range drives {
+			if (pr.kind == TieHi || pr.kind == TieLo) && d != 1 {
+				continue
+			}
+			df := float64(d)
+			area := pairArea * pr.txPairs * (0.6 + 0.4*df) // shared diffusion discount
+			sites := int(area/float64(p.SiteWidth*p.RowHeight)) + 1
+			c := &Cell{
+				Name:            fmt.Sprintf("%s_X%d", pr.kind, d),
+				Kind:            pr.kind,
+				Drive:           d,
+				Tier:            tier,
+				Sites:           sites,
+				AreaNM2:         int64(sites) * p.SiteWidth * p.RowHeight,
+				InputCapF:       c0 * pr.inCapX * (0.5 + 0.5*df),
+				NumInputs:       pr.inputs,
+				Sequential:      pr.seq,
+				DriveResOhm:     r0 * pr.effortR / df,
+				IntrinsicDelayS: fo1 * pr.parX,
+				SwitchEnergyJ:   0.5 * c0 * pr.txPairs * (0.6 + 0.4*df) * p.VDD * p.VDD,
+				LeakageW:        leak0 * pr.txPairs * (0.6 + 0.4*df),
+			}
+			if pr.seq {
+				c.SetupS = 2 * fo1
+				c.ClkQS = 3 * fo1 / df
+			}
+			lib.cells[c.Name] = c
+		}
+	}
+	return lib, nil
+}
+
+// Cell returns the named cell.
+func (l *Library) Cell(name string) (*Cell, bool) {
+	c, ok := l.cells[name]
+	return c, ok
+}
+
+// MustCell returns the named cell or panics; for use with known-good names.
+func (l *Library) MustCell(name string) *Cell {
+	c, ok := l.cells[name]
+	if !ok {
+		panic(fmt.Sprintf("cell: library %s has no cell %q", l.Name, name))
+	}
+	return c
+}
+
+// Pick returns the cell of the given function at the given drive.
+func (l *Library) Pick(k Kind, drive int) (*Cell, bool) {
+	return l.Cell(fmt.Sprintf("%s_X%d", k, drive))
+}
+
+// MustPick returns the cell of the given function/drive or panics.
+func (l *Library) MustPick(k Kind, drive int) *Cell {
+	return l.MustCell(fmt.Sprintf("%s_X%d", k, drive))
+}
+
+// Cells returns all cells sorted by name.
+func (l *Library) Cells() []*Cell {
+	out := make([]*Cell, 0, len(l.cells))
+	for _, c := range l.cells {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Size reports the number of cells in the library.
+func (l *Library) Size() int { return len(l.cells) }
+
+// UpsizeFor returns the weakest drive of kind k whose delay into cLoad meets
+// target seconds, or the strongest available if none meets it.
+func (l *Library) UpsizeFor(k Kind, cLoad, target float64) *Cell {
+	var best *Cell
+	for _, d := range drives {
+		c, ok := l.Pick(k, d)
+		if !ok {
+			continue
+		}
+		best = c
+		if c.Delay(cLoad) <= target {
+			return c
+		}
+	}
+	return best
+}

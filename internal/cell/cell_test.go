@@ -1,0 +1,212 @@
+package cell
+
+import (
+	"testing"
+	"testing/quick"
+
+	"m3d/internal/tech"
+)
+
+func siLib(t *testing.T) *Library {
+	t.Helper()
+	lib, err := NewLibrary(tech.Default130(), tech.TierSiCMOS)
+	if err != nil {
+		t.Fatalf("NewLibrary(Si): %v", err)
+	}
+	return lib
+}
+
+func cnLib(t *testing.T) *Library {
+	t.Helper()
+	lib, err := NewLibrary(tech.Default130(), tech.TierCNFET)
+	if err != nil {
+		t.Fatalf("NewLibrary(CNFET): %v", err)
+	}
+	return lib
+}
+
+func TestLibraryPopulation(t *testing.T) {
+	lib := siLib(t)
+	// 14 multi-drive protos × 4 drives + 2 tie cells.
+	want := 14*4 + 2
+	if lib.Size() != want {
+		t.Errorf("library size = %d, want %d", lib.Size(), want)
+	}
+	if _, ok := lib.Cell("NAND2_X2"); !ok {
+		t.Error("missing NAND2_X2")
+	}
+	if _, ok := lib.Cell("TIEHI_X4"); ok {
+		t.Error("tie cells should only exist at X1")
+	}
+}
+
+func TestRRAMTierRejected(t *testing.T) {
+	if _, err := NewLibrary(tech.Default130(), tech.TierRRAM); err == nil {
+		t.Error("RRAM tier must not host standard cells")
+	}
+}
+
+func TestInvalidPDKRejected(t *testing.T) {
+	p := tech.Default130()
+	p.VDD = -1
+	if _, err := NewLibrary(p, tech.TierSiCMOS); err == nil {
+		t.Error("invalid PDK should be rejected")
+	}
+}
+
+func TestDriveStrengthMonotonic(t *testing.T) {
+	lib := siLib(t)
+	for _, k := range []Kind{Inv, Nand2, DFF, FullAdder} {
+		prev := -1.0
+		for _, d := range []int{1, 2, 4, 8} {
+			c, ok := lib.Pick(k, d)
+			if !ok {
+				t.Fatalf("missing %v_X%d", k, d)
+			}
+			if prev > 0 && c.DriveResOhm >= prev {
+				t.Errorf("%v_X%d: drive resistance should fall with drive", k, d)
+			}
+			prev = c.DriveResOhm
+			if c.Sites <= 0 || c.AreaNM2 <= 0 {
+				t.Errorf("%v_X%d: non-positive footprint", k, d)
+			}
+		}
+	}
+}
+
+func TestAreaGrowsWithDrive(t *testing.T) {
+	lib := siLib(t)
+	x1 := lib.MustPick(Inv, 1)
+	x8 := lib.MustPick(Inv, 8)
+	if x8.AreaNM2 <= x1.AreaNM2 {
+		t.Errorf("X8 inverter should be bigger than X1: %d vs %d", x8.AreaNM2, x1.AreaNM2)
+	}
+}
+
+func TestDelayModel(t *testing.T) {
+	lib := siLib(t)
+	inv := lib.MustPick(Inv, 1)
+	unloaded := inv.Delay(0)
+	loaded := inv.Delay(10e-15)
+	if unloaded <= 0 {
+		t.Error("intrinsic delay must be positive")
+	}
+	if loaded <= unloaded {
+		t.Error("delay must increase with load")
+	}
+	// A stronger cell is faster into the same load.
+	inv8 := lib.MustPick(Inv, 8)
+	if inv8.Delay(10e-15) >= inv.Delay(10e-15) {
+		t.Error("X8 should beat X1 into 10fF")
+	}
+}
+
+func TestCNFETLibrarySlower(t *testing.T) {
+	si := siLib(t)
+	cn := cnLib(t)
+	load := 5e-15
+	dSi := si.MustPick(Nand2, 1).Delay(load)
+	dCn := cn.MustPick(Nand2, 1).Delay(load)
+	if dCn <= dSi {
+		t.Errorf("CNFET NAND2 should be slower than Si: %g vs %g", dCn, dSi)
+	}
+}
+
+func TestSequentialCharacterization(t *testing.T) {
+	lib := siLib(t)
+	ff := lib.MustPick(DFF, 1)
+	if !ff.Sequential {
+		t.Fatal("DFF must be sequential")
+	}
+	if ff.SetupS <= 0 || ff.ClkQS <= 0 {
+		t.Error("DFF needs positive setup and clk->q")
+	}
+	if lib.MustPick(Nand2, 1).Sequential {
+		t.Error("NAND2 must not be sequential")
+	}
+}
+
+func TestMustCellPanics(t *testing.T) {
+	lib := siLib(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCell should panic on a missing cell")
+		}
+	}()
+	lib.MustCell("NOPE_X1")
+}
+
+func TestCellsSorted(t *testing.T) {
+	lib := siLib(t)
+	cs := lib.Cells()
+	if len(cs) != lib.Size() {
+		t.Fatalf("Cells() length %d != Size() %d", len(cs), lib.Size())
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].Name >= cs[i].Name {
+			t.Fatalf("cells not sorted: %s >= %s", cs[i-1].Name, cs[i].Name)
+		}
+	}
+}
+
+func TestUpsizeFor(t *testing.T) {
+	lib := siLib(t)
+	// A tiny load should be met by X1.
+	c := lib.UpsizeFor(Inv, 0.1e-15, 1e-9)
+	if c.Drive != 1 {
+		t.Errorf("tiny load should pick X1, got X%d", c.Drive)
+	}
+	// An enormous load with an impossible target returns the strongest.
+	c = lib.UpsizeFor(Inv, 1e-9, 1e-15)
+	if c.Drive != 8 {
+		t.Errorf("impossible target should pick X8, got X%d", c.Drive)
+	}
+	// The chosen cell always meets the target if any cell does.
+	c4 := lib.MustPick(Inv, 4)
+	load := 20e-15
+	target := c4.Delay(load)
+	got := lib.UpsizeFor(Inv, load, target)
+	if got.Delay(load) > target {
+		t.Errorf("UpsizeFor missed a feasible target: X%d delay %g > %g", got.Drive, got.Delay(load), target)
+	}
+}
+
+func TestUpsizePropertyMeetsFeasibleTargets(t *testing.T) {
+	lib := siLib(t)
+	x8 := lib.MustPick(Nand2, 8)
+	f := func(loadFF uint8, slackX uint8) bool {
+		load := float64(loadFF) * 1e-15
+		// Any target at or above the X8 delay is feasible.
+		target := x8.Delay(load) * (1 + float64(slackX)/64.0)
+		got := lib.UpsizeFor(Nand2, load, target)
+		return got.Delay(load) <= target
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyAndLeakagePositive(t *testing.T) {
+	for _, lib := range []*Library{siLib(t), cnLib(t)} {
+		for _, c := range lib.Cells() {
+			if c.Kind == TieHi || c.Kind == TieLo {
+				continue
+			}
+			if c.SwitchEnergyJ <= 0 {
+				t.Errorf("%s/%s: switch energy %g", lib.Name, c.Name, c.SwitchEnergyJ)
+			}
+			if c.LeakageW <= 0 {
+				t.Errorf("%s/%s: leakage %g", lib.Name, c.Name, c.LeakageW)
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Inv.String() != "INV" || DFF.String() != "DFF" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}

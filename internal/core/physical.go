@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"m3d/internal/flow"
+	"m3d/internal/tech"
+)
+
+// PhysicalComparison is the Fig. 2-style post-route comparison of the 2D
+// baseline and the iso-footprint M3D implementation.
+type PhysicalComparison struct {
+	TwoD, M3D *flow.Result
+	// NumCS is the parallel CS count of the M3D design.
+	NumCS int
+	// FreedSiFrac is the fraction of the die's Si area freed by moving the
+	// RRAM access FETs to the CNFET tier.
+	FreedSiFrac float64
+	// UpperTierPowerFrac is Obs. 2's quantity for the M3D chip.
+	UpperTierPowerFrac float64
+	// PeakDensityRatio is M3D / 2D peak power density (paper: ≈1.01).
+	PeakDensityRatio float64
+}
+
+// RunCaseStudyFlow executes the Sec. II physical-design case study through
+// the full RTL-to-GDS flow at the given scale (PEs per CS side; 16 is the
+// paper's size, smaller runs exercise the identical flow faster) and CS
+// count.
+func RunCaseStudyFlow(p *tech.PDK, arraySide, numCS int, rramBits int64) (*PhysicalComparison, error) {
+	if arraySide <= 0 {
+		arraySide = 4
+	}
+	if numCS <= 0 {
+		numCS = 8
+	}
+	spec := flow.SoCSpec{
+		ArrayRows:      arraySide,
+		ArrayCols:      arraySide,
+		RRAMCapBits:    rramBits,
+		GlobalSRAMBits: 64 << 10,
+		Seed:           1,
+	}
+	twoD, m3d, err := flow.CaseStudy(p, spec, numCS)
+	if err != nil {
+		return nil, err
+	}
+	out := &PhysicalComparison{
+		TwoD:  twoD,
+		M3D:   m3d,
+		NumCS: numCS,
+	}
+	dieArea := float64(twoD.Die.Area())
+	out.FreedSiFrac = float64(m3d.Area.FreeSiNM2-twoD.Area.FreeSiNM2) / dieArea
+	out.UpperTierPowerFrac = m3d.Power.UpperTierFraction()
+	if twoD.Power.PeakDensityWPerMM2 > 0 {
+		out.PeakDensityRatio = m3d.Power.PeakDensityWPerMM2 / twoD.Power.PeakDensityWPerMM2
+	}
+	return out, nil
+}
+
+// FoldingComparison quantifies the refs [3-4]-style folding-only approach
+// the paper's introduction contrasts against: the same 1-CS architecture
+// folded across two tiers, yielding footprint and wirelength changes but
+// only a small EDP effect.
+type FoldingComparison struct {
+	Flat, Folded *flow.Result
+	// FootprintRatio is folded / flat die area (≈0.5-0.6).
+	FootprintRatio float64
+	// HPWLRatio is folded / flat placement wirelength.
+	HPWLRatio float64
+	// EDPBenefit is the flat/folded EDP ratio at the common clock, taking
+	// energy ≈ power / f with both designs at their achieved frequency.
+	EDPBenefit float64
+}
+
+// RunFoldingStudy runs the folding-only baseline (logic-dominated config so
+// the footprint effect is visible).
+func RunFoldingStudy(p *tech.PDK, arraySide int) (*FoldingComparison, error) {
+	if arraySide <= 0 {
+		arraySide = 3
+	}
+	spec := flow.SoCSpec{
+		ArrayRows: arraySide, ArrayCols: arraySide,
+		RRAMCapBits:    256 << 10,
+		BankWordBits:   64,
+		GlobalSRAMBits: 16 << 10,
+		Seed:           1,
+	}
+	flat, err := flow.Run(p, spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: flat flow: %w", err)
+	}
+	spec.FoldLogic = true
+	folded, err := flow.Run(p, spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: folded flow: %w", err)
+	}
+	out := &FoldingComparison{
+		Flat:           flat,
+		Folded:         folded,
+		FootprintRatio: float64(folded.Die.Area()) / float64(flat.Die.Area()),
+		HPWLRatio:      float64(folded.HPWL) / float64(flat.HPWL),
+	}
+	// EDP at each design's operating point: energy/cycle × period.
+	edp := func(r *flow.Result) float64 {
+		f := r.Spec.TargetClockHz
+		if !r.TimingMet && r.FmaxHz > 0 {
+			f = r.FmaxHz
+		}
+		return r.Power.TotalW / (f * f)
+	}
+	if e := edp(folded); e > 0 {
+		out.EDPBenefit = edp(flat) / e
+	}
+	return out, nil
+}

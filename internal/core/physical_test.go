@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"m3d/internal/tech"
+)
+
+func TestRunCaseStudyFlowSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flow run")
+	}
+	p := tech.Default130()
+	cmp, err := RunCaseStudyFlow(p, 2, 2, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.TwoD.Die != cmp.M3D.Die {
+		t.Error("case study must be iso-footprint")
+	}
+	if cmp.FreedSiFrac <= 0 {
+		t.Errorf("M3D must free Si area, got %.3f", cmp.FreedSiFrac)
+	}
+	if cmp.UpperTierPowerFrac >= 0.05 {
+		t.Errorf("upper-tier power %.3f too high (Obs. 2: <1%%)", cmp.UpperTierPowerFrac)
+	}
+	if cmp.PeakDensityRatio <= 0 || cmp.PeakDensityRatio > 2 {
+		t.Errorf("peak density ratio %.2f implausible (paper ≈1.01)", cmp.PeakDensityRatio)
+	}
+}
+
+func TestRunFoldingStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flow run")
+	}
+	p := tech.Default130()
+	cmp, err := RunFoldingStudy(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.FootprintRatio >= 1 {
+		t.Errorf("folding must shrink the footprint, ratio %.2f", cmp.FootprintRatio)
+	}
+	if cmp.HPWLRatio >= 1 {
+		t.Errorf("folding must shrink wirelength, ratio %.2f", cmp.HPWLRatio)
+	}
+	// The intro's point: folding-only EDP benefit is limited (~1.1-1.4×
+	// in refs [3-4]) — far below the new-architecture 5.7×. Accept a wide
+	// band around 1.
+	if cmp.EDPBenefit < 0.5 || cmp.EDPBenefit > 2.5 {
+		t.Errorf("folding-only EDP benefit %.2f outside the 'limited benefit' band", cmp.EDPBenefit)
+	}
+}
+
+func TestValidateScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flow runs")
+	}
+	p := tech.Default130()
+	pts, err := ValidateScaling(p, []int{2}, 2<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	pt := pts[0]
+	if pt.MeasuredFreedFrac <= 0 || pt.PredictedFreedFrac <= 0 {
+		t.Fatalf("degenerate point: %+v", pt)
+	}
+	// The flow-measured freed area should track the macro model within
+	// ~35% (halo and packing overheads are real but bounded).
+	if pt.RelErr > 0.35 {
+		t.Errorf("flow vs model freed-Si mismatch %.0f%%: measured %.3f predicted %.3f",
+			100*pt.RelErr, pt.MeasuredFreedFrac, pt.PredictedFreedFrac)
+	}
+	if _, err := ValidateScaling(p, []int{0}, 0); err == nil {
+		t.Error("invalid side should fail")
+	}
+}

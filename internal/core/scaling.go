@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"m3d/internal/macro"
+	"m3d/internal/tech"
+)
+
+// ScalingPoint is one flow run in the scaling validation.
+type ScalingPoint struct {
+	ArraySide int
+	// MeasuredFreedFrac is the Si area fraction the flow's M3D run freed.
+	MeasuredFreedFrac float64
+	// PredictedFreedFrac is the macro model's prediction (array footprint
+	// over die area).
+	PredictedFreedFrac float64
+	// RelErr is |measured - predicted| / predicted.
+	RelErr float64
+}
+
+// ValidateScaling cross-checks the analytical area model against the
+// physical-design flow: at each scale it runs the 2D and iso-footprint M3D
+// flows and compares the Si area actually freed (floorplan-measured)
+// against the macro model's prediction. This closes the loop between the
+// Eq. 2 arithmetic and the placed-and-routed reality.
+func ValidateScaling(p *tech.PDK, sides []int, rramBits int64) ([]ScalingPoint, error) {
+	if len(sides) == 0 {
+		sides = []int{2, 3}
+	}
+	if rramBits <= 0 {
+		rramBits = 2 << 20
+	}
+	var out []ScalingPoint
+	for _, side := range sides {
+		if side < 1 {
+			return nil, fmt.Errorf("core: array side %d must be positive", side)
+		}
+		cmp, err := RunCaseStudyFlow(p, side, 2, rramBits)
+		if err != nil {
+			return nil, fmt.Errorf("core: scaling side %d: %w", side, err)
+		}
+		// Prediction: the freed Si is the 2D bank's array footprint (the
+		// part whose access FETs moved to the CNFET tier), minus the halo
+		// bookkeeping, over the die area.
+		bank, err := macro.NewRRAMBank(p, macro.RRAMBankSpec{
+			CapacityBits: rramBits, WordBits: 256, Style: macro.Style2D,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pred := float64(bank.CellArrayAreaNM2()) / float64(cmp.TwoD.Die.Area())
+		pt := ScalingPoint{
+			ArraySide:          side,
+			MeasuredFreedFrac:  cmp.FreedSiFrac,
+			PredictedFreedFrac: pred,
+		}
+		if pred > 0 {
+			pt.RelErr = abs(pt.MeasuredFreedFrac-pred) / pred
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

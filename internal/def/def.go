@@ -1,0 +1,186 @@
+// Package def writes and reads a subset of the DEF (Design Exchange
+// Format) sufficient to carry this project's placements between tools:
+// VERSION, DESIGN, UNITS, DIEAREA, a COMPONENTS section with PLACED
+// locations (macros as FIXED), and a NETS section listing connections.
+// The reader applies a DEF's placement back onto an existing netlist.
+package def
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"m3d/internal/geom"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+// Write emits the design's floorplan and placement as DEF. die is the die
+// area; distance units are nm (DEF DBU = 1000 per micron).
+func Write(w io.Writer, nl *netlist.Netlist, die geom.Rect) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\n")
+	fmt.Fprintf(bw, "DESIGN %s ;\n", ident(nl.Name))
+	fmt.Fprintf(bw, "UNITS DISTANCE MICRONS 1000 ;\n")
+	fmt.Fprintf(bw, "DIEAREA ( %d %d ) ( %d %d ) ;\n", die.Lo.X, die.Lo.Y, die.Hi.X, die.Hi.Y)
+
+	fmt.Fprintf(bw, "COMPONENTS %d ;\n", len(nl.Instances))
+	for _, inst := range nl.Instances {
+		master := ""
+		status := "PLACED"
+		if inst.IsMacro() {
+			master = ident(inst.Macro.Kind)
+			status = "FIXED"
+		} else {
+			master = ident(inst.Cell.Name)
+			if inst.Fixed {
+				status = "FIXED"
+			}
+		}
+		fmt.Fprintf(bw, "  - %s %s + %s ( %d %d ) N ;\n",
+			ident(inst.Name), master, status, inst.Pos.X, inst.Pos.Y)
+	}
+	fmt.Fprintf(bw, "END COMPONENTS\n")
+
+	fmt.Fprintf(bw, "NETS %d ;\n", len(nl.Nets))
+	for _, n := range nl.Nets {
+		fmt.Fprintf(bw, "  - %s", ident(n.Name))
+		for _, p := range n.Pins() {
+			fmt.Fprintf(bw, " ( %s %s )", ident(p.Inst.Name), ident(p.Name))
+		}
+		fmt.Fprintf(bw, " ;\n")
+	}
+	fmt.Fprintf(bw, "END NETS\n")
+	fmt.Fprintf(bw, "END DESIGN\n")
+	return bw.Flush()
+}
+
+func ident(s string) string {
+	if s == "" {
+		return "_"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '[', r == ']', r == '/':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// Placement is one component location parsed from a DEF.
+type Placement struct {
+	Name   string
+	Master string
+	Fixed  bool
+	Pos    geom.Point
+}
+
+// Parsed is the reader's output.
+type Parsed struct {
+	Design     string
+	Die        geom.Rect
+	Placements []Placement
+	NetCount   int
+}
+
+// Read parses the subset Write produces.
+func Read(r io.Reader) (*Parsed, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	out := &Parsed{}
+	inComponents := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		f := strings.Fields(line)
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "DESIGN "):
+			if len(f) >= 2 {
+				out.Design = f[1]
+			}
+		case strings.HasPrefix(line, "DIEAREA"):
+			// DIEAREA ( x0 y0 ) ( x1 y1 ) ;
+			nums := numbers(f)
+			if len(nums) != 4 {
+				return nil, fmt.Errorf("def: line %d: bad DIEAREA", lineNo)
+			}
+			out.Die = geom.R(nums[0], nums[1], nums[2], nums[3])
+		case strings.HasPrefix(line, "COMPONENTS "):
+			inComponents = true
+		case line == "END COMPONENTS":
+			inComponents = false
+		case strings.HasPrefix(line, "NETS "):
+			if len(f) >= 2 {
+				n, err := strconv.Atoi(f[1])
+				if err != nil {
+					return nil, fmt.Errorf("def: line %d: bad NETS count", lineNo)
+				}
+				out.NetCount = n
+			}
+		case inComponents && strings.HasPrefix(line, "- "):
+			// - name master + STATUS ( x y ) N ;
+			if len(f) < 9 {
+				return nil, fmt.Errorf("def: line %d: bad component %q", lineNo, line)
+			}
+			nums := numbers(f)
+			if len(nums) != 2 {
+				return nil, fmt.Errorf("def: line %d: bad component coords", lineNo)
+			}
+			out.Placements = append(out.Placements, Placement{
+				Name:   f[1],
+				Master: f[2],
+				Fixed:  f[4] == "FIXED",
+				Pos:    geom.Pt(nums[0], nums[1]),
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if out.Design == "" {
+		return nil, fmt.Errorf("def: no DESIGN statement")
+	}
+	return out, nil
+}
+
+// numbers extracts all integer tokens from fields.
+func numbers(fields []string) []int64 {
+	var out []int64
+	for _, f := range fields {
+		if v, err := strconv.ParseInt(f, 10, 64); err == nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Apply copies a parsed DEF's placement onto nl by instance name (as
+// written by Write, i.e. after identifier mapping). Returns how many
+// instances were placed; errors if a placed instance is missing.
+func Apply(nl *netlist.Netlist, parsed *Parsed, p *tech.PDK) (int, error) {
+	byName := make(map[string]*netlist.Instance, len(nl.Instances))
+	for _, inst := range nl.Instances {
+		byName[ident(inst.Name)] = inst
+	}
+	placed := 0
+	for _, pl := range parsed.Placements {
+		inst, ok := byName[pl.Name]
+		if !ok {
+			return placed, fmt.Errorf("def: placement for unknown instance %q", pl.Name)
+		}
+		inst.Pos = pl.Pos
+		inst.Fixed = pl.Fixed
+		if !parsed.Die.Empty() && !parsed.Die.ContainsRect(inst.Bounds(p)) {
+			return placed, fmt.Errorf("def: instance %q placed outside the die", pl.Name)
+		}
+		placed++
+	}
+	return placed, nil
+}

@@ -1,0 +1,134 @@
+package def
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"m3d/internal/cell"
+	"m3d/internal/geom"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+func smallDesign(t *testing.T) (*tech.PDK, *netlist.Netlist, geom.Rect) {
+	t.Helper()
+	p := tech.Default130()
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := netlist.New("dump")
+	a := nl.AddCell("u1", lib.MustPick(cell.Inv, 1))
+	b := nl.AddCell("u2", lib.MustPick(cell.Nand2, 2))
+	m := nl.AddMacro("bank0", &netlist.MacroRef{Kind: "rram", Width: 50_000, Height: 40_000}, tech.TierRRAM)
+	n := nl.AddNet("n1", 0.2)
+	nl.MustPin(a, "Y", true, 0, n)
+	nl.MustPin(b, "A", false, b.Cell.InputCapF, n)
+	a.Pos = geom.Pt(1000, 2000)
+	b.Pos = geom.Pt(10_000, 3690)
+	m.Pos = geom.Pt(100_000, 0)
+	return p, nl, geom.R(0, 0, 200_000, 200_000)
+}
+
+func TestWriteFormat(t *testing.T) {
+	_, nl, die := smallDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, die); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"VERSION 5.8 ;",
+		"DESIGN dump ;",
+		"DIEAREA ( 0 0 ) ( 200000 200000 ) ;",
+		"COMPONENTS 3 ;",
+		"- u1 INV_X1 + PLACED ( 1000 2000 ) N ;",
+		"- bank0 rram + FIXED ( 100000 0 ) N ;",
+		"NETS 1 ;",
+		"( u1 Y ) ( u2 A )",
+		"END DESIGN",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundTripApply(t *testing.T) {
+	p, nl, die := smallDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl, die); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Design != "dump" || parsed.Die != die {
+		t.Fatalf("header wrong: %+v", parsed)
+	}
+	if len(parsed.Placements) != 3 || parsed.NetCount != 1 {
+		t.Fatalf("parsed %d placements / %d nets", len(parsed.Placements), parsed.NetCount)
+	}
+	// Scramble positions, then re-apply.
+	for _, inst := range nl.Instances {
+		inst.Pos = geom.Pt(0, 0)
+	}
+	placed, err := Apply(nl, parsed, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed != 3 {
+		t.Fatalf("placed = %d", placed)
+	}
+	if nl.Instances[0].Pos != geom.Pt(1000, 2000) {
+		t.Error("u1 position not restored")
+	}
+	if !nl.Instances[2].Fixed {
+		t.Error("macro fixedness not restored")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	p, nl, die := smallDesign(t)
+	parsed := &Parsed{
+		Design: "dump",
+		Die:    die,
+		Placements: []Placement{
+			{Name: "ghost", Pos: geom.Pt(0, 0)},
+		},
+	}
+	if _, err := Apply(nl, parsed, p); err == nil {
+		t.Error("unknown instance should fail")
+	}
+	parsed.Placements = []Placement{{Name: "u1", Pos: geom.Pt(500_000, 0)}}
+	if _, err := Apply(nl, parsed, p); err == nil {
+		t.Error("off-die placement should fail")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"VERSION 5.8 ;\nDESIGN d ;\nDIEAREA ( 0 0 ) ;\n",
+		"VERSION 5.8 ;\nDESIGN d ;\nCOMPONENTS 1 ;\n- u1 INV_X1 ;\nEND COMPONENTS\n",
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestIdent(t *testing.T) {
+	if ident("") != "_" {
+		t.Error("empty ident")
+	}
+	if ident("a b.c") != "a_b_c" {
+		t.Errorf("ident = %q", ident("a b.c"))
+	}
+	if ident("bus[3]/x") != "bus[3]/x" {
+		t.Errorf("ident clobbered legal chars: %q", ident("bus[3]/x"))
+	}
+}

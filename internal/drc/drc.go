@@ -1,0 +1,192 @@
+// Package drc is the full-chip sign-off audit run at the end of the flow:
+// structural netlist checks, placement legality on every device tier
+// (die containment, row/site alignment, cell overlap, blockage keep-outs),
+// and routing-geometry checks (segment alignment to the global-routing
+// grid, via/ILV sanity, capacity overflow). It complements the in-stage
+// checks by validating the assembled design as a whole and returning a
+// violation list instead of failing on the first problem.
+package drc
+
+import (
+	"fmt"
+	"sort"
+
+	"m3d/internal/floorplan"
+	"m3d/internal/geom"
+	"m3d/internal/netlist"
+	"m3d/internal/route"
+	"m3d/internal/tech"
+)
+
+// Kind classifies a violation.
+type Kind string
+
+// Violation kinds.
+const (
+	KindNetlist   Kind = "netlist"
+	KindOffDie    Kind = "off-die"
+	KindOffGrid   Kind = "off-grid"
+	KindOverlap   Kind = "overlap"
+	KindBlockage  Kind = "blockage"
+	KindRouteGeom Kind = "route-geometry"
+	KindOverflow  Kind = "route-overflow"
+	KindDangling  Kind = "dangling-route"
+)
+
+// Violation is one audit finding.
+type Violation struct {
+	Kind Kind
+	// Object names the offending instance or net.
+	Object string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s: %s", v.Kind, v.Object, v.Detail)
+}
+
+// Report is the audit result.
+type Report struct {
+	Violations []Violation
+	// Checked counts audited objects per category.
+	CheckedInstances, CheckedNets, CheckedSegs int
+}
+
+// Clean reports whether the design passed.
+func (r *Report) Clean() bool { return len(r.Violations) == 0 }
+
+// ByKind counts violations per kind.
+func (r *Report) ByKind() map[Kind]int {
+	out := map[Kind]int{}
+	for _, v := range r.Violations {
+		out[v.Kind]++
+	}
+	return out
+}
+
+func (r *Report) add(k Kind, obj, format string, args ...interface{}) {
+	r.Violations = append(r.Violations, Violation{
+		Kind: k, Object: obj, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// maxViolations bounds the report size on badly broken designs.
+const maxViolations = 1000
+
+// Audit runs the full-chip checks. routes may be nil (pre-route audit).
+func Audit(fp *floorplan.Floorplan, nl *netlist.Netlist, routes *route.Result) (*Report, error) {
+	if fp == nil || nl == nil {
+		return nil, fmt.Errorf("drc: nil floorplan or netlist")
+	}
+	rep := &Report{}
+
+	// 1. Structural netlist.
+	if err := nl.Check(); err != nil {
+		rep.add(KindNetlist, nl.Name, "%v", err)
+	}
+
+	// 2. Placement, per tier.
+	p := fp.PDK
+	for _, tier := range []tech.Tier{tech.TierSiCMOS, tech.TierCNFET} {
+		auditTierPlacement(rep, fp, nl, tier)
+	}
+	// Macros: containment and pairwise overlap. Macros on *different*
+	// device tiers may legally share XY (an SRAM buffer under an M3D RRAM
+	// array); same-tier overlap is a violation.
+	macros := nl.MacroInstances()
+	for i, m := range macros {
+		rep.CheckedInstances++
+		b := m.Bounds(p)
+		if !fp.Die.ContainsRect(b) {
+			rep.add(KindOffDie, m.Name, "macro %v outside die %v", b, fp.Die)
+		}
+		for _, other := range macros[i+1:] {
+			if m.Tier == other.Tier && b.Overlaps(other.Bounds(p)) {
+				rep.add(KindOverlap, m.Name, "overlaps macro %s on tier %v", other.Name, m.Tier)
+			}
+		}
+	}
+
+	// 3. Routing geometry.
+	if routes != nil {
+		auditRoutes(rep, nl, routes)
+	}
+
+	if len(rep.Violations) > maxViolations {
+		rep.Violations = rep.Violations[:maxViolations]
+	}
+	return rep, nil
+}
+
+func auditTierPlacement(rep *Report, fp *floorplan.Floorplan, nl *netlist.Netlist, tier tech.Tier) {
+	p := fp.PDK
+	type placed struct {
+		inst *netlist.Instance
+		r    geom.Rect
+	}
+	byRow := map[int64][]placed{}
+	for _, inst := range nl.Instances {
+		if inst.IsMacro() || inst.Tier != tier {
+			continue
+		}
+		rep.CheckedInstances++
+		b := inst.Bounds(p)
+		if !fp.Die.ContainsRect(b) {
+			rep.add(KindOffDie, inst.Name, "cell %v outside die %v", b, fp.Die)
+			continue
+		}
+		if (inst.Pos.Y-fp.Die.Lo.Y)%p.RowHeight != 0 {
+			rep.add(KindOffGrid, inst.Name, "y=%d not on a row", inst.Pos.Y)
+		}
+		if (inst.Pos.X-fp.Die.Lo.X)%p.SiteWidth != 0 {
+			rep.add(KindOffGrid, inst.Name, "x=%d not on a site", inst.Pos.X)
+		}
+		for _, blk := range fp.Blockages(tier) {
+			if blk.Overlaps(b) {
+				rep.add(KindBlockage, inst.Name, "overlaps %v keep-out at %v", tier, blk)
+				break
+			}
+		}
+		byRow[inst.Pos.Y] = append(byRow[inst.Pos.Y], placed{inst, b})
+	}
+	for _, row := range byRow {
+		sort.Slice(row, func(i, j int) bool { return row[i].r.Lo.X < row[j].r.Lo.X })
+		for i := 1; i < len(row); i++ {
+			if row[i].r.Lo.X < row[i-1].r.Hi.X {
+				rep.add(KindOverlap, row[i].inst.Name, "overlaps %s in row y=%d",
+					row[i-1].inst.Name, row[i].inst.Pos.Y)
+			}
+		}
+	}
+}
+
+func auditRoutes(rep *Report, nl *netlist.Netlist, routes *route.Result) {
+	pitch := routes.GCellPitch
+	for _, n := range nl.Nets {
+		nr, ok := routes.Routes[n]
+		if !ok {
+			continue
+		}
+		rep.CheckedNets++
+		if nr.Failed {
+			rep.add(KindDangling, n.Name, "net has unrouted connections")
+		}
+		for _, s := range nr.Segs {
+			rep.CheckedSegs++
+			d := s.A.ManhattanDist(s.B)
+			switch {
+			case d == 0: // via
+			case d == pitch && (s.A.X == s.B.X || s.A.Y == s.B.Y):
+				// unit gcell step, axis aligned — fine
+			default:
+				rep.add(KindRouteGeom, n.Name,
+					"segment %v-%v on layer %d is not a unit grid step (pitch %d)",
+					s.A, s.B, s.LayerIdx, pitch)
+			}
+		}
+	}
+	if routes.OverflowEdges > 0 {
+		rep.add(KindOverflow, "global", "%d routing edges above capacity", routes.OverflowEdges)
+	}
+}

@@ -1,0 +1,298 @@
+package floorplan
+
+import (
+	"testing"
+
+	"m3d/internal/cell"
+	"m3d/internal/geom"
+	"m3d/internal/macro"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+const mm = int64(1_000_000) // 1 mm in DBU (nm)
+
+func newFP(t *testing.T, w, h int64) *Floorplan {
+	t.Helper()
+	f, err := New(tech.Default130(), geom.R(0, 0, w, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	p := tech.Default130()
+	if _, err := New(p, geom.Rect{}); err == nil {
+		t.Error("empty die should be rejected")
+	}
+	p.VDD = 0
+	if _, err := New(p, geom.R(0, 0, mm, mm)); err == nil {
+		t.Error("invalid PDK should be rejected")
+	}
+}
+
+func TestAddBlockageClipped(t *testing.T) {
+	f := newFP(t, mm, mm)
+	f.AddBlockage(tech.TierSiCMOS, geom.R(-mm, 0, mm/2, mm/2))
+	bs := f.Blockages(tech.TierSiCMOS)
+	if len(bs) != 1 {
+		t.Fatalf("blockages = %d", len(bs))
+	}
+	if bs[0].Lo.X != 0 {
+		t.Error("blockage not clipped to die")
+	}
+	// Fully outside: dropped.
+	f.AddBlockage(tech.TierSiCMOS, geom.R(2*mm, 2*mm, 3*mm, 3*mm))
+	if len(f.Blockages(tech.TierSiCMOS)) != 1 {
+		t.Error("outside blockage should be dropped")
+	}
+}
+
+func TestPlaceMacroRecordsBlockages(t *testing.T) {
+	p := tech.Default130()
+	f := newFP(t, 6*mm, 6*mm)
+	bank, err := macro.NewRRAMBank(p, macro.RRAMBankSpec{
+		CapacityBits: 8 << 20, WordBits: 128, Style: macro.Style2D,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := netlist.New("t")
+	inst := nl.AddMacro("bank0", bank.Ref, tech.TierRRAM)
+	if err := f.PlaceMacro(inst, geom.Pt(mm, mm)); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Pos != geom.Pt(mm, mm) || !inst.Fixed {
+		t.Error("macro not fixed at position")
+	}
+	// 2D bank blocks Si under its whole footprint.
+	under := inst.Bounds(p).Inset(1000)
+	if f.IsFree(tech.TierSiCMOS, under) {
+		t.Error("Si under a 2D RRAM bank must be blocked")
+	}
+	// Area away from the macro stays free.
+	if !f.IsFree(tech.TierSiCMOS, geom.R(5*mm, 5*mm, 5*mm+1000, 5*mm+1000)) {
+		t.Error("far corner should be free")
+	}
+}
+
+func TestPlaceMacroOffDieFails(t *testing.T) {
+	p := tech.Default130()
+	f := newFP(t, mm, mm)
+	nl := netlist.New("t")
+	inst := nl.AddMacro("m", &netlist.MacroRef{Kind: "x", Width: mm / 2, Height: mm / 2}, tech.TierSiCMOS)
+	if err := f.PlaceMacro(inst, geom.Pt(3*mm/4, 0)); err == nil {
+		t.Error("off-die macro should fail")
+	}
+	_ = p
+}
+
+func TestPlaceNonMacroFails(t *testing.T) {
+	p := tech.Default130()
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFP(t, mm, mm)
+	nl := netlist.New("t")
+	inst := nl.AddCell("c", lib.MustPick(cell.Inv, 1))
+	if err := f.PlaceMacro(inst, geom.Pt(0, 0)); err == nil {
+		t.Error("standard cells are not floorplanned as macros")
+	}
+}
+
+func TestPackMacros(t *testing.T) {
+	f := newFP(t, 4*mm, 4*mm)
+	nl := netlist.New("t")
+	var insts []*netlist.Instance
+	for i := 0; i < 6; i++ {
+		m := &netlist.MacroRef{
+			Kind: "blk", Width: mm, Height: mm / 2,
+			Blockages: []netlist.Blockage{{Tier: tech.TierSiCMOS, Rect: geom.R(0, 0, mm, mm/2)}},
+		}
+		insts = append(insts, nl.AddMacro("m", m, tech.TierSiCMOS))
+	}
+	if err := f.PackMacros(insts); err != nil {
+		t.Fatal(err)
+	}
+	// No pairwise overlap.
+	p := tech.Default130()
+	for i := 0; i < len(insts); i++ {
+		for j := i + 1; j < len(insts); j++ {
+			if insts[i].Bounds(p).Overlaps(insts[j].Bounds(p)) {
+				t.Fatalf("macros %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestPackMacrosOverflow(t *testing.T) {
+	f := newFP(t, 2*mm, 2*mm)
+	nl := netlist.New("t")
+	var insts []*netlist.Instance
+	for i := 0; i < 5; i++ {
+		insts = append(insts, nl.AddMacro("m", &netlist.MacroRef{Kind: "big", Width: mm, Height: mm}, tech.TierSiCMOS))
+	}
+	if err := f.PackMacros(insts); err == nil {
+		t.Error("5 x 1mm² macros cannot fit a 4mm² die")
+	}
+}
+
+func TestFreeAreaAccountsBlockages(t *testing.T) {
+	f := newFP(t, 4*mm, 4*mm)
+	freeBefore := f.FreeAreaNM2(tech.TierSiCMOS)
+	if freeBefore != f.Die.Area() {
+		t.Errorf("empty floorplan free area = %d, want %d", freeBefore, f.Die.Area())
+	}
+	f.AddBlockage(tech.TierSiCMOS, geom.R(0, 0, 2*mm, 2*mm))
+	freeAfter := f.FreeAreaNM2(tech.TierSiCMOS)
+	want := f.Die.Area() - 4*mm*mm
+	if ratio := float64(freeAfter) / float64(want); ratio < 0.98 || ratio > 1.02 {
+		t.Errorf("free area after blockage = %d, want ≈%d", freeAfter, want)
+	}
+	// Other tier unaffected.
+	if f.FreeAreaNM2(tech.TierCNFET) != f.Die.Area() {
+		t.Error("CNFET tier should be unaffected")
+	}
+}
+
+func TestM3DBankFreesSi(t *testing.T) {
+	// The mechanism behind the paper: identical bank, different style, much
+	// more free Si under the M3D bank.
+	p := tech.Default130()
+	capBits := int64(8) << 20
+	free := func(style macro.Style) int64 {
+		f := newFP(t, 6*mm, 6*mm)
+		bank, err := macro.NewRRAMBank(p, macro.RRAMBankSpec{CapacityBits: capBits, WordBits: 128, Style: style})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl := netlist.New("t")
+		inst := nl.AddMacro("b", bank.Ref, tech.TierRRAM)
+		if err := f.PlaceMacro(inst, geom.Pt(mm, mm)); err != nil {
+			t.Fatal(err)
+		}
+		return f.FreeAreaNM2(tech.TierSiCMOS)
+	}
+	f2d, f3d := free(macro.Style2D), free(macro.Style3D)
+	if f3d <= f2d {
+		t.Fatalf("M3D bank must free Si area: 2D free %d, 3D free %d", f2d, f3d)
+	}
+}
+
+func TestRows(t *testing.T) {
+	p := tech.Default130()
+	f := newFP(t, mm, 10*p.RowHeight)
+	rows := f.Rows()
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	if rows[1].Y-rows[0].Y != p.RowHeight {
+		t.Error("row spacing must be one row height")
+	}
+}
+
+func TestSizeDie(t *testing.T) {
+	p := tech.Default130()
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := netlist.New("t")
+	for i := 0; i < 1000; i++ {
+		nl.AddCell("c", lib.MustPick(cell.Nand2, 1))
+	}
+	die, err := SizeDie(p, nl, 0.7, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cellArea int64
+	for _, inst := range nl.Instances {
+		cellArea += inst.AreaNM2(p)
+	}
+	util := float64(cellArea) / float64(die.Area())
+	if util > 0.7 || util < 0.5 {
+		t.Errorf("achieved utilization %.2f outside [0.5, 0.7]", util)
+	}
+	if _, err := SizeDie(p, nl, 0, 1); err == nil {
+		t.Error("zero utilization should fail")
+	}
+	if _, err := SizeDie(p, nl, 1.5, 1); err == nil {
+		t.Error("utilization > 1 should fail")
+	}
+}
+
+func TestDensityGrid(t *testing.T) {
+	f := newFP(t, 4*mm, 4*mm)
+	f.AddBlockage(tech.TierSiCMOS, geom.R(0, 0, 4*mm, 2*mm))
+	g := f.DensityGrid(tech.TierSiCMOS)
+	if g.Max() < 0.99 {
+		t.Errorf("fully-blocked cells should be ~1, max=%g", g.Max())
+	}
+	// Top half should be free.
+	ix, iy := g.CellOf(geom.Pt(2*mm, 3*mm+mm/2))
+	if g.At(ix, iy) > 0.01 {
+		t.Errorf("free region shows density %g", g.At(ix, iy))
+	}
+}
+
+func TestPackMacros3DStacksSRAMUnderArray(t *testing.T) {
+	// A die barely bigger than the M3D bank: the SRAM buffer can only fit
+	// by stacking under the bank's array (freed Si), which 3D packing must
+	// discover.
+	p := tech.Default130()
+	bank, err := macro.NewRRAMBank(p, macro.RRAMBankSpec{CapacityBits: 8 << 20, WordBits: 128, Style: macro.Style3D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sram, err := macro.NewSRAM(p, macro.SRAMSpec{CapacityBits: 256 << 10, WordBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	die := geom.R(0, 0, bank.Ref.Width+3*MacroHalo, bank.Ref.Height+3*MacroHalo)
+	f, err := New(p, die)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := netlist.New("stack")
+	bi := nl.AddMacro("bank", bank.Ref, tech.TierRRAM)
+	si := nl.AddMacro("buf", sram.Ref, tech.TierSiCMOS)
+	if err := f.PackMacros3D([]*netlist.Instance{bi, si}); err != nil {
+		t.Fatalf("3D packing failed: %v", err)
+	}
+	// The SRAM must overlap the bank's XY footprint (it stacked).
+	if !si.Bounds(p).Overlaps(bi.Bounds(p)) {
+		t.Errorf("SRAM at %v did not stack under the bank at %v", si.Bounds(p), bi.Bounds(p))
+	}
+	// But it must avoid the bank's Si peripheral strip.
+	periph := bank.PeriphRect.Translate(bi.Pos).Inset(-MacroHalo)
+	if si.Bounds(p).Overlaps(periph.Inset(2 * MacroHalo)) {
+		t.Errorf("SRAM overlaps the bank's Si peripherals")
+	}
+}
+
+func TestPackMacros3DRejectsOverfill(t *testing.T) {
+	p := tech.Default130()
+	bank, err := macro.NewRRAMBank(p, macro.RRAMBankSpec{CapacityBits: 1 << 20, WordBits: 64, Style: macro.Style2D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sram, err := macro.NewSRAM(p, macro.SRAMSpec{CapacityBits: 1 << 20, WordBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2D bank blocks all Si under itself; a die exactly the bank's size
+	// leaves nowhere for the SRAM.
+	die := geom.R(0, 0, bank.Ref.Width+3*MacroHalo, bank.Ref.Height+3*MacroHalo)
+	f, err := New(p, die)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := netlist.New("full")
+	bi := nl.AddMacro("bank", bank.Ref, tech.TierRRAM)
+	si := nl.AddMacro("buf", sram.Ref, tech.TierSiCMOS)
+	if err := f.PackMacros3D([]*netlist.Instance{bi, si}); err == nil {
+		t.Error("SRAM cannot stack under a 2D-style bank; packing should fail")
+	}
+}

@@ -1,0 +1,26 @@
+package flow
+
+import (
+	"testing"
+
+	"m3d/internal/macro"
+	"m3d/internal/tech"
+)
+
+func BenchmarkM3DFlow(b *testing.B) {
+	p := tech.Default130()
+	spec := SoCSpec{
+		ArrayRows: 3, ArrayCols: 3,
+		RRAMCapBits:    4 << 20,
+		GlobalSRAMBits: 64 << 10,
+		NumCS:          2,
+		Banks:          2,
+		Style:          macro.Style3D,
+		Seed:           1,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+// Package flow orchestrates the RTL-to-GDS implementation flow of Fig. 4b
+// over the in-repo EDA substrate: synthesis (structural elaboration),
+// floorplanning with style-dependent RRAM macro blockages, placement,
+// 3D global routing, post-route drive optimization, static timing, power
+// analysis, and GDS export. Running the flow twice — once with 2D-style
+// banks (Si access FETs) and once with M3D-style banks on the same die —
+// reproduces the paper's Sec. II physical-design case study.
+package flow
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"m3d/internal/cell"
+	"m3d/internal/cts"
+	"m3d/internal/def"
+	"m3d/internal/drc"
+	"m3d/internal/floorplan"
+	"m3d/internal/gds"
+	"m3d/internal/geom"
+	"m3d/internal/irdrop"
+	"m3d/internal/macro"
+	"m3d/internal/place"
+	"m3d/internal/power"
+	"m3d/internal/route"
+	"m3d/internal/sta"
+	"m3d/internal/tech"
+	"m3d/internal/verilog"
+)
+
+// SoCSpec describes one accelerator SoC implementation run.
+type SoCSpec struct {
+	// Style selects 2D (Si access FETs under RRAM) or M3D (CNFET access
+	// FETs above RRAM).
+	Style macro.Style
+	// NumCS is the number of parallel computing sub-systems (1 in the 2D
+	// baseline, 8 in the paper's M3D design).
+	NumCS int
+	// ArrayRows/ArrayCols size each CS's systolic array. The full case
+	// study uses 16×16; reduced sizes run the identical flow faster.
+	ArrayRows, ArrayCols         int
+	ActBits, WeightBits, AccBits int
+	RRAMCapBits                  int64
+	Banks                        int
+	BankWordBits                 int
+	GlobalSRAMBits               int64
+	TargetClockHz                float64
+	Seed                         int64
+	// Die forces the footprint (pass the 2D result's die to the M3D run
+	// for an iso-footprint comparison). Empty = size automatically.
+	Die geom.Rect
+	// WriteGDS streams the final layout to this writer when non-nil.
+	WriteGDS io.Writer
+	// WriteVerilog streams the synthesized structural netlist when
+	// non-nil.
+	WriteVerilog io.Writer
+	// WriteDEF streams the final placement when non-nil.
+	WriteDEF io.Writer
+	// FoldLogic enables the refs [3-4]-style M3D folding flow: logic cells
+	// are min-cut partitioned between the Si and CNFET tiers (CNFET cells
+	// re-mapped to the weaker BEOL library) and the footprint shrinks to
+	// roughly half — iso-architecture, physical design only.
+	FoldLogic bool
+	// RunCTS synthesizes a buffered clock tree after placement instead of
+	// treating the clock as an ideal net; the tree is legalized and its
+	// nets are routed.
+	RunCTS bool
+}
+
+func (s SoCSpec) withDefaults() SoCSpec {
+	if s.NumCS == 0 {
+		s.NumCS = 1
+	}
+	if s.ArrayRows == 0 {
+		s.ArrayRows = 16
+	}
+	if s.ArrayCols == 0 {
+		s.ArrayCols = 16
+	}
+	if s.ActBits == 0 {
+		s.ActBits = 8
+	}
+	if s.WeightBits == 0 {
+		s.WeightBits = 8
+	}
+	if s.AccBits == 0 {
+		s.AccBits = 24
+	}
+	if s.RRAMCapBits == 0 {
+		s.RRAMCapBits = 64 << 23
+	}
+	if s.Banks == 0 {
+		s.Banks = s.NumCS
+	}
+	if s.BankWordBits == 0 {
+		s.BankWordBits = 256
+	}
+	if s.GlobalSRAMBits == 0 {
+		s.GlobalSRAMBits = 4 << 20 // 0.5 MB per CS
+	}
+	if s.TargetClockHz == 0 {
+		s.TargetClockHz = 20e6
+	}
+	return s
+}
+
+// AreaReport carries the measured area decomposition (feeds Eq. 2).
+type AreaReport struct {
+	// CSNM2 is the standard-cell area of one computing sub-system.
+	CSNM2 int64
+	// CellsNM2 is the total RRAM cell-array area (A_M^cells).
+	CellsNM2 int64
+	// PerifNM2 is the memory peripheral area (A_M^perif).
+	PerifNM2 int64
+	// FreeSiNM2 is the placeable Si area left after floorplanning.
+	FreeSiNM2 int64
+}
+
+// Result is the flow output for one SoC.
+type Result struct {
+	Spec SoCSpec
+	Die  geom.Rect
+
+	Cells, Macros int
+	HPWL          int64
+	RoutedWL      int64
+	WLByLayer     []int64
+	Vias, ILVs    int
+	OverflowEdges int
+
+	FmaxHz        float64
+	CriticalPathS float64
+	TimingMet     bool
+	Upsized       int
+	// Hold is the min-delay analysis at sign-off.
+	Hold *sta.HoldReport
+
+	// CTS is the clock-tree report (nil when RunCTS is off).
+	CTS *cts.Report
+	// Audit is the full-chip DRC sign-off report.
+	Audit *drc.Report
+	// IRDrop is the power-grid analysis at the operating point.
+	IRDrop *irdrop.Report
+
+	Power *power.Breakdown
+	Area  AreaReport
+}
+
+// FootprintMM2 returns the die area in mm².
+func (r *Result) FootprintMM2() float64 {
+	return float64(r.Die.Area()) / 1e12
+}
+
+// Run executes the full flow for one SoC spec.
+func Run(p *tech.PDK, spec SoCSpec) (*Result, error) {
+	spec = spec.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("flow: invalid PDK: %w", err)
+	}
+	siLib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Synthesis.
+	parts, err := buildSoC(p, siLib, spec)
+	if err != nil {
+		return nil, err
+	}
+	nl := parts.nl
+
+	// 1b. Optional logic folding (tier assignment + CNFET re-mapping).
+	var cnLib *cell.Library
+	if spec.FoldLogic {
+		cnLib, err = cell.NewLibrary(p, tech.TierCNFET)
+		if err != nil {
+			return nil, err
+		}
+		var total int64
+		for _, c := range nl.MovableCells() {
+			total += c.AreaNM2(p)
+		}
+		caps := map[tech.Tier]int64{
+			tech.TierSiCMOS: total * 6 / 10,
+			tech.TierCNFET:  total * 6 / 10,
+		}
+		if _, err := place.AssignTiers(nl, p, place.PartitionOptions{CapNM2: caps, Seed: spec.Seed}); err != nil {
+			return nil, fmt.Errorf("flow: tier assignment: %w", err)
+		}
+		for _, c := range nl.MovableCells() {
+			if c.Tier == tech.TierCNFET {
+				c.Cell = cnLib.MustPick(c.Cell.Kind, c.Cell.Drive)
+			}
+		}
+	}
+
+	// 2+3. Floorplan and placement. An auto-sized die is grown and retried
+	// when shelf-packing fragmentation or blockage-constrained placement
+	// overflows it; a caller-forced die (iso-footprint comparisons) fails
+	// hard instead.
+	die := spec.Die
+	forced := !die.Empty()
+	if !forced {
+		die, err = floorplan.SizeDie(p, nl, 0.55, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		if spec.FoldLogic {
+			// Folding splits the logic over two tiers (~50% logic footprint
+			// reduction, refs [3-4]) but hard macros keep their area: size
+			// the die for half the cell area plus the macros.
+			st := nl.ComputeStats(p)
+			var cellArea int64
+			for _, a := range st.CellAreaNM2 {
+				cellArea += a
+			}
+			total := float64(cellArea)/2/0.55 + float64(st.MacroAreaNM2)*1.15
+			side := int64(math.Sqrt(total))
+			side = (side/p.RowHeight + 1) * p.RowHeight
+			die = geom.R(0, 0, side, side)
+		}
+	}
+	tiers := []tech.Tier{tech.TierSiCMOS}
+	if spec.FoldLogic {
+		tiers = append(tiers, tech.TierCNFET)
+	}
+	var fp *floorplan.Floorplan
+	for try := 0; ; try++ {
+		fp, err = floorplan.New(p, die)
+		if err != nil {
+			return nil, err
+		}
+		if err = fp.PackMacros3D(nl.MacroInstances()); err == nil {
+			for _, tier := range tiers {
+				if _, err = place.Global(fp, nl, tier, place.Options{Seed: spec.Seed}); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				break
+			}
+		}
+		if forced || try >= 6 {
+			return nil, fmt.Errorf("flow: floorplan/place on die %v: %w", die, err)
+		}
+		die = geom.R(die.Lo.X, die.Lo.Y, die.Lo.X+die.W()*115/100, die.Lo.Y+die.H()*115/100)
+	}
+	// Detailed-placement refinement (annealed same-footprint swaps).
+	for _, tier := range tiers {
+		if _, err := place.Refine(fp, nl, tier, place.RefineOptions{Seed: spec.Seed}); err != nil {
+			return nil, fmt.Errorf("flow: refine: %w", err)
+		}
+	}
+	for _, tier := range tiers {
+		if err := place.CheckLegal(fp, nl, tier); err != nil {
+			return nil, fmt.Errorf("flow: placement not legal: %w", err)
+		}
+	}
+
+	// 3b. Optional clock tree synthesis + re-legalization of the inserted
+	// buffers.
+	var ctsRep *cts.Report
+	if spec.RunCTS {
+		ctsRep, err = cts.Synthesize(p, nl, siLib, cts.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("flow: cts: %w", err)
+		}
+		for _, tier := range tiers {
+			if err := place.Legalize(fp, nl, tier); err != nil {
+				return nil, fmt.Errorf("flow: post-CTS legalize: %w", err)
+			}
+		}
+	}
+
+	// 4. Global routing.
+	routes, err := route.Route(fp, nl, route.Options{IncludeClock: spec.RunCTS})
+	if err != nil {
+		return nil, fmt.Errorf("flow: route: %w", err)
+	}
+
+	// 5. Post-route optimization + STA.
+	wm := sta.NewWireModel(p, routes)
+	libs := map[tech.Tier]*cell.Library{tech.TierSiCMOS: siLib}
+	if cnLib != nil {
+		libs[tech.TierCNFET] = cnLib
+	}
+	opt, err := sta.OptimizeDrives(p, nl, wm, libs, 1/spec.TargetClockHz, 4)
+	if err != nil {
+		return nil, fmt.Errorf("flow: sta: %w", err)
+	}
+	hold, err := sta.AnalyzeHold(p, nl, wm)
+	if err != nil {
+		return nil, fmt.Errorf("flow: hold: %w", err)
+	}
+
+	// 6. Power analysis at the achieved frequency.
+	clock := spec.TargetClockHz
+	if !opt.Final.Met() && opt.Final.FmaxHz > 0 {
+		clock = opt.Final.FmaxHz
+	}
+	pw, err := power.Analyze(p, nl, wm, die, power.Options{ClockHz: clock})
+	if err != nil {
+		return nil, fmt.Errorf("flow: power: %w", err)
+	}
+
+	// 7. Area decomposition for the analytical framework.
+	var cellsArea, perifArea int64
+	for _, b := range parts.banks {
+		cellsArea += b.CellArrayAreaNM2()
+		perifArea += b.PeriphAreaNM2()
+	}
+	area := AreaReport{
+		CSNM2:     parts.csAreaNM2,
+		CellsNM2:  cellsArea,
+		PerifNM2:  perifArea,
+		FreeSiNM2: fp.FreeAreaNM2(tech.TierSiCMOS),
+	}
+
+	st := nl.ComputeStats(p)
+	res := &Result{
+		Spec:          spec,
+		Die:           die,
+		Cells:         st.Cells,
+		Macros:        st.Macros,
+		HPWL:          nl.TotalHPWL(),
+		RoutedWL:      routes.TotalWLdbu,
+		WLByLayer:     routes.WLByLayer,
+		Vias:          routes.TotalVias,
+		ILVs:          routes.TotalILVs,
+		OverflowEdges: routes.OverflowEdges,
+		FmaxHz:        opt.Final.FmaxHz,
+		CriticalPathS: opt.Final.CriticalPathS,
+		TimingMet:     opt.Final.Met(),
+		Upsized:       opt.Upsized,
+		Hold:          hold,
+		CTS:           ctsRep,
+		Power:         pw,
+		Area:          area,
+	}
+
+	// 6b. Power-grid IR drop at the operating point.
+	ir, err := irdrop.Analyze(p, die, pw.Density, irdrop.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("flow: irdrop: %w", err)
+	}
+
+	// 7b. Full-chip sign-off audit.
+	audit, err := drc.Audit(fp, nl, routes)
+	if err != nil {
+		return nil, fmt.Errorf("flow: drc: %w", err)
+	}
+	res.Audit = audit
+	res.IRDrop = ir
+
+	// 8. Interchange exports.
+	if spec.WriteVerilog != nil {
+		if err := verilog.Write(spec.WriteVerilog, nl); err != nil {
+			return nil, fmt.Errorf("flow: verilog: %w", err)
+		}
+	}
+	if spec.WriteDEF != nil {
+		if err := def.Write(spec.WriteDEF, nl, die); err != nil {
+			return nil, fmt.Errorf("flow: def: %w", err)
+		}
+	}
+	if spec.WriteGDS != nil {
+		lib, err := gds.FromDesign(p, nl, die, routes)
+		if err != nil {
+			return nil, fmt.Errorf("flow: gds: %w", err)
+		}
+		if err := lib.Encode(spec.WriteGDS); err != nil {
+			return nil, fmt.Errorf("flow: gds encode: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// CaseStudy runs the paper's Sec. II comparison at the given scale: the 2D
+// baseline (1 CS, 2D-style banks) sized automatically, then the M3D design
+// (numCS CSs, M3D-style banks, numCS× banks) on the identical die —
+// iso-footprint, iso-on-chip-memory-capacity by construction.
+func CaseStudy(p *tech.PDK, scale SoCSpec, numCS int) (twoD, m3d *Result, err error) {
+	scale = scale.withDefaults()
+
+	spec2 := scale
+	spec2.Style = macro.Style2D
+	spec2.NumCS = 1
+	spec2.Banks = 1
+	twoD, err = Run(p, spec2)
+	if err != nil {
+		return nil, nil, fmt.Errorf("flow: 2D baseline: %w", err)
+	}
+
+	spec3 := scale
+	spec3.Style = macro.Style3D
+	spec3.NumCS = numCS
+	spec3.Banks = numCS
+	spec3.Die = twoD.Die // iso-footprint
+	m3d, err = Run(p, spec3)
+	if err != nil {
+		return nil, nil, fmt.Errorf("flow: M3D design: %w", err)
+	}
+	return twoD, m3d, nil
+}

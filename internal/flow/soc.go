@@ -1,0 +1,107 @@
+package flow
+
+import (
+	"fmt"
+
+	"m3d/internal/cell"
+	"m3d/internal/macro"
+	"m3d/internal/netlist"
+	"m3d/internal/synth"
+	"m3d/internal/tech"
+)
+
+// socParts records what the SoC generator produced, for area accounting
+// and floorplanning.
+type socParts struct {
+	nl    *netlist.Netlist
+	banks []*macro.RRAMBank
+	srams []*macro.SRAM
+	// bankInsts / sramInsts are the macro instances, in order.
+	bankInsts, sramInsts []*netlist.Instance
+	// csRanges are [first, last) instance-ID ranges of each CS's cells.
+	csRanges [][2]int
+	// csAreaNM2 is the standard-cell area of one CS (average).
+	csAreaNM2 int64
+}
+
+// buildSoC elaborates the accelerator SoC netlist per the spec: NumCS
+// systolic computing sub-systems, per-CS SRAM buffer macros, RRAM bank
+// macros in the requested style, per-bank Si peripheral logic, and a top
+// controller.
+func buildSoC(p *tech.PDK, lib *cell.Library, spec SoCSpec) (*socParts, error) {
+	b := synth.NewBuilder(fmt.Sprintf("soc_%s", spec.Style), lib)
+	parts := &socParts{nl: b.NL}
+
+	// Computing sub-systems.
+	var totalCSArea int64
+	for cs := 0; cs < spec.NumCS; cs++ {
+		res := b.Systolic(fmt.Sprintf("cs%d", cs), synth.SystolicSpec{
+			Rows: spec.ArrayRows, Cols: spec.ArrayCols,
+			ActBits: spec.ActBits, WeightBits: spec.WeightBits, AccBits: spec.AccBits,
+			Activity: 0.25,
+		})
+		b.FSM(fmt.Sprintf("cs%d_ctl", cs), 8, 3)
+		for id := res.FirstCell; id < len(b.NL.Instances); id++ {
+			totalCSArea += b.NL.Instances[id].AreaNM2(p)
+		}
+		parts.csRanges = append(parts.csRanges, [2]int{res.FirstCell, len(b.NL.Instances)})
+
+		// Per-CS activation buffer macro.
+		sram, err := macro.NewSRAM(p, macro.SRAMSpec{
+			CapacityBits: spec.GlobalSRAMBits,
+			WordBits:     spec.ActBits * spec.ArrayRows,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("flow: CS %d SRAM: %w", cs, err)
+		}
+		parts.srams = append(parts.srams, sram)
+		inst := b.NL.AddMacro(fmt.Sprintf("cs%d_buf", cs), sram.Ref, tech.TierSiCMOS)
+		parts.sramInsts = append(parts.sramInsts, inst)
+		connectMacro(b, inst, spec.ActBits*spec.ArrayRows/2)
+	}
+	parts.csAreaNM2 = totalCSArea / int64(spec.NumCS)
+
+	// RRAM banks with Si peripheral/controller logic.
+	banks, err := macro.BankSet(p, spec.RRAMCapBits, spec.Banks, spec.BankWordBits, spec.Style)
+	if err != nil {
+		return nil, fmt.Errorf("flow: banks: %w", err)
+	}
+	parts.banks = banks
+	for i, bank := range banks {
+		inst := b.NL.AddMacro(fmt.Sprintf("bank%d", i), bank.Ref, tech.TierRRAM)
+		parts.bankInsts = append(parts.bankInsts, inst)
+		b.BankPeriph(fmt.Sprintf("bank%d_p", i), 16)
+		connectMacro(b, inst, 16)
+	}
+
+	// Top-level control.
+	b.FSM("top_ctl", 12, 4)
+
+	if err := b.NL.Check(); err != nil {
+		return nil, fmt.Errorf("flow: SoC netlist: %w", err)
+	}
+	return parts, nil
+}
+
+// connectMacro wires a macro instance into the netlist with nPins
+// representative data/address connections (driver buffers into the macro,
+// macro data out into capture registers).
+func connectMacro(b *synth.Builder, inst *netlist.Instance, nPins int) {
+	if nPins < 2 {
+		nPins = 2
+	}
+	lib := b.Lib
+	for i := 0; i < nPins/2; i++ {
+		// Input to the macro.
+		src := b.Input(fmt.Sprintf("%s_a%d", inst.Name, i), 0.2)
+		b.NL.MustPin(inst, fmt.Sprintf("A%d", i), false, inst.Macro.PinCapF, src)
+	}
+	for i := 0; i < nPins/2; i++ {
+		// Output from the macro into a capture register.
+		n := b.NL.AddNet(fmt.Sprintf("%s_q%d", inst.Name, i), 0.2)
+		b.NL.MustPin(inst, fmt.Sprintf("Q%d", i), true, 0, n)
+		ff := b.NL.AddCell(fmt.Sprintf("%s_cap%d", inst.Name, i), lib.MustPick(cell.DFF, 1))
+		b.NL.MustPin(ff, "D", false, ff.Cell.InputCapF, n)
+		b.NL.MustPin(ff, "CK", false, ff.Cell.InputCapF*0.8, b.Clk)
+	}
+}

@@ -1,0 +1,66 @@
+package gds
+
+import (
+	"fmt"
+
+	"m3d/internal/geom"
+	"m3d/internal/netlist"
+	"m3d/internal/route"
+	"m3d/internal/tech"
+)
+
+// dieOutlineLayer is the GDS layer for the die boundary.
+const dieOutlineLayer = 0
+
+// FromDesign exports a placed-and-routed design to a GDS library: the die
+// outline, every instance as a boundary on its tier's device layer, and
+// (when routes are given) every routed segment as a path on its metal
+// layer. This is the flow's final "GDS" deliverable (Fig. 4b).
+func FromDesign(p *tech.PDK, nl *netlist.Netlist, die geom.Rect, routes *route.Result) (*Library, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("gds: invalid PDK: %w", err)
+	}
+	lib := NewLibrary(nl.Name)
+	top := lib.AddStruct("TOP")
+	top.Elements = append(top.Elements, RectBoundary(dieOutlineLayer, 0, die))
+
+	deviceLayer := func(t tech.Tier) int16 {
+		for _, l := range p.Stack {
+			if l.Kind == tech.LayerDevice && l.Tier == t {
+				return l.GDSLayer
+			}
+		}
+		return dieOutlineLayer
+	}
+
+	for _, inst := range nl.Instances {
+		b := inst.Bounds(p)
+		if b.Empty() {
+			continue
+		}
+		layer := deviceLayer(inst.Tier)
+		dt := int16(0)
+		if inst.IsMacro() {
+			dt = 1 // macros distinguishable by datatype
+		}
+		top.Elements = append(top.Elements, RectBoundary(layer, dt, b))
+	}
+
+	if routes != nil {
+		metals := p.RoutingLayers()
+		for _, nr := range routes.Routes {
+			for _, s := range nr.Segs {
+				if s.A == s.B {
+					continue // via; omitted from stream for size
+				}
+				L := metals[s.LayerIdx]
+				top.Elements = append(top.Elements, &Path{
+					Layer: L.GDSLayer,
+					Width: int32(L.Pitch / 2),
+					XY:    []geom.Point{s.A, s.B},
+				})
+			}
+		}
+	}
+	return lib, nil
+}

@@ -1,0 +1,289 @@
+// Package gds implements a GDSII stream-format writer and a minimal reader,
+// used as the final output of the RTL-to-GDS flow. It supports the record
+// set needed for placed-and-routed layout export: HEADER, BGNLIB, LIBNAME,
+// UNITS, BGNSTR, STRNAME, BOUNDARY, PATH, LAYER, DATATYPE, WIDTH, XY,
+// ENDEL, ENDSTR, ENDLIB. Coordinates are database units (1 nm).
+package gds
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"m3d/internal/geom"
+)
+
+// GDSII record types.
+const (
+	recHEADER   = 0x00
+	recBGNLIB   = 0x01
+	recLIBNAME  = 0x02
+	recUNITS    = 0x03
+	recENDLIB   = 0x04
+	recBGNSTR   = 0x05
+	recSTRNAME  = 0x06
+	recENDSTR   = 0x07
+	recBOUNDARY = 0x08
+	recPATH     = 0x09
+	recLAYER    = 0x0d
+	recDATATYPE = 0x0e
+	recWIDTH    = 0x0f
+	recXY       = 0x10
+	recENDEL    = 0x11
+)
+
+// GDSII data types.
+const (
+	dtNone   = 0x00
+	dtInt16  = 0x02
+	dtInt32  = 0x03
+	dtReal64 = 0x05
+	dtASCII  = 0x06
+)
+
+// Element is a drawable layout element.
+type Element interface {
+	encode(w *recordWriter) error
+}
+
+// Boundary is a filled polygon on a layer. XY is the open outline; the
+// writer closes it (GDSII repeats the first point).
+type Boundary struct {
+	Layer, Datatype int16
+	XY              []geom.Point
+}
+
+// RectBoundary builds a Boundary from a rectangle.
+func RectBoundary(layer, datatype int16, r geom.Rect) *Boundary {
+	return &Boundary{
+		Layer: layer, Datatype: datatype,
+		XY: []geom.Point{
+			r.Lo, {X: r.Hi.X, Y: r.Lo.Y}, r.Hi, {X: r.Lo.X, Y: r.Hi.Y},
+		},
+	}
+}
+
+// Path is a wire centerline with a width on a layer.
+type Path struct {
+	Layer, Datatype int16
+	Width           int32
+	XY              []geom.Point
+}
+
+// Struct is a GDS structure (a named cell).
+type Struct struct {
+	Name     string
+	Elements []Element
+}
+
+// Library is a GDS library: the top-level container of the stream file.
+type Library struct {
+	Name string
+	// UserUnitPerDBU is the user unit per database unit (default 1e-3:
+	// 1 DBU = 0.001 µm). MetersPerDBU is the physical size of one database
+	// unit (default 1e-9: 1 nm).
+	UserUnitPerDBU float64
+	MetersPerDBU   float64
+	Structs        []*Struct
+}
+
+// NewLibrary creates a library with nm database units.
+func NewLibrary(name string) *Library {
+	return &Library{Name: name, UserUnitPerDBU: 1e-3, MetersPerDBU: 1e-9}
+}
+
+// AddStruct appends and returns a new named structure.
+func (l *Library) AddStruct(name string) *Struct {
+	s := &Struct{Name: name}
+	l.Structs = append(l.Structs, s)
+	return s
+}
+
+// recordWriter emits GDS records.
+type recordWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (rw *recordWriter) record(recType, dataType byte, payload []byte) {
+	if rw.err != nil {
+		return
+	}
+	total := 4 + len(payload)
+	if total > 0xFFFF {
+		rw.err = fmt.Errorf("gds: record 0x%02x payload too large (%d bytes)", recType, len(payload))
+		return
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], uint16(total))
+	hdr[2] = recType
+	hdr[3] = dataType
+	if _, err := rw.w.Write(hdr[:]); err != nil {
+		rw.err = err
+		return
+	}
+	if _, err := rw.w.Write(payload); err != nil {
+		rw.err = err
+	}
+}
+
+func (rw *recordWriter) int16s(recType byte, vals ...int16) {
+	buf := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint16(buf[2*i:], uint16(v))
+	}
+	rw.record(recType, dtInt16, buf)
+}
+
+func (rw *recordWriter) int32s(recType byte, vals ...int32) {
+	buf := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	rw.record(recType, dtInt32, buf)
+}
+
+func (rw *recordWriter) ascii(recType byte, s string) {
+	b := []byte(s)
+	if len(b)%2 == 1 {
+		b = append(b, 0) // GDS pads strings to even length
+	}
+	rw.record(recType, dtASCII, b)
+}
+
+func (rw *recordWriter) reals(recType byte, vals ...float64) {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(buf[8*i:], float64ToGDSReal(v))
+	}
+	rw.record(recType, dtReal64, buf)
+}
+
+// float64ToGDSReal converts to the GDSII 8-byte excess-64 base-16 real.
+func float64ToGDSReal(v float64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	var sign uint64
+	if v < 0 {
+		sign = 1 << 63
+		v = -v
+	}
+	exp := 0
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	// v ∈ [1/16, 1); mantissa is 56 bits.
+	mant := uint64(v * math.Pow(2, 56))
+	return sign | uint64(exp+64)<<56 | mant&((1<<56)-1)
+}
+
+// gdsRealToFloat64 converts back (for the reader).
+func gdsRealToFloat64(bits uint64) float64 {
+	if bits == 0 {
+		return 0
+	}
+	sign := 1.0
+	if bits&(1<<63) != 0 {
+		sign = -1
+	}
+	exp := int((bits>>56)&0x7F) - 64
+	mant := float64(bits&((1<<56)-1)) / math.Pow(2, 56)
+	return sign * mant * math.Pow(16, float64(exp))
+}
+
+func xyPayload(pts []geom.Point, closeLoop bool) ([]int32, error) {
+	out := make([]int32, 0, 2*(len(pts)+1))
+	add := func(p geom.Point) error {
+		if p.X < math.MinInt32 || p.X > math.MaxInt32 || p.Y < math.MinInt32 || p.Y > math.MaxInt32 {
+			return fmt.Errorf("gds: coordinate %v exceeds 32-bit range", p)
+		}
+		out = append(out, int32(p.X), int32(p.Y))
+		return nil
+	}
+	for _, p := range pts {
+		if err := add(p); err != nil {
+			return nil, err
+		}
+	}
+	if closeLoop && len(pts) > 0 {
+		if err := add(pts[0]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (b *Boundary) encode(rw *recordWriter) error {
+	if len(b.XY) < 3 {
+		return fmt.Errorf("gds: boundary needs at least 3 points, got %d", len(b.XY))
+	}
+	rw.record(recBOUNDARY, dtNone, nil)
+	rw.int16s(recLAYER, b.Layer)
+	rw.int16s(recDATATYPE, b.Datatype)
+	xy, err := xyPayload(b.XY, true)
+	if err != nil {
+		return err
+	}
+	rw.int32s(recXY, xy...)
+	rw.record(recENDEL, dtNone, nil)
+	return rw.err
+}
+
+func (p *Path) encode(rw *recordWriter) error {
+	if len(p.XY) < 2 {
+		return fmt.Errorf("gds: path needs at least 2 points, got %d", len(p.XY))
+	}
+	rw.record(recPATH, dtNone, nil)
+	rw.int16s(recLAYER, p.Layer)
+	rw.int16s(recDATATYPE, p.Datatype)
+	rw.int32s(recWIDTH, p.Width)
+	xy, err := xyPayload(p.XY, false)
+	if err != nil {
+		return err
+	}
+	rw.int32s(recXY, xy...)
+	rw.record(recENDEL, dtNone, nil)
+	return rw.err
+}
+
+// timestamp is the fixed modification time stamped into BGNLIB/BGNSTR
+// (deterministic output).
+var timestamp = [12]int16{2023, 4, 17, 0, 0, 0, 2023, 4, 17, 0, 0, 0}
+
+// Encode writes the library as a GDSII stream.
+func (l *Library) Encode(w io.Writer) error {
+	if l.Name == "" {
+		return fmt.Errorf("gds: library needs a name")
+	}
+	rw := &recordWriter{w: bufio.NewWriter(w)}
+	rw.int16s(recHEADER, 600) // stream version 6
+	rw.int16s(recBGNLIB, timestamp[:]...)
+	rw.ascii(recLIBNAME, l.Name)
+	rw.reals(recUNITS, l.UserUnitPerDBU, l.MetersPerDBU)
+	for _, s := range l.Structs {
+		if s.Name == "" {
+			return fmt.Errorf("gds: structure needs a name")
+		}
+		rw.int16s(recBGNSTR, timestamp[:]...)
+		rw.ascii(recSTRNAME, s.Name)
+		for _, e := range s.Elements {
+			if err := e.encode(rw); err != nil {
+				return err
+			}
+		}
+		rw.record(recENDSTR, dtNone, nil)
+	}
+	rw.record(recENDLIB, dtNone, nil)
+	if rw.err != nil {
+		return rw.err
+	}
+	return rw.w.Flush()
+}

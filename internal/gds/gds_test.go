@@ -1,0 +1,236 @@
+package gds
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"m3d/internal/cell"
+	"m3d/internal/geom"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+func TestGDSRealRoundTrip(t *testing.T) {
+	vals := []float64{0, 1, -1, 0.001, 1e-9, 123456.789, -0.0625, 1e-3}
+	for _, v := range vals {
+		got := gdsRealToFloat64(float64ToGDSReal(v))
+		if v == 0 {
+			if got != 0 {
+				t.Errorf("0 round trip = %g", got)
+			}
+			continue
+		}
+		if rel := math.Abs(got-v) / math.Abs(v); rel > 1e-12 {
+			t.Errorf("real %g round-tripped to %g (rel err %g)", v, got, rel)
+		}
+	}
+}
+
+func TestGDSRealRoundTripProperty(t *testing.T) {
+	f := func(mant int32, scale uint8) bool {
+		v := float64(mant) * math.Pow(10, float64(int(scale)%24-12))
+		got := gdsRealToFloat64(float64ToGDSReal(v))
+		if v == 0 {
+			return got == 0
+		}
+		return math.Abs(got-v)/math.Abs(v) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	lib := NewLibrary("testlib")
+	s := lib.AddStruct("TOP")
+	s.Elements = append(s.Elements,
+		RectBoundary(11, 0, geom.R(0, 0, 1000, 2000)),
+		&Boundary{Layer: 21, Datatype: 1, XY: []geom.Point{
+			geom.Pt(0, 0), geom.Pt(500, 0), geom.Pt(250, 400),
+		}},
+		&Path{Layer: 13, Width: 205, XY: []geom.Point{geom.Pt(0, 0), geom.Pt(9000, 0)}},
+	)
+	var buf bytes.Buffer
+	if err := lib.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Stream must start with a HEADER record of version 600.
+	b := buf.Bytes()
+	if b[2] != recHEADER || b[4] != 0x02 || b[5] != 0x58 {
+		t.Errorf("bad header bytes: % x", b[:6])
+	}
+
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "testlib" {
+		t.Errorf("library name = %q", got.Name)
+	}
+	if math.Abs(got.MetersPerDBU-1e-9)/1e-9 > 1e-12 {
+		t.Errorf("meters per DBU = %g", got.MetersPerDBU)
+	}
+	if len(got.Structs) != 1 || got.Structs[0].Name != "TOP" {
+		t.Fatalf("structs wrong: %+v", got.Structs)
+	}
+	els := got.Structs[0].Elements
+	if len(els) != 3 {
+		t.Fatalf("elements = %d, want 3", len(els))
+	}
+	rb, ok := els[0].(*Boundary)
+	if !ok || rb.Layer != 11 || len(rb.XY) != 4 {
+		t.Errorf("first element wrong: %+v", els[0])
+	}
+	tri, ok := els[1].(*Boundary)
+	if !ok || tri.Layer != 21 || tri.Datatype != 1 || len(tri.XY) != 3 {
+		t.Errorf("triangle wrong: %+v", els[1])
+	}
+	path, ok := els[2].(*Path)
+	if !ok || path.Layer != 13 || path.Width != 205 || len(path.XY) != 2 {
+		t.Errorf("path wrong: %+v", els[2])
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	lib := &Library{} // no name
+	var buf bytes.Buffer
+	if err := lib.Encode(&buf); err == nil {
+		t.Error("unnamed library should fail")
+	}
+	lib = NewLibrary("x")
+	s := lib.AddStruct("s")
+	s.Elements = append(s.Elements, &Boundary{Layer: 1, XY: []geom.Point{geom.Pt(0, 0)}})
+	if err := lib.Encode(&buf); err == nil {
+		t.Error("degenerate boundary should fail")
+	}
+	lib2 := NewLibrary("y")
+	s2 := lib2.AddStruct("s")
+	s2.Elements = append(s2.Elements, &Path{Layer: 1, XY: []geom.Point{geom.Pt(0, 0)}})
+	if err := lib2.Encode(&buf); err == nil {
+		t.Error("one-point path should fail")
+	}
+	lib3 := NewLibrary("z")
+	s3 := lib3.AddStruct("s")
+	s3.Elements = append(s3.Elements, RectBoundary(1, 0, geom.R(0, 0, int64(math.MaxInt32)+10, 5)))
+	if err := lib3.Encode(&buf); err == nil {
+		t.Error("out-of-range coordinate should fail")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	build := func() []byte {
+		lib := NewLibrary("det")
+		s := lib.AddStruct("TOP")
+		s.Elements = append(s.Elements, RectBoundary(5, 0, geom.R(1, 2, 3, 4)))
+		var buf bytes.Buffer
+		if err := lib.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Error("GDS output not byte-deterministic")
+	}
+}
+
+func TestFromDesign(t *testing.T) {
+	p := tech.Default130()
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := netlist.New("chip")
+	inv := nl.AddCell("i", lib.MustPick(cell.Inv, 1))
+	inv.Pos = geom.Pt(1000, 1000)
+	m := &netlist.MacroRef{Kind: "rram", Width: 100_000, Height: 100_000}
+	bank := nl.AddMacro("bank", m, tech.TierRRAM)
+	bank.Pos = geom.Pt(200_000, 0)
+
+	die := geom.R(0, 0, 500_000, 500_000)
+	g, err := FromDesign(p, nl, die, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// die + cell + macro = 3 boundaries.
+	if len(back.Structs[0].Elements) != 3 {
+		t.Fatalf("elements = %d, want 3", len(back.Structs[0].Elements))
+	}
+	// The macro must be on the RRAM device layer with datatype 1.
+	found := false
+	for _, e := range back.Structs[0].Elements {
+		if b, ok := e.(*Boundary); ok && b.Layer == 21 && b.Datatype == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("macro boundary not on RRAM layer / datatype 1")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail")
+	}
+	// Truncated record.
+	if _, err := Decode(bytes.NewReader([]byte{0x00, 0x08, recHEADER, dtInt16, 0x02})); err == nil {
+		t.Error("truncated record should fail")
+	}
+	// Record length < 4.
+	if _, err := Decode(bytes.NewReader([]byte{0x00, 0x02, 0, 0})); err == nil {
+		t.Error("undersized record should fail")
+	}
+}
+
+func TestDecodeRobustAgainstGarbage(t *testing.T) {
+	// The reader must reject arbitrary byte soup with errors, never panic.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(512)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on %d random bytes: %v", n, r)
+				}
+			}()
+			lib, err := Decode(bytes.NewReader(buf))
+			// Either an error or a (vacuously) parsed library is fine; a
+			// panic is not.
+			_ = lib
+			_ = err
+		}()
+	}
+}
+
+func TestDecodeTruncatedStreams(t *testing.T) {
+	// Truncate a valid stream at every byte offset: each prefix must fail
+	// cleanly (except the full stream).
+	lib := NewLibrary("trunc")
+	s := lib.AddStruct("TOP")
+	s.Elements = append(s.Elements, RectBoundary(1, 0, geom.R(0, 0, 10, 10)))
+	var full bytes.Buffer
+	if err := lib.Encode(&full); err != nil {
+		t.Fatal(err)
+	}
+	data := full.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Decode(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(data))
+		}
+	}
+	if _, err := Decode(bytes.NewReader(data)); err != nil {
+		t.Fatalf("full stream failed: %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+package geom
+
+import "fmt"
+
+// Grid is a dense 2D occupancy/capacity grid over a rectangular region,
+// used for placement density, routing capacity, blockages, and power maps.
+// Cell (0,0) covers the region's lower-left corner.
+type Grid struct {
+	Region Rect
+	NX, NY int
+	Pitch  int64 // cell size in DBU (cells are square except at the far edge)
+	vals   []float64
+}
+
+// NewGrid builds a grid over region with the given cell pitch (> 0).
+func NewGrid(region Rect, pitch int64) *Grid {
+	if pitch <= 0 {
+		panic("geom: grid pitch must be positive")
+	}
+	nx := int((region.W() + pitch - 1) / pitch)
+	ny := int((region.H() + pitch - 1) / pitch)
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	return &Grid{
+		Region: region,
+		NX:     nx,
+		NY:     ny,
+		Pitch:  pitch,
+		vals:   make([]float64, nx*ny),
+	}
+}
+
+// Clone returns a deep copy of the grid.
+func (g *Grid) Clone() *Grid {
+	out := *g
+	out.vals = make([]float64, len(g.vals))
+	copy(out.vals, g.vals)
+	return &out
+}
+
+func (g *Grid) idx(ix, iy int) int { return iy*g.NX + ix }
+
+// InBounds reports whether cell (ix, iy) exists.
+func (g *Grid) InBounds(ix, iy int) bool {
+	return ix >= 0 && ix < g.NX && iy >= 0 && iy < g.NY
+}
+
+// At returns the value of cell (ix, iy).
+func (g *Grid) At(ix, iy int) float64 {
+	if !g.InBounds(ix, iy) {
+		panic(fmt.Sprintf("geom: grid index (%d,%d) out of bounds %dx%d", ix, iy, g.NX, g.NY))
+	}
+	return g.vals[g.idx(ix, iy)]
+}
+
+// Set assigns the value of cell (ix, iy).
+func (g *Grid) Set(ix, iy int, v float64) {
+	if !g.InBounds(ix, iy) {
+		panic(fmt.Sprintf("geom: grid index (%d,%d) out of bounds %dx%d", ix, iy, g.NX, g.NY))
+	}
+	g.vals[g.idx(ix, iy)] = v
+}
+
+// Add accumulates v into cell (ix, iy).
+func (g *Grid) Add(ix, iy int, v float64) {
+	g.Set(ix, iy, g.At(ix, iy)+v)
+}
+
+// CellOf returns the cell containing p, clamped to the grid.
+func (g *Grid) CellOf(p Point) (ix, iy int) {
+	ix = int((p.X - g.Region.Lo.X) / g.Pitch)
+	iy = int((p.Y - g.Region.Lo.Y) / g.Pitch)
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= g.NX {
+		ix = g.NX - 1
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if iy >= g.NY {
+		iy = g.NY - 1
+	}
+	return ix, iy
+}
+
+// CellRect returns the region covered by cell (ix, iy), clipped to the grid
+// region.
+func (g *Grid) CellRect(ix, iy int) Rect {
+	lo := Point{
+		X: g.Region.Lo.X + int64(ix)*g.Pitch,
+		Y: g.Region.Lo.Y + int64(iy)*g.Pitch,
+	}
+	hi := Point{lo.X + g.Pitch, lo.Y + g.Pitch}
+	return Rect{Lo: lo, Hi: hi}.Intersect(g.Region)
+}
+
+// AddRect distributes v over all cells overlapping r, weighted by the
+// overlap fraction of each cell. Total added equals v scaled by the fraction
+// of r inside the grid region.
+func (g *Grid) AddRect(r Rect, v float64) {
+	clipped := r.Intersect(g.Region)
+	if clipped.Empty() || r.Area() == 0 {
+		return
+	}
+	ix0, iy0 := g.CellOf(clipped.Lo)
+	ix1, iy1 := g.CellOf(Point{clipped.Hi.X - 1, clipped.Hi.Y - 1})
+	total := float64(r.Area())
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			ov := g.CellRect(ix, iy).Intersect(clipped)
+			if !ov.Empty() {
+				g.Add(ix, iy, v*float64(ov.Area())/total)
+			}
+		}
+	}
+}
+
+// Max returns the maximum cell value (0 for an all-zero grid).
+func (g *Grid) Max() float64 {
+	m := g.vals[0]
+	for _, v := range g.vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sum returns the total of all cell values.
+func (g *Grid) Sum() float64 {
+	var s float64
+	for _, v := range g.vals {
+		s += v
+	}
+	return s
+}
+
+// Scale multiplies every cell by f.
+func (g *Grid) Scale(f float64) {
+	for i := range g.vals {
+		g.vals[i] *= f
+	}
+}

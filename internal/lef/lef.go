@@ -1,0 +1,104 @@
+// Package lef writes a subset of LEF (Library Exchange Format): the
+// technology section (routing layers with direction and pitch, cut layers)
+// and macro definitions for the standard-cell library and hard macros. It
+// is the library-side counterpart of the def package, letting external
+// tools consume the PDK and cell geometry.
+package lef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"m3d/internal/cell"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+// micron converts DBU (nm) to LEF microns.
+func micron(dbu int64) float64 { return float64(dbu) / 1000.0 }
+
+// WriteTech emits the technology LEF: units, site, and the layer stack.
+func WriteTech(w io.Writer, p *tech.PDK) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("lef: invalid PDK: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\n")
+	fmt.Fprintf(bw, "UNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS\n\n")
+	fmt.Fprintf(bw, "SITE core\n  CLASS CORE ;\n  SIZE %.3f BY %.3f ;\nEND core\n\n",
+		micron(p.SiteWidth), micron(p.RowHeight))
+	for _, l := range p.Stack {
+		switch l.Kind {
+		case tech.LayerRouting:
+			dir := "HORIZONTAL"
+			if l.Dir == tech.DirVertical {
+				dir = "VERTICAL"
+			}
+			fmt.Fprintf(bw, "LAYER %s\n  TYPE ROUTING ;\n  DIRECTION %s ;\n  PITCH %.3f ;\n  RESISTANCE RPERSQ %.4f ;\nEND %s\n\n",
+				l.Name, dir, micron(l.Pitch), l.ROhmPerUm, l.Name)
+		case tech.LayerVia:
+			fmt.Fprintf(bw, "LAYER %s\n  TYPE CUT ;\nEND %s\n\n", l.Name, l.Name)
+		}
+	}
+	fmt.Fprintf(bw, "END LIBRARY\n")
+	return bw.Flush()
+}
+
+// WriteCells emits macro definitions for every cell of the library.
+func WriteCells(w io.Writer, p *tech.PDK, lib *cell.Library) error {
+	if lib == nil {
+		return fmt.Errorf("lef: nil library")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\n\n")
+	for _, c := range lib.Cells() {
+		width := micron(int64(c.Sites) * p.SiteWidth)
+		height := micron(p.RowHeight)
+		fmt.Fprintf(bw, "MACRO %s\n  CLASS CORE ;\n  ORIGIN 0 0 ;\n  SIZE %.3f BY %.3f ;\n  SITE core ;\n",
+			c.Name, width, height)
+		// Pins: inputs A..D (by arity), output Y (Q + CK for sequential).
+		names := []string{"A", "B", "C", "D"}
+		for i := 0; i < c.NumInputs && i < len(names); i++ {
+			writePin(bw, names[i], "INPUT", width, height, i+1)
+		}
+		if c.Sequential {
+			writePin(bw, "D", "INPUT", width, height, 1)
+			writePin(bw, "CK", "INPUT", width, height, 2)
+			writePin(bw, "Q", "OUTPUT", width, height, 3)
+		} else {
+			writePin(bw, "Y", "OUTPUT", width, height, c.NumInputs+1)
+		}
+		fmt.Fprintf(bw, "END %s\n\n", c.Name)
+	}
+	fmt.Fprintf(bw, "END LIBRARY\n")
+	return bw.Flush()
+}
+
+// WriteMacros emits LEF blocks for hard macros (RRAM banks, SRAM buffers).
+func WriteMacros(w io.Writer, refs []*netlist.MacroRef) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\n\n")
+	seen := map[string]bool{}
+	for _, m := range refs {
+		if m == nil || seen[m.Kind] {
+			continue
+		}
+		seen[m.Kind] = true
+		fmt.Fprintf(bw, "MACRO %s\n  CLASS BLOCK ;\n  ORIGIN 0 0 ;\n  SIZE %.3f BY %.3f ;\nEND %s\n\n",
+			m.Kind, micron(m.Width), micron(m.Height), m.Kind)
+	}
+	fmt.Fprintf(bw, "END LIBRARY\n")
+	return bw.Flush()
+}
+
+// writePin emits one pin with a small port rectangle on M1, staggered by
+// index so pins do not overlap.
+func writePin(bw *bufio.Writer, name, dir string, width, height float64, idx int) {
+	x := width * float64(idx) / 6.0
+	if x > width-0.05 {
+		x = width - 0.05
+	}
+	fmt.Fprintf(bw, "  PIN %s\n    DIRECTION %s ;\n    PORT\n      LAYER M1 ;\n      RECT %.3f %.3f %.3f %.3f ;\n    END\n  END %s\n",
+		name, dir, x, height/3, x+0.05, height/3+0.05, name)
+}

@@ -1,0 +1,97 @@
+package lef
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"m3d/internal/cell"
+	"m3d/internal/macro"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+func TestWriteTech(t *testing.T) {
+	p := tech.Default130()
+	var buf bytes.Buffer
+	if err := WriteTech(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"VERSION 5.8 ;",
+		"DATABASE MICRONS 1000 ;",
+		"SITE core",
+		"SIZE 0.410 BY 3.690 ;",
+		"LAYER M1",
+		"DIRECTION HORIZONTAL ;",
+		"LAYER M2",
+		"DIRECTION VERTICAL ;",
+		"LAYER ILV_RRAM",
+		"TYPE CUT ;",
+		"END LIBRARY",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// All six routing layers present.
+	if n := strings.Count(out, "TYPE ROUTING ;"); n != 6 {
+		t.Errorf("routing layers = %d, want 6", n)
+	}
+	bad := tech.Default130()
+	bad.VDD = 0
+	if err := WriteTech(&buf, bad); err == nil {
+		t.Error("invalid PDK should fail")
+	}
+}
+
+func TestWriteCells(t *testing.T) {
+	p := tech.Default130()
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCells(&buf, p, lib); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "MACRO "); n != lib.Size() {
+		t.Errorf("macros = %d, want %d", n, lib.Size())
+	}
+	if !strings.Contains(out, "MACRO NAND2_X2") {
+		t.Error("missing NAND2_X2")
+	}
+	// DFF has D/CK/Q pins.
+	dffBlock := out[strings.Index(out, "MACRO DFF_X1"):]
+	dffBlock = dffBlock[:strings.Index(dffBlock, "END DFF_X1")]
+	for _, pin := range []string{"PIN D", "PIN CK", "PIN Q"} {
+		if !strings.Contains(dffBlock, pin) {
+			t.Errorf("DFF missing %q", pin)
+		}
+	}
+	if err := WriteCells(&buf, p, nil); err == nil {
+		t.Error("nil library should fail")
+	}
+}
+
+func TestWriteMacros(t *testing.T) {
+	p := tech.Default130()
+	bank, err := macro.NewRRAMBank(p, macro.RRAMBankSpec{CapacityBits: 1 << 20, WordBits: 32, Style: macro.Style3D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	// Duplicate kinds are emitted once.
+	if err := WriteMacros(&buf, []*netlist.MacroRef{bank.Ref, bank.Ref, nil}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "MACRO rram_bank_M3D"); n != 1 {
+		t.Errorf("bank macro emitted %d times", n)
+	}
+	if !strings.Contains(out, "CLASS BLOCK ;") {
+		t.Error("hard macros must be CLASS BLOCK")
+	}
+}

@@ -1,0 +1,117 @@
+// Package liberty writes the cell library in Liberty (.lib) format — the
+// timing/power view consumed by synthesis and STA tools, complementing the
+// LEF physical view. It emits the linear delay model our characterization
+// uses (intrinsic + drive resistance), pin capacitances, internal energy,
+// and leakage for every cell.
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"m3d/internal/cell"
+	"m3d/internal/tech"
+)
+
+// Write emits the library as Liberty text. Units: ns, pF, µW, µm².
+func Write(w io.Writer, p *tech.PDK, lib *cell.Library) error {
+	if lib == nil {
+		return fmt.Errorf("liberty: nil library")
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("liberty: invalid PDK: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library (%s) {\n", lib.Name)
+	fmt.Fprintf(bw, "  delay_model : generic_cmos;\n")
+	fmt.Fprintf(bw, "  time_unit : \"1ns\";\n")
+	fmt.Fprintf(bw, "  capacitive_load_unit (1, pf);\n")
+	fmt.Fprintf(bw, "  voltage_unit : \"1V\";\n")
+	fmt.Fprintf(bw, "  leakage_power_unit : \"1uW\";\n")
+	fmt.Fprintf(bw, "  nom_voltage : %.2f;\n\n", p.VDD)
+
+	for _, c := range lib.Cells() {
+		fmt.Fprintf(bw, "  cell (%s) {\n", c.Name)
+		fmt.Fprintf(bw, "    area : %.3f;\n", float64(c.AreaNM2)/1e6) // µm²
+		fmt.Fprintf(bw, "    cell_leakage_power : %.6f;\n", c.LeakageW*1e6)
+		if c.Sequential {
+			fmt.Fprintf(bw, "    ff (IQ, IQN) { clocked_on : \"CK\"; next_state : \"D\"; }\n")
+			writeInPin(bw, "D", c.InputCapF, fmt.Sprintf("setup_rising : %.6f", c.SetupS*1e9))
+			writeInPin(bw, "CK", c.InputCapF*0.8, "clock : true")
+			writeOutPin(bw, "Q", "IQ", c)
+		} else if c.Kind == cell.TieHi || c.Kind == cell.TieLo {
+			fn := "0"
+			if c.Kind == cell.TieHi {
+				fn = "1"
+			}
+			writeOutPin(bw, "Y", fn, c)
+		} else {
+			names := []string{"A", "B", "C", "D"}
+			for i := 0; i < c.NumInputs && i < len(names); i++ {
+				writeInPin(bw, names[i], c.InputCapF, "")
+			}
+			writeOutPin(bw, "Y", function(c.Kind), c)
+		}
+		fmt.Fprintf(bw, "  }\n")
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func writeInPin(bw *bufio.Writer, name string, capF float64, extra string) {
+	fmt.Fprintf(bw, "    pin (%s) {\n      direction : input;\n      capacitance : %.6f;\n", name, capF*1e12)
+	if extra != "" {
+		fmt.Fprintf(bw, "      %s;\n", extra)
+	}
+	fmt.Fprintf(bw, "    }\n")
+}
+
+func writeOutPin(bw *bufio.Writer, name, fn string, c *cell.Cell) {
+	fmt.Fprintf(bw, "    pin (%s) {\n      direction : output;\n      function : \"%s\";\n", name, fn)
+	// Linear delay model: intrinsic (ns) + resistance (ns/pF ≡ kΩ·0.69).
+	fmt.Fprintf(bw, "      timing () {\n")
+	fmt.Fprintf(bw, "        intrinsic_rise : %.6f;\n        intrinsic_fall : %.6f;\n",
+		c.IntrinsicDelayS*1e9, c.IntrinsicDelayS*1e9)
+	fmt.Fprintf(bw, "        rise_resistance : %.6f;\n        fall_resistance : %.6f;\n",
+		0.69*c.DriveResOhm*1e-3, 0.69*c.DriveResOhm*1e-3)
+	if c.Sequential {
+		fmt.Fprintf(bw, "        related_pin : \"CK\";\n")
+	}
+	fmt.Fprintf(bw, "      }\n")
+	fmt.Fprintf(bw, "      internal_power () { rise_power : %.6f; fall_power : %.6f; }\n",
+		c.SwitchEnergyJ*1e12, c.SwitchEnergyJ*1e12)
+	fmt.Fprintf(bw, "    }\n")
+}
+
+// function returns the Liberty boolean expression of a cell kind.
+func function(k cell.Kind) string {
+	switch k {
+	case cell.Inv:
+		return "!A"
+	case cell.Buf, cell.ClkBuf:
+		return "A"
+	case cell.Nand2:
+		return "!(A&B)"
+	case cell.Nor2:
+		return "!(A|B)"
+	case cell.And2:
+		return "A&B"
+	case cell.Or2:
+		return "A|B"
+	case cell.Xor2:
+		return "A^B"
+	case cell.Mux2:
+		return "(A&B)|(!A&C)"
+	case cell.Aoi22:
+		return "!((A&B)|(C&D))"
+	case cell.Maj3:
+		return "(A&B)|(B&C)|(A&C)"
+	case cell.HalfAdder:
+		return "A^B"
+	case cell.FullAdder:
+		return "A^B^C"
+	default:
+		return "A"
+	}
+}

@@ -1,0 +1,82 @@
+package liberty
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"m3d/internal/cell"
+	"m3d/internal/tech"
+)
+
+func TestWriteLiberty(t *testing.T) {
+	p := tech.Default130()
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, p, lib); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"library (m3d130_SiCMOS) {",
+		"delay_model : generic_cmos;",
+		"nom_voltage : 1.20;",
+		"cell (NAND2_X1) {",
+		"function : \"!(A&B)\";",
+		"cell (DFF_X1) {",
+		"clocked_on : \"CK\";",
+		"setup_rising",
+		"related_pin : \"CK\";",
+		"cell (MAJ3_X1) {",
+		"function : \"(A&B)|(B&C)|(A&C)\";",
+		"cell (TIEHI_X1) {",
+		"function : \"1\";",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// One cell block per library cell.
+	if n := strings.Count(out, "  cell ("); n != lib.Size() {
+		t.Errorf("cells = %d, want %d", n, lib.Size())
+	}
+	// Braces balance.
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestWriteLibertyValidation(t *testing.T) {
+	p := tech.Default130()
+	var buf bytes.Buffer
+	if err := Write(&buf, p, nil); err == nil {
+		t.Error("nil library should fail")
+	}
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := tech.Default130()
+	bad.VDD = 0
+	if err := Write(&buf, bad, lib); err == nil {
+		t.Error("invalid PDK should fail")
+	}
+}
+
+func TestFunctionExpressions(t *testing.T) {
+	cases := map[cell.Kind]string{
+		cell.Inv:       "!A",
+		cell.Xor2:      "A^B",
+		cell.Mux2:      "(A&B)|(!A&C)",
+		cell.FullAdder: "A^B^C",
+		cell.Maj3:      "(A&B)|(B&C)|(A&C)",
+	}
+	for k, want := range cases {
+		if got := function(k); got != want {
+			t.Errorf("function(%v) = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package macro generates the hard macros of the accelerator SoC: on-chip
+// RRAM memory banks (the paper's BEOL memory) and SRAM buffers. Each
+// generator derives geometry from the PDK bit-cell model and emits a
+// netlist.MacroRef whose per-tier blockages encode the paper's central
+// physical-design fact:
+//
+//   - In the 2D baseline the RRAM access transistors are Si FETs directly
+//     under the array (Fig. 3), so the array rectangle fully blocks the
+//     Si CMOS tier — no logic can be placed beneath it.
+//   - In the M3D design the access transistors are CNFETs above the array
+//     (Fig. 4a), so the array blocks only the CNFET tier and the Si CMOS
+//     area underneath is freed for additional computing sub-systems; only
+//     the memory peripherals (sense amps, controllers) still block Si.
+package macro
+
+import (
+	"fmt"
+	"math"
+
+	"m3d/internal/geom"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+// Style selects how a memory macro's access devices are implemented.
+type Style int
+
+const (
+	// Style2D uses Si access FETs under the array (baseline 2D chips).
+	Style2D Style = iota
+	// Style3D uses BEOL CNFET access transistors above the array (M3D).
+	Style3D
+)
+
+// String names the style.
+func (s Style) String() string {
+	if s == Style2D {
+		return "2D"
+	}
+	return "M3D"
+}
+
+// periphAreaFrac is the memory peripheral (sense amplifiers, write drivers,
+// controllers, decoders) area as a fraction of the cell-array area. These
+// circuits remain Si CMOS in both styles.
+const periphAreaFrac = 0.14
+
+// RRAMBankSpec describes one RRAM bank to generate.
+type RRAMBankSpec struct {
+	// CapacityBits is the bank storage capacity.
+	CapacityBits int64
+	// WordBits is the access word width (bits per read/write).
+	WordBits int
+	// Style selects 2D (Si access FETs) or M3D (CNFET access FETs).
+	Style Style
+	// Aspect is the width/height ratio of the macro (default 1).
+	Aspect float64
+}
+
+// RRAMBank is a generated RRAM bank macro with its performance model.
+type RRAMBank struct {
+	Spec RRAMBankSpec
+	Ref  *netlist.MacroRef
+
+	// ArrayRect / PeriphRect partition the macro footprint (macro-relative
+	// coordinates): the bit-cell array and the Si peripheral strip.
+	ArrayRect  geom.Rect
+	PeriphRect geom.Rect
+
+	// ReadEnergyJPerBit / WriteEnergyJPerBit include peripheral energy.
+	ReadEnergyJPerBit  float64
+	WriteEnergyJPerBit float64
+	// ReadLatencyS is the bank access latency.
+	ReadLatencyS float64
+	// BandwidthBitsPerCycle is the sustained read bandwidth at the SoC
+	// clock (one word per access cycle).
+	BandwidthBitsPerCycle int
+	// ILVCount is the number of inter-layer vias the array consumes.
+	ILVCount int64
+}
+
+// NewRRAMBank generates an RRAM bank macro from the spec.
+func NewRRAMBank(p *tech.PDK, spec RRAMBankSpec) (*RRAMBank, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("macro: invalid PDK: %w", err)
+	}
+	if spec.CapacityBits <= 0 {
+		return nil, fmt.Errorf("macro: bank capacity must be positive, got %d", spec.CapacityBits)
+	}
+	if spec.WordBits <= 0 {
+		return nil, fmt.Errorf("macro: word width must be positive, got %d", spec.WordBits)
+	}
+	if spec.Aspect == 0 {
+		spec.Aspect = 1
+	}
+	if spec.Aspect < 0.05 || spec.Aspect > 20 {
+		return nil, fmt.Errorf("macro: unreasonable aspect ratio %g", spec.Aspect)
+	}
+
+	var perBit float64
+	if spec.Style == Style2D {
+		perBit = p.RRAMAreaPerBit2D()
+	} else {
+		perBit = p.RRAMAreaPerBit3D()
+	}
+	arrayArea := float64(spec.CapacityBits) * perBit
+	periphArea := arrayArea * periphAreaFrac
+	totalArea := arrayArea + periphArea
+
+	w := int64(math.Sqrt(totalArea * spec.Aspect))
+	h := int64(totalArea / float64(w))
+	// Peripheral strip along the bottom.
+	periphH := int64(periphArea / float64(w))
+	arrayRect := geom.R(0, periphH, w, h)
+	periphRect := geom.R(0, 0, w, periphH)
+
+	var blk []netlist.Blockage
+	switch spec.Style {
+	case Style2D:
+		// Access FETs occupy Si under the whole array; peripherals too.
+		blk = append(blk,
+			netlist.Blockage{Tier: tech.TierSiCMOS, Rect: geom.R(0, 0, w, h)},
+			netlist.Blockage{Tier: tech.TierCNFET, Rect: geom.R(0, 0, w, h)},
+		)
+	case Style3D:
+		// Array blocks only the CNFET tier; Si is freed except peripherals.
+		blk = append(blk,
+			netlist.Blockage{Tier: tech.TierCNFET, Rect: arrayRect},
+			netlist.Blockage{Tier: tech.TierSiCMOS, Rect: periphRect},
+		)
+	default:
+		return nil, fmt.Errorf("macro: unknown style %d", spec.Style)
+	}
+
+	// Peripheral energy adder: sense amps + decode ≈ 60% of cell energy at
+	// this node.
+	readE := p.RRAM.ReadEnergyPJPerBit * 1.6 * 1e-12
+	writeE := p.RRAM.WriteEnergyPJPerBit * 1.25 * 1e-12
+
+	bank := &RRAMBank{
+		Spec: spec,
+		Ref: &netlist.MacroRef{
+			Kind:           fmt.Sprintf("rram_bank_%s", spec.Style),
+			Width:          w,
+			Height:         h,
+			PinCapF:        8e-15,
+			Blockages:      blk,
+			LeakageW:       1e-6 * float64(spec.CapacityBits) / 1e6, // RRAM is non-volatile: negligible
+			AccessEnergyJ:  readE * float64(spec.WordBits),
+			AccessLatencyS: p.RRAM.ReadLatencyNs * 1e-9,
+		},
+		ArrayRect:             arrayRect,
+		PeriphRect:            periphRect,
+		ReadEnergyJPerBit:     readE,
+		WriteEnergyJPerBit:    writeE,
+		ReadLatencyS:          p.RRAM.ReadLatencyNs * 1e-9,
+		BandwidthBitsPerCycle: spec.WordBits,
+		ILVCount:              spec.CapacityBits / int64(p.RRAM.BitsPerCell) * int64(p.RRAM.ViasPerCell),
+	}
+	return bank, nil
+}
+
+// CellArrayAreaNM2 returns the bit-cell array area of the bank (the paper's
+// A_M^cells contribution).
+func (b *RRAMBank) CellArrayAreaNM2() int64 { return b.ArrayRect.Area() }
+
+// PeriphAreaNM2 returns the Si peripheral area (the paper's A_M^perif
+// contribution).
+func (b *RRAMBank) PeriphAreaNM2() int64 { return b.PeriphRect.Area() }
+
+// FreedSiAreaNM2 returns the Si CMOS area this bank releases when moving
+// from 2D to M3D style: the full array footprint (access FETs move to the
+// CNFET tier). Zero for 2D-style banks.
+func (b *RRAMBank) FreedSiAreaNM2() int64 {
+	if b.Spec.Style == Style2D {
+		return 0
+	}
+	return b.ArrayRect.Area()
+}
+
+// BankSet partitions a total capacity into n equal banks, the mechanism the
+// M3D design uses to scale total memory bandwidth by n×.
+func BankSet(p *tech.PDK, totalBits int64, n int, wordBits int, style Style) ([]*RRAMBank, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("macro: bank count must be positive, got %d", n)
+	}
+	if totalBits%int64(n) != 0 {
+		return nil, fmt.Errorf("macro: capacity %d does not divide into %d banks", totalBits, n)
+	}
+	out := make([]*RRAMBank, 0, n)
+	for i := 0; i < n; i++ {
+		b, err := NewRRAMBank(p, RRAMBankSpec{
+			CapacityBits: totalBits / int64(n),
+			WordBits:     wordBits,
+			Style:        style,
+			// Tall, narrow banks: n banks side by side occupy the same
+			// square as the single-bank baseline (iso-area tiling).
+			Aspect: 1.0 / float64(n),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// SRAMSpec describes an on-chip SRAM buffer macro.
+type SRAMSpec struct {
+	CapacityBits int64
+	WordBits     int
+	Aspect       float64
+}
+
+// SRAM is a generated SRAM buffer macro. SRAM is a FEOL (Si CMOS) memory:
+// it always fully blocks the Si tier and, unlike RRAM, cannot move to the
+// BEOL — which is why the paper's Obs. 3 notes a SRAM-based 2D baseline
+// would be even larger (the 6T cell is ~2× less dense than the 1T1R RRAM).
+type SRAM struct {
+	Spec SRAMSpec
+	Ref  *netlist.MacroRef
+
+	ReadEnergyJPerBit  float64
+	WriteEnergyJPerBit float64
+	// IdleWPerBit is the retention (idle) power — nonzero, unlike RRAM.
+	IdleWPerBit float64
+}
+
+// sramDensityVsRRAM is the SRAM bit-cell area relative to the 2D RRAM cell
+// (Obs. 3: "a Si CMOS SRAM that is 2× less dense").
+const sramDensityVsRRAM = 2.0
+
+// NewSRAM generates an SRAM buffer macro.
+func NewSRAM(p *tech.PDK, spec SRAMSpec) (*SRAM, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("macro: invalid PDK: %w", err)
+	}
+	if spec.CapacityBits <= 0 {
+		return nil, fmt.Errorf("macro: SRAM capacity must be positive, got %d", spec.CapacityBits)
+	}
+	if spec.WordBits <= 0 {
+		return nil, fmt.Errorf("macro: SRAM word width must be positive, got %d", spec.WordBits)
+	}
+	if spec.Aspect == 0 {
+		spec.Aspect = 2 // buffers are typically wide and short
+	}
+	cellArea := p.RRAMAreaPerBit2D() * sramDensityVsRRAM
+	totalArea := float64(spec.CapacityBits) * cellArea * (1 + periphAreaFrac)
+	w := int64(math.Sqrt(totalArea * spec.Aspect))
+	h := int64(totalArea / float64(w))
+
+	idlePerBit := 5e-12 // W/bit retention at 130 nm
+	s := &SRAM{
+		Spec: spec,
+		Ref: &netlist.MacroRef{
+			Kind:    "sram",
+			Width:   w,
+			Height:  h,
+			PinCapF: 5e-15,
+			// SRAM occupies only its "corresponding layer" (Si CMOS): in an
+			// M3D floorplan it can sit under a BEOL RRAM array, in the
+			// freed space.
+			Blockages: []netlist.Blockage{
+				{Tier: tech.TierSiCMOS, Rect: geom.R(0, 0, w, h)},
+			},
+			LeakageW:       idlePerBit * float64(spec.CapacityBits),
+			AccessEnergyJ:  0.05e-12 * float64(spec.WordBits),
+			AccessLatencyS: 1.2e-9,
+		},
+		ReadEnergyJPerBit:  0.05e-12,
+		WriteEnergyJPerBit: 0.06e-12,
+		IdleWPerBit:        idlePerBit,
+	}
+	return s, nil
+}

@@ -1,0 +1,238 @@
+package macro
+
+import (
+	"testing"
+	"testing/quick"
+
+	"m3d/internal/tech"
+)
+
+const mbit = int64(1) << 20
+
+func TestRRAMBankGeometry(t *testing.T) {
+	p := tech.Default130()
+	b, err := NewRRAMBank(p, RRAMBankSpec{CapacityBits: 64 * mbit, WordBits: 256, Style: Style2D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Ref.Width <= 0 || b.Ref.Height <= 0 {
+		t.Fatal("degenerate macro")
+	}
+	// Array + peripheral tile the macro (up to integer rounding).
+	sum := b.ArrayRect.Area() + b.PeriphRect.Area()
+	total := b.Ref.Width * b.Ref.Height
+	if diff := total - sum; diff < 0 || diff > total/100 {
+		t.Errorf("array+periph = %d, macro = %d", sum, total)
+	}
+	// Array area ≈ capacity × bitcell.
+	want := int64(64 * float64(mbit) * p.RRAMAreaPerBit2D())
+	got := b.CellArrayAreaNM2()
+	if ratio := float64(got) / float64(want); ratio < 0.98 || ratio > 1.02 {
+		t.Errorf("array area = %d, want ≈%d", got, want)
+	}
+}
+
+func TestBlockageSemantics2DVs3D(t *testing.T) {
+	p := tech.Default130()
+	spec := RRAMBankSpec{CapacityBits: 8 * mbit, WordBits: 128}
+
+	spec.Style = Style2D
+	b2, err := NewRRAMBank(p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Style = Style3D
+	b3, err := NewRRAMBank(p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	siBlocked := func(b *RRAMBank) int64 {
+		var a int64
+		for _, blk := range b.Ref.Blockages {
+			if blk.Tier == tech.TierSiCMOS {
+				a += blk.Rect.Area()
+			}
+		}
+		return a
+	}
+	// The 2D bank blocks the whole footprint on Si; the M3D bank blocks
+	// only the peripheral strip.
+	if siBlocked(b2) != b2.Ref.Width*b2.Ref.Height {
+		t.Errorf("2D bank should block all Si: %d vs %d", siBlocked(b2), b2.Ref.Width*b2.Ref.Height)
+	}
+	if siBlocked(b3) != b3.PeriphRect.Area() {
+		t.Errorf("3D bank should block only peripherals on Si: %d vs %d", siBlocked(b3), b3.PeriphRect.Area())
+	}
+	// Freed Si area: 0 for 2D, the array footprint for 3D.
+	if b2.FreedSiAreaNM2() != 0 {
+		t.Error("2D bank frees no Si")
+	}
+	if b3.FreedSiAreaNM2() != b3.ArrayRect.Area() {
+		t.Error("3D bank must free the array footprint")
+	}
+}
+
+func TestIsoCapacityIsoAreaAcrossStyles(t *testing.T) {
+	// At δ=1 the M3D and 2D banks have the same footprint (iso-capacity,
+	// iso-area) — the M3D benefit is *where* the blockage lands, not size.
+	p := tech.Default130()
+	b2, _ := NewRRAMBank(p, RRAMBankSpec{CapacityBits: 16 * mbit, WordBits: 64, Style: Style2D})
+	b3, _ := NewRRAMBank(p, RRAMBankSpec{CapacityBits: 16 * mbit, WordBits: 64, Style: Style3D})
+	if b2.Ref.Width != b3.Ref.Width || b2.Ref.Height != b3.Ref.Height {
+		t.Errorf("footprints differ: 2D %dx%d vs 3D %dx%d",
+			b2.Ref.Width, b2.Ref.Height, b3.Ref.Width, b3.Ref.Height)
+	}
+}
+
+func TestWidthRelaxGrowsOnly3D(t *testing.T) {
+	base := tech.Default130()
+	relaxed := base.WithCNFETWidthRelax(2.0)
+	spec := RRAMBankSpec{CapacityBits: 16 * mbit, WordBits: 64, Style: Style3D}
+	b1, _ := NewRRAMBank(base, spec)
+	b2, _ := NewRRAMBank(relaxed, spec)
+	if b2.CellArrayAreaNM2() <= b1.CellArrayAreaNM2() {
+		t.Error("δ=2 must grow the M3D array")
+	}
+	spec.Style = Style2D
+	c1, _ := NewRRAMBank(base, spec)
+	c2, _ := NewRRAMBank(relaxed, spec)
+	if c2.CellArrayAreaNM2() != c1.CellArrayAreaNM2() {
+		t.Error("δ must not affect the 2D (Si access FET) array")
+	}
+}
+
+func TestBankSet(t *testing.T) {
+	p := tech.Default130()
+	banks, err := BankSet(p, 64*mbit, 8, 256, Style3D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(banks) != 8 {
+		t.Fatalf("banks = %d, want 8", len(banks))
+	}
+	var totalBW int
+	for _, b := range banks {
+		if b.Spec.CapacityBits != 8*mbit {
+			t.Errorf("bank capacity = %d, want %d", b.Spec.CapacityBits, 8*mbit)
+		}
+		totalBW += b.BandwidthBitsPerCycle
+	}
+	// 8 banks provide 8× the single-bank bandwidth.
+	if totalBW != 8*256 {
+		t.Errorf("total bandwidth = %d, want %d", totalBW, 8*256)
+	}
+}
+
+func TestBankSetErrors(t *testing.T) {
+	p := tech.Default130()
+	if _, err := BankSet(p, 64*mbit, 0, 256, Style3D); err == nil {
+		t.Error("zero banks should fail")
+	}
+	if _, err := BankSet(p, 7, 2, 256, Style3D); err == nil {
+		t.Error("non-divisible capacity should fail")
+	}
+}
+
+func TestRRAMBankSpecValidation(t *testing.T) {
+	p := tech.Default130()
+	bad := []RRAMBankSpec{
+		{CapacityBits: 0, WordBits: 8},
+		{CapacityBits: -5, WordBits: 8},
+		{CapacityBits: 1024, WordBits: 0},
+		{CapacityBits: 1024, WordBits: 8, Aspect: 100},
+	}
+	for i, spec := range bad {
+		if _, err := NewRRAMBank(p, spec); err == nil {
+			t.Errorf("spec %d should be rejected", i)
+		}
+	}
+	p2 := tech.Default130()
+	p2.ILVPitch = 0
+	if _, err := NewRRAMBank(p2, RRAMBankSpec{CapacityBits: 1024, WordBits: 8}); err == nil {
+		t.Error("invalid PDK should be rejected")
+	}
+}
+
+func TestSRAMDensityPenalty(t *testing.T) {
+	p := tech.Default130()
+	s, err := NewSRAM(p, SRAMSpec{CapacityBits: 2 * mbit, WordBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRRAMBank(p, RRAMBankSpec{CapacityBits: 2 * mbit, WordBits: 64, Style: Style2D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := s.Ref.Width * s.Ref.Height
+	ra := r.Ref.Width * r.Ref.Height
+	ratio := float64(sa) / float64(ra)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("SRAM should be ~2x the area of iso-capacity RRAM, got %.2fx", ratio)
+	}
+}
+
+func TestSRAMAlwaysBlocksSi(t *testing.T) {
+	p := tech.Default130()
+	s, _ := NewSRAM(p, SRAMSpec{CapacityBits: 1 * mbit, WordBits: 32})
+	var si int64
+	for _, blk := range s.Ref.Blockages {
+		if blk.Tier == tech.TierSiCMOS {
+			si += blk.Rect.Area()
+		}
+	}
+	if si != s.Ref.Width*s.Ref.Height {
+		t.Error("SRAM must fully block the Si tier")
+	}
+}
+
+func TestSRAMIdlePowerNonzeroRRAMNegligible(t *testing.T) {
+	p := tech.Default130()
+	s, _ := NewSRAM(p, SRAMSpec{CapacityBits: 16 * mbit, WordBits: 64})
+	r, _ := NewRRAMBank(p, RRAMBankSpec{CapacityBits: 16 * mbit, WordBits: 64, Style: Style2D})
+	if s.Ref.LeakageW <= r.Ref.LeakageW {
+		t.Error("SRAM retention power should exceed RRAM leakage (non-volatility)")
+	}
+}
+
+func TestSRAMValidation(t *testing.T) {
+	p := tech.Default130()
+	if _, err := NewSRAM(p, SRAMSpec{CapacityBits: 0, WordBits: 8}); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := NewSRAM(p, SRAMSpec{CapacityBits: 8, WordBits: 0}); err == nil {
+		t.Error("zero word should fail")
+	}
+}
+
+func TestBankAreaLinearInCapacity(t *testing.T) {
+	p := tech.Default130()
+	f := func(mbRaw uint8) bool {
+		mb := 1 + int64(mbRaw)%64
+		b1, err1 := NewRRAMBank(p, RRAMBankSpec{CapacityBits: mb * mbit, WordBits: 64, Style: Style3D})
+		b2, err2 := NewRRAMBank(p, RRAMBankSpec{CapacityBits: 2 * mb * mbit, WordBits: 64, Style: Style3D})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		ratio := float64(b2.CellArrayAreaNM2()) / float64(b1.CellArrayAreaNM2())
+		return ratio > 1.98 && ratio < 2.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestILVCount(t *testing.T) {
+	p := tech.Default130()
+	b, _ := NewRRAMBank(p, RRAMBankSpec{CapacityBits: 1024, WordBits: 8, Style: Style3D})
+	wantCells := 1024 / int64(p.RRAM.BitsPerCell)
+	if b.ILVCount != wantCells*int64(p.RRAM.ViasPerCell) {
+		t.Errorf("ILV count = %d, want %d", b.ILVCount, wantCells*int64(p.RRAM.ViasPerCell))
+	}
+}
+
+func TestStyleString(t *testing.T) {
+	if Style2D.String() != "2D" || Style3D.String() != "M3D" {
+		t.Error("style names wrong")
+	}
+}

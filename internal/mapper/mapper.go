@@ -1,0 +1,258 @@
+// Package mapper is the architectural mapping engine standing in for the
+// ZigZag DNN-accelerator simulator [13] the paper validates against
+// (Fig. 7): for each layer it searches temporal tilings of the (K, C, OX,
+// OY) loop nest over the accelerator's buffer hierarchy, under buffer
+// capacity constraints and two loop-order families (weight-stationary and
+// output-stationary), counting per-level memory accesses and deriving
+// cycles and energy for the best mapping.
+package mapper
+
+import (
+	"fmt"
+	"math"
+
+	"m3d/internal/arch"
+	"m3d/internal/workload"
+)
+
+// Order is the outer-loop family of a mapping.
+type Order int
+
+const (
+	// WeightStationary fetches each weight tile once; inputs are re-read
+	// per output-channel tile and partial sums spill per input-channel
+	// tile.
+	WeightStationary Order = iota
+	// OutputStationary keeps output tiles resident; weights are re-fetched
+	// per output-pixel tile.
+	OutputStationary
+)
+
+// String names the order.
+func (o Order) String() string {
+	if o == WeightStationary {
+		return "WS"
+	}
+	return "OS"
+}
+
+// Mapping is one candidate temporal tiling.
+type Mapping struct {
+	Order          Order
+	TK, TC, TX, TY int // temporal tile sizes (output channels, input channels, OX, OY)
+}
+
+// Cost is the evaluated cost of a mapping.
+type Cost struct {
+	Mapping Mapping
+	Cycles  int64
+	EnergyJ float64
+	// RRAMBits / GlobalBits / LocalBits are per-level traffic.
+	RRAMBits, GlobalBits, LocalBits float64
+	Feasible                        bool
+}
+
+// EDP returns cycles × energy (relative EDP; the clock divides out in
+// benefit ratios).
+func (c Cost) EDP() float64 { return float64(c.Cycles) * c.EnergyJ }
+
+// perBit energies of the hierarchy levels (J/bit). Registers are folded
+// into the MAC energy.
+const (
+	localJPerBit = 0.02e-12
+)
+
+// tileCandidates returns the power-of-two divisors-style candidates for a
+// dimension (1, 2, 4, ..., plus the dimension itself).
+func tileCandidates(dim int) []int {
+	var out []int
+	for v := 1; v < dim; v *= 2 {
+		out = append(out, v)
+	}
+	return append(out, dim)
+}
+
+// Evaluate evaluates one mapping of a layer on the accelerator.
+func Evaluate(a *arch.Accel, l workload.Layer, m Mapping) Cost {
+	wBits := float64(l.Weights()) * float64(a.WeightBits)
+	inBits := float64(l.InputActs()) * float64(a.ActBits)
+	outBits := float64(l.OutputActs()) * float64(a.ActBits)
+
+	nK := int64(math.Ceil(float64(l.K) / float64(m.TK)))
+	nC := int64(math.Ceil(float64(l.C) / float64(m.TC)))
+	nX := int64(math.Ceil(float64(l.OX) / float64(m.TX)))
+	nY := int64(math.Ceil(float64(l.OY) / float64(m.TY)))
+
+	// Buffer requirements of the tile (bits).
+	wTile := float64(m.TK*m.TC*l.R*l.S) * float64(a.WeightBits)
+	ix := (m.TX-1)*l.Stride + l.R
+	iy := (m.TY-1)*l.Stride + l.S
+	iTile := float64(ix*iy*m.TC) * float64(a.ActBits)
+	oTile := float64(m.TK*m.TX*m.TY) * float64(a.AccBitsOrDefault())
+	localBits := a.Mem.LocalKB * 8192
+	if a.Mem.LocalKB == 0 {
+		// Architectures without local buffers (Table II Arch 3) hold tiles
+		// in their large per-PE register files.
+		localBits = float64(a.Mem.RegPerPEBits * a.CS.PEs())
+	}
+	feasible := wTile+iTile+oTile <= localBits
+
+	// Per-level traffic by loop order.
+	var rram, global float64
+	switch m.Order {
+	case WeightStationary:
+		// Weights once; inputs re-read per K-tile; partials spill per
+		// C-tile beyond the first.
+		rram = wBits
+		global = inBits*float64(nK) + outBits*float64(2*(nC-1)+1)
+	case OutputStationary:
+		// Outputs once; weights re-fetched per output-pixel tile; inputs
+		// re-read per K-tile.
+		rram = wBits * float64(nX*nY)
+		global = inBits*float64(nK) + outBits
+	}
+	local := 2 * (wBits*float64(nX*nY) + inBits*float64(nK) + outBits*float64(nC))
+
+	// Parallelism across CSs: output-channel tiles partition (the paper's
+	// N#); inputs are replicated to the CSs sharing the layer.
+	nPart := int(nK)
+	nmax := a.NumCS
+	if nPart < nmax {
+		nmax = nPart
+	}
+
+	// Compute cycles with spatial under-utilization, per CS. Grouped
+	// convolutions shrink the per-output input fan-in to C/groups.
+	groups := int64(1)
+	if l.Groups > 1 {
+		groups = int64(l.Groups)
+	}
+	tilesK := ceilDiv(int64(l.K), int64(a.CS.K))
+	kPerCS := ceilDiv(tilesK, int64(nmax))
+	pass := ceilDiv(int64(l.C)/groups, int64(a.CS.C)) *
+		ceilDiv(int64(l.OX), int64(a.CS.OX)) *
+		ceilDiv(int64(l.OY), int64(a.CS.OY)) *
+		int64(l.R) * int64(l.S)
+	compute := kPerCS * (pass + int64(a.FillCycles))
+
+	// Bandwidth cycles: RRAM traffic across the banked interface (inputs
+	// replicated: the global term scales by participating CSs for input
+	// reads but is served by the shared buffer bandwidth per CS).
+	rramCyc := int64(rram / a.TotalRRAMBWBitsPerCycle() * float64(a.NumCS) / float64(nmax))
+	globalCyc := int64(global / (a.ActBWBitsPerCycle * float64(nmax)))
+
+	cycles := compute
+	if rramCyc > cycles {
+		cycles = rramCyc
+	}
+	if globalCyc > cycles {
+		cycles = globalCyc
+	}
+
+	e := a.Energy
+	energy := float64(l.MACs())*e.MACJ +
+		rram*e.RRAMReadJPerBit +
+		global*e.SRAMJPerBit +
+		local*localJPerBit
+	energy += float64(a.NumCS-nmax) * float64(cycles) * e.CSIdleJPerCycle
+	energy += float64(nmax) * float64(cycles-compute) * e.CSIdleJPerCycle
+
+	return Cost{
+		Mapping:    m,
+		Cycles:     cycles,
+		EnergyJ:    energy,
+		RRAMBits:   rram,
+		GlobalBits: global,
+		LocalBits:  local,
+		Feasible:   feasible,
+	}
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// BestMapping searches tilings and orders for the layer, returning the
+// feasible mapping with minimum EDP (falling back to the minimum-EDP
+// infeasible mapping if no tiling fits the buffers).
+func BestMapping(a *arch.Accel, l workload.Layer) (Cost, error) {
+	if err := a.Validate(); err != nil {
+		return Cost{}, err
+	}
+	if err := l.Validate(); err != nil {
+		return Cost{}, err
+	}
+	var best, bestInfeasible Cost
+	haveF, haveI := false, false
+	for _, order := range []Order{WeightStationary, OutputStationary} {
+		for _, tk := range tileCandidates(l.K) {
+			for _, tc := range tileCandidates(l.C) {
+				for _, tx := range tileCandidates(l.OX) {
+					for _, ty := range tileCandidates(l.OY) {
+						c := Evaluate(a, l, Mapping{Order: order, TK: tk, TC: tc, TX: tx, TY: ty})
+						if c.Feasible {
+							if !haveF || c.EDP() < best.EDP() {
+								best, haveF = c, true
+							}
+						} else if !haveI || c.EDP() < bestInfeasible.EDP() {
+							bestInfeasible, haveI = c, true
+						}
+					}
+				}
+			}
+		}
+	}
+	if haveF {
+		return best, nil
+	}
+	if haveI {
+		return bestInfeasible, nil
+	}
+	return Cost{}, fmt.Errorf("mapper: no mapping found for %s", l.Name)
+}
+
+// ModelCost aggregates best-mapping costs over a model.
+type ModelCost struct {
+	Model   string
+	Layers  []Cost
+	Cycles  int64
+	EnergyJ float64
+}
+
+// EDP returns aggregate cycles × energy.
+func (m ModelCost) EDP() float64 { return float64(m.Cycles) * m.EnergyJ }
+
+// EvalModel maps every layer of the model.
+func EvalModel(a *arch.Accel, m workload.Model) (ModelCost, error) {
+	out := ModelCost{Model: m.Name}
+	for _, l := range m.Layers {
+		c, err := BestMapping(a, l)
+		if err != nil {
+			return ModelCost{}, fmt.Errorf("mapper: %s/%s: %w", m.Name, l.Name, err)
+		}
+		out.Layers = append(out.Layers, c)
+		out.Cycles += c.Cycles
+		out.EnergyJ += c.EnergyJ
+	}
+	return out, nil
+}
+
+// Benefit compares accelerator a against baseline on model m, returning
+// (speedup, energyRatio, edpBenefit) under mapper costs — the Fig. 7 "ZZ"
+// bars.
+func Benefit(a, baseline *arch.Accel, m workload.Model) (speedup, energyRatio, edp float64, err error) {
+	mine, err := EvalModel(a, m)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	base, err := EvalModel(baseline, m)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	speedup = float64(base.Cycles) / float64(mine.Cycles)
+	energyRatio = base.EnergyJ / mine.EnergyJ
+	return speedup, energyRatio, speedup * energyRatio, nil
+}

@@ -1,0 +1,155 @@
+package mapper
+
+import (
+	"math"
+	"testing"
+
+	"m3d/internal/arch"
+	"m3d/internal/workload"
+)
+
+func TestTileCandidates(t *testing.T) {
+	got := tileCandidates(56)
+	want := []int{1, 2, 4, 8, 16, 32, 56}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+	if c := tileCandidates(1); len(c) != 1 || c[0] != 1 {
+		t.Errorf("dim 1 candidates = %v", c)
+	}
+}
+
+func TestBestMappingFindsFeasible(t *testing.T) {
+	a := arch.CaseStudy2D()
+	l := workload.ResNet18().Layers[1] // L1.0 CONV1
+	c, err := BestMapping(a, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Feasible {
+		t.Error("a 64KB local buffer should fit some tiling of a 64x64 3x3 layer")
+	}
+	if c.Cycles <= 0 || c.EnergyJ <= 0 {
+		t.Fatal("degenerate cost")
+	}
+	// Compute lower bound: cycles can't beat F0 / (utilized PEs).
+	min := l.MACs() / int64(a.PPeak())
+	if c.Cycles < min {
+		t.Errorf("cycles %d below the compute bound %d", c.Cycles, min)
+	}
+}
+
+func TestWeightStationaryWinsForConv(t *testing.T) {
+	// For a conv layer with large spatial reuse, re-fetching weights per
+	// output tile (OS with small tiles) costs more RRAM traffic than WS.
+	a := arch.CaseStudy2D()
+	l := workload.ResNet18().Layers[1]
+	ws := Evaluate(a, l, Mapping{Order: WeightStationary, TK: 16, TC: 16, TX: 56, TY: 56})
+	os := Evaluate(a, l, Mapping{Order: OutputStationary, TK: 16, TC: 16, TX: 8, TY: 8})
+	if ws.RRAMBits >= os.RRAMBits {
+		t.Errorf("WS RRAM traffic %g should beat tiled OS %g", ws.RRAMBits, os.RRAMBits)
+	}
+}
+
+func TestMapperCloseToDirectModel(t *testing.T) {
+	// The mapper's best cost should be within ~25% of the direct arch
+	// cost model on compute-bound conv layers (same roofline structure).
+	a := arch.CaseStudy2D()
+	for _, idx := range []int{1, 7, 17} {
+		l := workload.ResNet18().Layers[idx]
+		mc, err := BestMapping(a, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct := a.EvalLayer(l)
+		ratio := float64(mc.Cycles) / float64(direct.Cycles)
+		if ratio < 0.75 || ratio > 1.35 {
+			t.Errorf("%s: mapper cycles %d vs direct %d (ratio %.2f)", l.Name, mc.Cycles, direct.Cycles, ratio)
+		}
+	}
+}
+
+func TestEvalModelAggregates(t *testing.T) {
+	a := arch.CaseStudy2D()
+	m := workload.ResNet18()
+	mc, err := EvalModel(a, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Layers) != len(m.Layers) {
+		t.Fatal("missing layers")
+	}
+	var cyc int64
+	for _, c := range mc.Layers {
+		cyc += c.Cycles
+	}
+	if cyc != mc.Cycles {
+		t.Error("cycle aggregation mismatch")
+	}
+	if mc.EDP() <= 0 {
+		t.Error("EDP must be positive")
+	}
+}
+
+func TestBenefitMatchesDirectModelBand(t *testing.T) {
+	// The paper validates its analytical model within 10% of ZigZag; our
+	// mapper and direct model should agree on the M3D benefit within ~20%.
+	m3d, b2d := arch.CaseStudy3D(), arch.CaseStudy2D()
+	rn := workload.ResNet18()
+	sp, er, edp, err := Benefit(m3d, b2d, rn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, directEDP, err := m3d.Benefit(b2d, rn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 4.0 || sp > 8.5 {
+		t.Errorf("mapper speedup %.2f outside the case-study band", sp)
+	}
+	if er < 0.85 || er > 1.1 {
+		t.Errorf("mapper energy ratio %.3f should be ≈1", er)
+	}
+	if rel := math.Abs(edp-directEDP) / directEDP; rel > 0.25 {
+		t.Errorf("mapper EDP benefit %.2f vs direct %.2f (rel %.2f)", edp, directEDP, rel)
+	}
+}
+
+func TestInfeasibleFallback(t *testing.T) {
+	// Shrink local buffers to nothing: mapping still returns (marked
+	// infeasible) rather than failing.
+	a := arch.CaseStudy2D()
+	a.Mem.LocalKB = 0.001
+	a.Mem.RegPerPEBits = 1
+	l := workload.ResNet18().Layers[1]
+	c, err := BestMapping(a, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Feasible {
+		t.Error("nothing should fit a 1-byte buffer")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	a := arch.CaseStudy2D()
+	a.NumCS = 0
+	if _, err := BestMapping(a, workload.ResNet18().Layers[1]); err == nil {
+		t.Error("invalid accel should fail")
+	}
+	b := arch.CaseStudy2D()
+	if _, err := BestMapping(b, workload.Layer{Name: "bad"}); err == nil {
+		t.Error("invalid layer should fail")
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if WeightStationary.String() != "WS" || OutputStationary.String() != "OS" {
+		t.Error("order names wrong")
+	}
+}

@@ -1,0 +1,389 @@
+// Package place implements the placement stage of the flow: min-cut tier
+// assignment for M3D designs (Fiduccia–Mattheyses style bi-partitioning),
+// force-directed global placement with density spreading around macro
+// blockages, and Tetris-style row legalization.
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"m3d/internal/floorplan"
+	"m3d/internal/geom"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+// Options tunes the global placer.
+type Options struct {
+	// Iterations is the number of attraction/spreading rounds (default 24).
+	Iterations int
+	// Seed makes placement deterministic.
+	Seed int64
+	// TargetDensity is the bin utilization ceiling (default 0.75).
+	TargetDensity float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations <= 0 {
+		o.Iterations = 24
+	}
+	if o.TargetDensity <= 0 {
+		o.TargetDensity = 0.75
+	}
+	return o
+}
+
+// Result reports placement quality.
+type Result struct {
+	// HPWL is the post-placement half-perimeter wirelength (DBU).
+	HPWL int64
+	// Cells is the number of cells placed.
+	Cells int
+}
+
+// maxFanoutForForces excludes huge nets (clock, resets) from attraction.
+const maxFanoutForForces = 32
+
+// Global places the movable cells of the given tier inside the floorplan
+// using iterative net attraction plus density spreading, then legalizes
+// them onto rows. Fixed instances and macros are respected as blockages.
+func Global(f *floorplan.Floorplan, nl *netlist.Netlist, tier tech.Tier, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	cells := movableOn(nl, tier)
+	if len(cells) == 0 {
+		return Result{}, nil
+	}
+	p := f.PDK
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Initial spread: jitter around the die center.
+	die := f.Die
+	cx, cy := die.Center().X, die.Center().Y
+	for _, c := range cells {
+		c.Pos = geom.Pt(
+			cx+int64(rng.NormFloat64()*float64(die.W())/8),
+			cy+int64(rng.NormFloat64()*float64(die.H())/8),
+		)
+		clampInto(c, die, p)
+	}
+
+	binPitch := die.W() / 48
+	if binPitch < 4*p.RowHeight {
+		binPitch = 4 * p.RowHeight
+	}
+	blocked := f.DensityGrid(tier)
+
+	for it := 0; it < opt.Iterations; it++ {
+		// Attraction: move every cell toward the centroid of its connected
+		// pins, with a cooling factor.
+		alpha := 0.8 * (1 - float64(it)/float64(opt.Iterations+1))
+		for _, c := range cells {
+			sx, sy, n := int64(0), int64(0), 0
+			for _, pin := range c.Pins() {
+				net := pin.Net
+				if net == nil || net.Clock || len(net.Sinks)+1 > maxFanoutForForces {
+					continue
+				}
+				for _, other := range net.Pins() {
+					if other.Inst == c {
+						continue
+					}
+					loc := other.Loc()
+					sx += loc.X
+					sy += loc.Y
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			tx := float64(sx)/float64(n) - float64(c.Pos.X)
+			ty := float64(sy)/float64(n) - float64(c.Pos.Y)
+			c.Pos = geom.Pt(c.Pos.X+int64(alpha*tx), c.Pos.Y+int64(alpha*ty))
+			clampInto(c, die, p)
+		}
+		// Density spreading: push cells out of over-full / blocked bins.
+		spread(cells, f, tier, binPitch, blocked, opt.TargetDensity, rng)
+	}
+
+	if err := Legalize(f, nl, tier); err != nil {
+		return Result{}, err
+	}
+	return Result{HPWL: nl.TotalHPWL(), Cells: len(cells)}, nil
+}
+
+func movableOn(nl *netlist.Netlist, tier tech.Tier) []*netlist.Instance {
+	var out []*netlist.Instance
+	for _, inst := range nl.MovableCells() {
+		if inst.Tier == tier {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+func clampInto(c *netlist.Instance, die geom.Rect, p *tech.PDK) {
+	w, h := c.Width(p), c.Height(p)
+	if c.Pos.X < die.Lo.X {
+		c.Pos.X = die.Lo.X
+	}
+	if c.Pos.Y < die.Lo.Y {
+		c.Pos.Y = die.Lo.Y
+	}
+	if c.Pos.X+w > die.Hi.X {
+		c.Pos.X = die.Hi.X - w
+	}
+	if c.Pos.Y+h > die.Hi.Y {
+		c.Pos.Y = die.Hi.Y - h
+	}
+}
+
+// spread relieves over-dense bins by moving cells toward the least dense
+// neighbouring bin.
+func spread(cells []*netlist.Instance, f *floorplan.Floorplan, tier tech.Tier,
+	binPitch int64, blocked *geom.Grid, target float64, rng *rand.Rand) {
+
+	p := f.PDK
+	g := geom.NewGrid(f.Die, binPitch)
+	byBin := make(map[[2]int][]*netlist.Instance)
+	for _, c := range cells {
+		ix, iy := g.CellOf(c.Pos)
+		g.Add(ix, iy, float64(c.AreaNM2(p)))
+		byBin[[2]int{ix, iy}] = append(byBin[[2]int{ix, iy}], c)
+	}
+	keys := make([][2]int, 0, len(byBin))
+	for key := range byBin {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][1] != keys[b][1] {
+			return keys[a][1] < keys[b][1]
+		}
+		return keys[a][0] < keys[b][0]
+	})
+	for _, key := range keys {
+		cs := byBin[key]
+		ix, iy := key[0], key[1]
+		cellRect := g.CellRect(ix, iy)
+		capArea := float64(cellRect.Area())
+		// Subtract blocked fraction (sampled from the floorplan grid).
+		bx, by := blocked.CellOf(cellRect.Center())
+		avail := capArea * (1 - blocked.At(bx, by)) * target
+		used := g.At(ix, iy)
+		if used <= avail || avail <= 0 && used == 0 {
+			continue
+		}
+		// Move the overflow (random subset) toward the least-used neighbour.
+		moveFrac := 1 - avail/used
+		if avail <= 0 {
+			moveFrac = 1
+		}
+		bestIx, bestIy, bestScore := ix, iy, math.Inf(1)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				jx, jy := ix+dx, iy+dy
+				if (dx == 0 && dy == 0) || !g.InBounds(jx, jy) {
+					continue
+				}
+				nr := g.CellRect(jx, jy)
+				nbx, nby := blocked.CellOf(nr.Center())
+				navail := float64(nr.Area()) * (1 - blocked.At(nbx, nby)) * target
+				if navail <= 0 {
+					continue
+				}
+				score := g.At(jx, jy) / navail
+				if score < bestScore {
+					bestScore, bestIx, bestIy = score, jx, jy
+				}
+			}
+		}
+		if bestIx == ix && bestIy == iy {
+			continue
+		}
+		dst := g.CellRect(bestIx, bestIy)
+		for _, c := range cs {
+			if rng.Float64() > moveFrac {
+				continue
+			}
+			c.Pos = geom.Pt(
+				dst.Lo.X+rng.Int63n(max64(dst.W(), 1)),
+				dst.Lo.Y+rng.Int63n(max64(dst.H(), 1)),
+			)
+			clampInto(c, f.Die, p)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// segment is a free interval of one placement row.
+type segment struct {
+	x0, x1 int64
+	cursor int64
+}
+
+// Legalize snaps the tier's movable cells onto rows and sites, avoiding
+// blockages and overlaps, minimizing displacement greedily (Tetris style).
+func Legalize(f *floorplan.Floorplan, nl *netlist.Netlist, tier tech.Tier) error {
+	p := f.PDK
+	cells := movableOn(nl, tier)
+	if len(cells) == 0 {
+		return nil
+	}
+	rows := f.Rows()
+	if len(rows) == 0 {
+		return fmt.Errorf("place: floorplan has no rows")
+	}
+	blocks := f.Blockages(tier)
+
+	// Build free segments per row.
+	segsPerRow := make([][]segment, len(rows))
+	for i, r := range rows {
+		rowRect := geom.R(r.X0, r.Y, r.X1, r.Y+p.RowHeight)
+		var cuts []geom.Rect
+		for _, b := range blocks {
+			if b.Overlaps(rowRect) {
+				cuts = append(cuts, b)
+			}
+		}
+		sort.Slice(cuts, func(a, b int) bool { return cuts[a].Lo.X < cuts[b].Lo.X })
+		x := r.X0
+		var segs []segment
+		for _, cRect := range cuts {
+			if cRect.Lo.X > x {
+				segs = append(segs, segment{x0: x, x1: cRect.Lo.X, cursor: x})
+			}
+			if cRect.Hi.X > x {
+				x = cRect.Hi.X
+			}
+		}
+		if x < r.X1 {
+			segs = append(segs, segment{x0: x, x1: r.X1, cursor: x})
+		}
+		segsPerRow[i] = segs
+	}
+
+	// Place cells in x order.
+	order := append([]*netlist.Instance(nil), cells...)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Pos.X < order[j].Pos.X })
+
+	rowOf := func(y int64) int {
+		i := int((y - rows[0].Y) / p.RowHeight)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(rows) {
+			i = len(rows) - 1
+		}
+		return i
+	}
+
+	for _, c := range order {
+		w := c.Width(p)
+		home := rowOf(c.Pos.Y)
+		bestCost := int64(math.MaxInt64)
+		bestRow, bestSeg := -1, -1
+		// Expanding row search; break once the row distance alone exceeds
+		// the best cost so far.
+		for d := 0; d < len(rows); d++ {
+			progressed := false
+			for _, ri := range []int{home - d, home + d} {
+				if ri < 0 || ri >= len(rows) || (d == 0 && ri != home) {
+					continue
+				}
+				progressed = true
+				rowDist := int64(d) * p.RowHeight
+				if rowDist >= bestCost {
+					continue
+				}
+				for si := range segsPerRow[ri] {
+					s := &segsPerRow[ri][si]
+					x := snapUp(s.cursor-f.Die.Lo.X, p.SiteWidth) + f.Die.Lo.X
+					if s.x1-x < w {
+						continue
+					}
+					cost := rowDist + abs64(x-c.Pos.X)
+					if cost < bestCost {
+						bestCost, bestRow, bestSeg = cost, ri, si
+					}
+				}
+			}
+			if !progressed || (bestRow >= 0 && int64(d)*p.RowHeight > bestCost) {
+				break
+			}
+		}
+		if bestRow < 0 {
+			return fmt.Errorf("place: no legal slot for %s (width %d) on tier %v", c.Name, w, tier)
+		}
+		s := &segsPerRow[bestRow][bestSeg]
+		x := snapUp(s.cursor-f.Die.Lo.X, p.SiteWidth) + f.Die.Lo.X
+		c.Pos = geom.Pt(x, rows[bestRow].Y)
+		s.cursor = x + w
+	}
+	return nil
+}
+
+// snapUp rounds x up to the next site boundary.
+func snapUp(x, site int64) int64 {
+	if r := x % site; r != 0 {
+		if x >= 0 {
+			return x + site - r
+		}
+		return x - r
+	}
+	return x
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// CheckLegal verifies the tier's placement: all cells on rows/sites inside
+// the die, no overlaps, no blockage violations.
+func CheckLegal(f *floorplan.Floorplan, nl *netlist.Netlist, tier tech.Tier) error {
+	p := f.PDK
+	cells := movableOn(nl, tier)
+	type placed struct {
+		inst *netlist.Instance
+		r    geom.Rect
+	}
+	byRow := make(map[int64][]placed)
+	for _, c := range cells {
+		b := c.Bounds(p)
+		if !f.Die.ContainsRect(b) {
+			return fmt.Errorf("place: %s outside die", c.Name)
+		}
+		if (c.Pos.Y-f.Die.Lo.Y)%p.RowHeight != 0 {
+			return fmt.Errorf("place: %s not on a row (y=%d)", c.Name, c.Pos.Y)
+		}
+		if (c.Pos.X-f.Die.Lo.X)%p.SiteWidth != 0 {
+			return fmt.Errorf("place: %s not on a site (x=%d)", c.Name, c.Pos.X)
+		}
+		for _, blk := range f.Blockages(tier) {
+			if blk.Overlaps(b) {
+				return fmt.Errorf("place: %s overlaps a blockage at %v", c.Name, blk)
+			}
+		}
+		byRow[c.Pos.Y] = append(byRow[c.Pos.Y], placed{c, b})
+	}
+	for _, row := range byRow {
+		sort.Slice(row, func(i, j int) bool { return row[i].r.Lo.X < row[j].r.Lo.X })
+		for i := 1; i < len(row); i++ {
+			if row[i].r.Lo.X < row[i-1].r.Hi.X {
+				return fmt.Errorf("place: %s overlaps %s", row[i].inst.Name, row[i-1].inst.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package place
+
+import (
+	"testing"
+
+	"m3d/internal/cell"
+	"m3d/internal/floorplan"
+	"m3d/internal/geom"
+	"m3d/internal/netlist"
+	"m3d/internal/synth"
+	"m3d/internal/tech"
+)
+
+const mm = int64(1_000_000)
+
+type fixture struct {
+	p   *tech.PDK
+	lib *cell.Library
+	nl  *netlist.Netlist
+	fp  *floorplan.Floorplan
+}
+
+// newFixture builds a small systolic design on a die sized for it.
+func newFixture(t *testing.T, rows, cols int) *fixture {
+	t.Helper()
+	p := tech.Default130()
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := synth.NewBuilder("dut", lib)
+	b.Systolic("cs", synth.SystolicSpec{
+		Rows: rows, Cols: cols, ActBits: 4, WeightBits: 4, AccBits: 12, Activity: 0.2,
+	})
+	if err := b.NL.Check(); err != nil {
+		t.Fatal(err)
+	}
+	die, err := floorplan.SizeDie(p, b.NL, 0.6, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := floorplan.New(p, die)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{p: p, lib: lib, nl: b.NL, fp: fp}
+}
+
+func TestGlobalPlacementLegal(t *testing.T) {
+	fx := newFixture(t, 2, 2)
+	res, err := Global(fx.fp, fx.nl, tech.TierSiCMOS, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells == 0 {
+		t.Fatal("nothing placed")
+	}
+	if err := CheckLegal(fx.fp, fx.nl, tech.TierSiCMOS); err != nil {
+		t.Fatalf("placement not legal: %v", err)
+	}
+	if res.HPWL <= 0 {
+		t.Error("HPWL should be positive")
+	}
+}
+
+func TestPlacementBeatsRandom(t *testing.T) {
+	fx := newFixture(t, 2, 2)
+	// Random-legal baseline: legalize from the initial jitter only.
+	fx2 := newFixture(t, 2, 2)
+	if _, err := Global(fx2.fp, fx2.nl, tech.TierSiCMOS, Options{Seed: 1, Iterations: 1}); err != nil {
+		t.Fatal(err)
+	}
+	quick := fx2.nl.TotalHPWL()
+
+	res, err := Global(fx.fp, fx.nl, tech.TierSiCMOS, Options{Seed: 1, Iterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HPWL >= quick {
+		t.Errorf("30-iteration placement (%d) should beat 1-iteration (%d)", res.HPWL, quick)
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	a := newFixture(t, 1, 2)
+	b := newFixture(t, 1, 2)
+	ra, err := Global(a.fp, a.nl, tech.TierSiCMOS, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Global(b.fp, b.nl, tech.TierSiCMOS, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.HPWL != rb.HPWL {
+		t.Errorf("same seed, different HPWL: %d vs %d", ra.HPWL, rb.HPWL)
+	}
+}
+
+func TestPlacementAvoidsBlockages(t *testing.T) {
+	fx := newFixture(t, 2, 2)
+	// Block the left half of the die on Si.
+	die := fx.fp.Die
+	fx.fp.AddBlockage(tech.TierSiCMOS, geom.R(die.Lo.X, die.Lo.Y, die.Center().X, die.Hi.Y))
+	if _, err := Global(fx.fp, fx.nl, tech.TierSiCMOS, Options{Seed: 3}); err != nil {
+		// Half the die may genuinely be too small at 60% target util; grow it.
+		bigger := geom.R(0, 0, die.W()*2, die.H())
+		fp2, ferr := floorplan.New(fx.p, bigger)
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		fp2.AddBlockage(tech.TierSiCMOS, geom.R(0, 0, die.W(), die.H()))
+		if _, err := Global(fp2, fx.nl, tech.TierSiCMOS, Options{Seed: 3}); err != nil {
+			t.Fatal(err)
+		}
+		fx.fp = fp2
+	}
+	if err := CheckLegal(fx.fp, fx.nl, tech.TierSiCMOS); err != nil {
+		t.Fatalf("placement violates blockage: %v", err)
+	}
+}
+
+func TestLegalizeOverflowFails(t *testing.T) {
+	fx := newFixture(t, 2, 2)
+	// A die far too small for the design.
+	tiny, err := floorplan.New(fx.p, geom.R(0, 0, 20*fx.p.SiteWidth, 2*fx.p.RowHeight))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Legalize(tiny, fx.nl, tech.TierSiCMOS); err == nil {
+		t.Error("legalizing into a tiny die should fail")
+	}
+}
+
+func TestCheckLegalCatchesViolations(t *testing.T) {
+	fx := newFixture(t, 1, 1)
+	if _, err := Global(fx.fp, fx.nl, tech.TierSiCMOS, Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cells := fx.nl.MovableCells()
+	// Off-row.
+	saved := cells[0].Pos
+	cells[0].Pos.Y++
+	if err := CheckLegal(fx.fp, fx.nl, tech.TierSiCMOS); err == nil {
+		t.Error("off-row cell not caught")
+	}
+	cells[0].Pos = saved
+	// Overlap.
+	saved1 := cells[1].Pos
+	cells[1].Pos = cells[0].Pos
+	if err := CheckLegal(fx.fp, fx.nl, tech.TierSiCMOS); err == nil {
+		t.Error("overlap not caught")
+	}
+	cells[1].Pos = saved1
+}
+
+func TestAssignTiersBalancesAndReducesCut(t *testing.T) {
+	fx := newFixture(t, 2, 2)
+	var total int64
+	for _, c := range fx.nl.MovableCells() {
+		total += c.AreaNM2(fx.p)
+	}
+	caps := map[tech.Tier]int64{
+		tech.TierSiCMOS: total * 6 / 10,
+		tech.TierCNFET:  total * 6 / 10,
+	}
+	res, err := AssignTiers(fx.nl, fx.p, PartitionOptions{CapNM2: caps, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moved == 0 {
+		t.Error("with 60/60 caps some cells must land on the upper tier")
+	}
+	if res.AreaNM2[tech.TierSiCMOS] > caps[tech.TierSiCMOS] ||
+		res.AreaNM2[tech.TierCNFET] > caps[tech.TierCNFET] {
+		t.Error("capacity violated")
+	}
+	if res.CutNets != CutNets(fx.nl) {
+		t.Error("reported cut differs from recount")
+	}
+	// Local search should do much better than a random split: verify
+	// against a fresh random assignment's cut.
+	fx2 := newFixture(t, 2, 2)
+	_, err = AssignTiers(fx2.nl, fx2.p, PartitionOptions{CapNM2: caps, Seed: 1, Passes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutNets > CutNets(fx2.nl) {
+		t.Errorf("8-pass cut %d worse than 1-pass cut %d", res.CutNets, CutNets(fx2.nl))
+	}
+}
+
+func TestAssignTiersCapacityErrors(t *testing.T) {
+	fx := newFixture(t, 1, 1)
+	if _, err := AssignTiers(fx.nl, fx.p, PartitionOptions{Seed: 1}); err == nil {
+		t.Error("missing capacities should fail")
+	}
+	caps := map[tech.Tier]int64{tech.TierSiCMOS: 1, tech.TierCNFET: 1}
+	if _, err := AssignTiers(fx.nl, fx.p, PartitionOptions{CapNM2: caps, Seed: 1}); err == nil {
+		t.Error("too-small capacities should fail")
+	}
+}
+
+func TestAllOnSiWhenCapacityAllows(t *testing.T) {
+	fx := newFixture(t, 1, 1)
+	var total int64
+	for _, c := range fx.nl.MovableCells() {
+		total += c.AreaNM2(fx.p)
+	}
+	caps := map[tech.Tier]int64{tech.TierSiCMOS: total * 2, tech.TierCNFET: total * 2}
+	res, err := AssignTiers(fx.nl, fx.p, PartitionOptions{CapNM2: caps, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With all cells fitting in Si and a connectivity-driven objective, the
+	// cut should collapse to (near) zero: everything merges onto one tier.
+	if res.CutNets > len(fx.nl.Nets)/20 {
+		t.Errorf("cut %d of %d nets is too high for an unconstrained partition", res.CutNets, len(fx.nl.Nets))
+	}
+}
+
+func TestTwoTierPlacementLegalBothTiers(t *testing.T) {
+	fx := newFixture(t, 2, 2)
+	var total int64
+	for _, c := range fx.nl.MovableCells() {
+		total += c.AreaNM2(fx.p)
+	}
+	caps := map[tech.Tier]int64{tech.TierSiCMOS: total * 6 / 10, tech.TierCNFET: total * 6 / 10}
+	if _, err := AssignTiers(fx.nl, fx.p, PartitionOptions{CapNM2: caps, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tier := range []tech.Tier{tech.TierSiCMOS, tech.TierCNFET} {
+		if _, err := Global(fx.fp, fx.nl, tier, Options{Seed: 2}); err != nil {
+			t.Fatalf("tier %v: %v", tier, err)
+		}
+		if err := CheckLegal(fx.fp, fx.nl, tier); err != nil {
+			t.Fatalf("tier %v not legal: %v", tier, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Demo", "Layer", "Speedup", "EDP")
+	tb.Add("L1.0 CONV1", 3.72, Ratio(3.73))
+	tb.Add("Total", 5.64, Ratio(5.66))
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "L1.0 CONV1") || !strings.Contains(out, "3.72") {
+		t.Errorf("missing row content:\n%s", out)
+	}
+	if !strings.Contains(out, "5.66x") {
+		t.Errorf("missing formatted ratio:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: headers and rows share the first column width.
+	if !strings.HasPrefix(lines[1], "Layer") {
+		t.Error("header missing")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ratio(5.657) != "5.66x" {
+		t.Errorf("Ratio = %s", Ratio(5.657))
+	}
+	if MM2(2_500_000_000_000) != "2.500 mm2" {
+		t.Errorf("MM2 = %s", MM2(2_500_000_000_000))
+	}
+	if MHz(20e6) != "20.00 MHz" {
+		t.Errorf("MHz = %s", MHz(20e6))
+	}
+	if MW(0.1234) != "123.40 mW" {
+		t.Errorf("MW = %s", MW(0.1234))
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("", "A")
+	out := tb.String()
+	if !strings.Contains(out, "A") {
+		t.Error("headers should render even with no rows")
+	}
+}

@@ -1,0 +1,299 @@
+package route
+
+import (
+	"container/heap"
+	"math"
+
+	"m3d/internal/tech"
+)
+
+// pqItem is an A* frontier entry.
+type pqItem struct {
+	node int
+	f, g float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].f < q[j].f }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// congestion cost multiplier: cost = base * (1 + penalty), penalty grows
+// steeply past capacity.
+func congPenalty(use, capacity int32, hist float64) float64 {
+	if capacity <= 0 {
+		return 1e6
+	}
+	u := float64(use) / float64(capacity)
+	pen := hist
+	if u >= 1 {
+		pen += 20 * (u - 0.75)
+	} else if u > 0.75 {
+		pen += 4 * (u - 0.75)
+	}
+	return pen
+}
+
+// viaCost is the base cost of one layer change relative to one gcell of
+// wire.
+const viaCost = 0.9
+
+// ilvCost is the extra cost of crossing the ILV boundary.
+const ilvCost = 1.6
+
+// hWeight > 1 makes the A* heuristic slightly inadmissible, trading a few
+// percent of path cost for a large reduction in explored nodes.
+const hWeight = 1.3
+
+// bboxMargin is the search-window margin (in gcells) around the two
+// terminals; most nets route inside it. A failed windowed search falls
+// back to the full grid.
+const bboxMargin = 6
+
+// astar finds the min-cost path from src to dst nodes; returns the node
+// path (src..dst) or nil.
+func (g *grid) astar(src, dst int) []int {
+	if path := g.astarBounded(src, dst, bboxMargin); path != nil {
+		return path
+	}
+	return g.astarBounded(src, dst, 1<<30)
+}
+
+// astarBounded searches within a window of margin gcells around the
+// terminals. Scratch arrays are reused across calls with an epoch counter,
+// so each search touches only the nodes it visits.
+func (g *grid) astarBounded(src, dst, margin int) []int {
+	nNodes := len(g.layers) * g.nx * g.ny
+	if len(g.gScore) != nNodes {
+		g.gScore = make([]float64, nNodes)
+		g.from = make([]int32, nNodes)
+		g.epoch = make([]uint32, nNodes)
+	}
+	g.curEpoch++
+	if g.curEpoch == 0 { // wrapped: force full reset
+		for i := range g.epoch {
+			g.epoch[i] = 0
+		}
+		g.curEpoch = 1
+	}
+	gScore := g.gScore
+	from := g.from
+	seen := func(n int) bool { return g.epoch[n] == g.curEpoch }
+	touch := func(n int) {
+		if !seen(n) {
+			g.epoch[n] = g.curEpoch
+			gScore[n] = math.Inf(1)
+			from[n] = -1
+		}
+	}
+	touch(src)
+	touch(dst)
+
+	dl, dxy := g.split(dst)
+	dX, dY := dxy%g.nx, dxy/g.nx
+	_, sxy := g.split(src)
+	sX, sY := sxy%g.nx, sxy/g.nx
+
+	// Search window.
+	x0, x1 := minInt(sX, dX)-margin, maxInt(sX, dX)+margin
+	y0, y1 := minInt(sY, dY)-margin, maxInt(sY, dY)+margin
+
+	h := func(n int) float64 {
+		l, xy := g.split(n)
+		x, y := xy%g.nx, xy/g.nx
+		dist := float64(absInt(x-dX) + absInt(y-dY))
+		return hWeight * (dist + viaCost*float64(absInt(l-dl)))
+	}
+
+	g.open = g.open[:0]
+	open := &g.open
+	heap.Push(open, pqItem{node: src, f: h(src)})
+	gScore[src] = 0
+
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(pqItem)
+		if cur.node == dst {
+			// Reconstruct.
+			var path []int
+			for n := dst; n != -1; n = int(from[n]) {
+				path = append(path, n)
+				if n == src {
+					break
+				}
+			}
+			// Reverse.
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			if path[0] != src {
+				return nil
+			}
+			return path
+		}
+		if cur.g > gScore[cur.node] {
+			continue
+		}
+		l, xy := g.split(cur.node)
+		x, y := xy%g.nx, xy/g.nx
+		L := g.layers[l]
+
+		relax := func(nn int, cost float64) {
+			touch(nn)
+			ng := cur.g + cost
+			if ng < gScore[nn] {
+				gScore[nn] = ng
+				from[nn] = int32(cur.node)
+				heap.Push(open, pqItem{node: nn, f: ng + h(nn), g: ng})
+			}
+		}
+
+		// Planar moves in the layer's preferred direction, clipped to the
+		// search window.
+		if L.Dir == tech.DirHorizontal {
+			if x+1 < g.nx && x+1 <= x1 {
+				i := g.idx(l, x, y)
+				relax(g.idx(l, x+1, y), 1+congPenalty(g.useH[i], g.capH[i], g.histH[i]))
+			}
+			if x > 0 && x-1 >= x0 {
+				i := g.idx(l, x-1, y)
+				relax(g.idx(l, x-1, y), 1+congPenalty(g.useH[i], g.capH[i], g.histH[i]))
+			}
+		} else {
+			if y+1 < g.ny && y+1 <= y1 {
+				i := g.idx(l, x, y)
+				relax(g.idx(l, x, y+1), 1+congPenalty(g.useV[i], g.capV[i], g.histV[i]))
+			}
+			if y > 0 && y-1 >= y0 {
+				i := g.idx(l, x, y-1)
+				relax(g.idx(l, x, y-1), 1+congPenalty(g.useV[i], g.capV[i], g.histV[i]))
+			}
+		}
+		// Via moves. Zero-capacity cuts (ILVs consumed by an RRAM array
+		// above) are impassable.
+		if l+1 < len(g.layers) {
+			i := g.idx(l, x, y)
+			if g.capUp[i] > 0 {
+				c := viaCost
+				if l == g.boundary {
+					c += ilvCost
+				}
+				relax(g.idx(l+1, x, y), c+congPenalty(g.useUp[i], g.capUp[i], g.histUp[i]))
+			}
+		}
+		if l > 0 {
+			i := g.idx(l-1, x, y)
+			if g.capUp[i] > 0 {
+				c := viaCost
+				if l-1 == g.boundary {
+					c += ilvCost
+				}
+				relax(g.idx(l-1, x, y), c+congPenalty(g.useUp[i], g.capUp[i], g.histUp[i]))
+			}
+		}
+	}
+	return nil
+}
+
+func (g *grid) split(n int) (layer, xy int) {
+	return n / (g.nx * g.ny), n % (g.nx * g.ny)
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// overflowCount returns the number of over-capacity edges and bumps history
+// on them.
+func (g *grid) overflowCount(bumpHistory bool) int {
+	n := 0
+	for i := range g.useH {
+		if g.capH[i] > 0 && g.useH[i] > g.capH[i] {
+			n++
+			if bumpHistory {
+				g.histH[i] += 1.0
+			}
+		}
+		if g.capV[i] > 0 && g.useV[i] > g.capV[i] {
+			n++
+			if bumpHistory {
+				g.histV[i] += 1.0
+			}
+		}
+		if g.capUp[i] > 0 && g.useUp[i] > g.capUp[i] {
+			n++
+			if bumpHistory {
+				g.histUp[i] += 1.0
+			}
+		}
+	}
+	return n
+}
+
+// pathOverflows reports whether any edge of the path is over capacity.
+func (g *grid) pathOverflows(path []int) bool {
+	for i := 1; i < len(path); i++ {
+		a, b := path[i-1], path[i]
+		la, xya := g.split(a)
+		lb, xyb := g.split(b)
+		xa, ya := xya%g.nx, xya/g.nx
+		xb, yb := xyb%g.nx, xyb/g.nx
+		switch {
+		case la != lb:
+			lo := la
+			if lb < lo {
+				lo = lb
+			}
+			i := g.idx(lo, xa, ya)
+			if g.useUp[i] > g.capUp[i] {
+				return true
+			}
+		case xa != xb:
+			lo := xa
+			if xb < lo {
+				lo = xb
+			}
+			i := g.idx(la, lo, ya)
+			if g.useH[i] > g.capH[i] {
+				return true
+			}
+		default:
+			lo := ya
+			if yb < lo {
+				lo = yb
+			}
+			i := g.idx(la, xa, lo)
+			if g.useV[i] > g.capV[i] {
+				return true
+			}
+		}
+		_ = xb
+		_ = yb
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"m3d/internal/floorplan"
+	"m3d/internal/geom"
+	"m3d/internal/netlist"
+)
+
+// routedNet keeps the committed paths of one net for rip-up.
+type routedNet struct {
+	net   *netlist.Net
+	paths [][]int
+}
+
+// Route globally routes all signal nets of the placed netlist. Clock nets
+// and nets above the fanout threshold are idealized (skipped). The router
+// runs an initial pass plus negotiated rip-up-and-reroute rounds on
+// overflowing nets.
+func Route(f *floorplan.Floorplan, nl *netlist.Netlist, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	g := newGrid(f, opt)
+	if g.boundary < 0 {
+		return nil, fmt.Errorf("route: stack has no lower-metal boundary")
+	}
+
+	res := &Result{
+		Routes:     make(map[*netlist.Net]*NetRoute),
+		WLByLayer:  make([]int64, len(g.layers)),
+		GCellPitch: g.pitch,
+	}
+
+	var work []*routedNet
+	for _, n := range nl.Nets {
+		if (n.Clock && !opt.IncludeClock) || len(n.Sinks)+1 > opt.MaxFanout ||
+			n.Driver == nil || len(n.Sinks) == 0 {
+			res.SkippedNets++
+			continue
+		}
+		work = append(work, &routedNet{net: n})
+	}
+	// Short nets first: they lock in the cheap resources, long nets then
+	// negotiate around them.
+	sort.SliceStable(work, func(i, j int) bool {
+		return work[i].net.HPWL() < work[j].net.HPWL()
+	})
+
+	routeNet := func(rn *routedNet) {
+		n := rn.net
+		rn.paths = rn.paths[:0]
+		dx, dy := g.cellOf(n.Driver.Loc())
+		src := g.idx(g.pinLayer(n.Driver.Inst), dx, dy)
+		// Star topology from the driver, nearest sink first.
+		sinks := append([]*netlist.Pin(nil), n.Sinks...)
+		dloc := n.Driver.Loc()
+		sort.SliceStable(sinks, func(i, j int) bool {
+			return sinks[i].Loc().ManhattanDist(dloc) < sinks[j].Loc().ManhattanDist(dloc)
+		})
+		for _, s := range sinks {
+			sx, sy := g.cellOf(s.Loc())
+			dst := g.idx(g.pinLayer(s.Inst), sx, sy)
+			if dst == src {
+				continue
+			}
+			path := g.astar(src, dst)
+			if path == nil {
+				res.FailedNets++
+				continue
+			}
+			g.commitPathUsage(path, +1)
+			rn.paths = append(rn.paths, path)
+		}
+	}
+
+	for _, rn := range work {
+		routeNet(rn)
+	}
+
+	// Negotiated rip-up and reroute.
+	for round := 0; round < opt.MaxRipupRounds; round++ {
+		if g.overflowCount(true) == 0 {
+			break
+		}
+		for _, rn := range work {
+			bad := false
+			for _, path := range rn.paths {
+				if g.pathOverflows(path) {
+					bad = true
+					break
+				}
+			}
+			if !bad {
+				continue
+			}
+			for _, path := range rn.paths {
+				g.commitPathUsage(path, -1)
+			}
+			routeNet(rn)
+		}
+	}
+
+	// Final accounting.
+	for _, rn := range work {
+		nr := &NetRoute{Net: rn.net}
+		for _, path := range rn.paths {
+			segs, wl, vias, ilvs := g.describe(path)
+			nr.Segs = append(nr.Segs, segs...)
+			nr.WLdbu += wl
+			nr.Vias += vias
+			nr.ILVs += ilvs
+		}
+		if len(rn.paths) == 0 && len(rn.net.Sinks) > 0 {
+			// All connections were same-gcell (zero length) or failed.
+			nr.Failed = false
+		}
+		res.Routes[rn.net] = nr
+		res.TotalWLdbu += nr.WLdbu
+		res.TotalVias += nr.Vias
+		res.TotalILVs += nr.ILVs
+		for _, s := range nr.Segs {
+			if s.A != s.B {
+				res.WLByLayer[s.LayerIdx] += s.A.ManhattanDist(s.B)
+			}
+		}
+	}
+	res.OverflowEdges = g.overflowCount(false)
+	res.Congestion = g.congestionGrid(f)
+	return res, nil
+}
+
+// congestionGrid summarizes per-gcell routing utilization: for each cell,
+// the maximum usage/capacity ratio across layers and edge families.
+func (g *grid) congestionGrid(f *floorplan.Floorplan) *geom.Grid {
+	out := geom.NewGrid(f.Die, g.pitch)
+	for l := 0; l < len(g.layers); l++ {
+		for y := 0; y < g.ny && y < out.NY; y++ {
+			for x := 0; x < g.nx && x < out.NX; x++ {
+				i := g.idx(l, x, y)
+				worst := out.At(x, y)
+				check := func(use, capacity int32) {
+					if capacity <= 0 {
+						return
+					}
+					if u := float64(use) / float64(capacity); u > worst {
+						worst = u
+					}
+				}
+				check(g.useH[i], g.capH[i])
+				check(g.useV[i], g.capV[i])
+				check(g.useUp[i], g.capUp[i])
+				out.Set(x, y, worst)
+			}
+		}
+	}
+	return out
+}
+
+// commitPathUsage applies only the usage deltas of a path (no segment
+// generation).
+func (g *grid) commitPathUsage(path []int, delta int32) {
+	g.applyPath(path, delta, nil)
+}
+
+// describe converts a committed path into segments and counts without
+// changing usage.
+func (g *grid) describe(path []int) (segs []Seg, wl int64, vias, ilvs int) {
+	out := &pathDescr{}
+	g.applyPath(path, 0, out)
+	return out.segs, out.wl, out.vias, out.ilvs
+}
+
+type pathDescr struct {
+	segs []Seg
+	wl   int64
+	vias int
+	ilvs int
+}
+
+// applyPath walks a path once, applying a usage delta and/or collecting a
+// description.
+func (g *grid) applyPath(path []int, delta int32, d *pathDescr) {
+	for i := 1; i < len(path); i++ {
+		a, b := path[i-1], path[i]
+		la, xya := g.split(a)
+		lb, xyb := g.split(b)
+		xa, ya := xya%g.nx, xya/g.nx
+		xb, yb := xyb%g.nx, xyb/g.nx
+		switch {
+		case la != lb:
+			lo := la
+			if lb < lo {
+				lo = lb
+			}
+			if delta != 0 {
+				g.useUp[g.idx(lo, xa, ya)] += delta
+			}
+			if d != nil {
+				d.vias++
+				if lo == g.boundary {
+					d.ilvs++
+				}
+				d.segs = append(d.segs, Seg{LayerIdx: lb, A: g.center(xa, ya), B: g.center(xa, ya)})
+			}
+		case xa != xb:
+			lo := xa
+			if xb < lo {
+				lo = xb
+			}
+			if delta != 0 {
+				g.useH[g.idx(la, lo, ya)] += delta
+			}
+			if d != nil {
+				d.wl += g.pitch
+				d.segs = append(d.segs, Seg{LayerIdx: la, A: g.center(xa, ya), B: g.center(xb, yb)})
+			}
+		default:
+			lo := ya
+			if yb < lo {
+				lo = yb
+			}
+			if delta != 0 {
+				g.useV[g.idx(la, xa, lo)] += delta
+			}
+			if d != nil {
+				d.wl += g.pitch
+				d.segs = append(d.segs, Seg{LayerIdx: la, A: g.center(xa, ya), B: g.center(xb, yb)})
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"m3d/internal/synth"
+)
+
+func TestStuckAtChangesAdderOutput(t *testing.T) {
+	lib := newLib(t)
+	b := synth.NewBuilder("add", lib)
+	x := b.InputBus("x", 8, 0.3)
+	y := b.InputBus("y", 8, 0.3)
+	sum := b.Adder("add", x, y, 0.3)
+	b.SinkBus("s", sum)
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ForceBus(x, 100)
+	s.ForceBus(y, 55)
+	if got := s.ReadBus(sum); got != 155 {
+		t.Fatalf("golden sum = %d", got)
+	}
+	// Stuck-at-0 on the LSB sum net flips the output.
+	f := s.InjectStuckAt(sum[0], false)
+	if got := s.ReadBus(sum); got != 154 {
+		t.Fatalf("faulted sum = %d, want 154", got)
+	}
+	s.Clear(f)
+	if got := s.ReadBus(sum); got != 155 {
+		t.Fatalf("after clear, sum = %d, want 155", got)
+	}
+}
+
+func TestStuckAtCampaignCoverage(t *testing.T) {
+	lib := newLib(t)
+	b := synth.NewBuilder("mul", lib)
+	x := b.InputBus("x", 6, 0.3)
+	y := b.InputBus("y", 6, 0.3)
+	prod := b.Multiplier("mul", x, y, 0.3)
+	b.SinkBus("p", prod)
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	res, err := RunStuckAtCampaign(s, rng, 150,
+		func(s *Simulator) {
+			s.ForceBus(x, 63)
+			s.ForceBus(y, 63) // all-ones stimulus exercises most of the array
+		},
+		func(s *Simulator) uint64 { return s.ReadBus(prod) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected < 100 {
+		t.Fatalf("campaign too small: %d faults", res.Injected)
+	}
+	// The all-ones pattern propagates most internal nodes to the product:
+	// expect substantial (not total) coverage.
+	if res.Coverage() < 0.4 {
+		t.Errorf("coverage %.2f suspiciously low", res.Coverage())
+	}
+	if res.Coverage() > 1.0 {
+		t.Errorf("coverage %.2f impossible", res.Coverage())
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	lib := newLib(t)
+	b := synth.NewBuilder("v", lib)
+	in := b.Input("x", 0.3)
+	b.Sink("y", in)
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunStuckAtCampaign(s, nil, 10, func(*Simulator) {}, func(*Simulator) uint64 { return 0 }); err == nil {
+		t.Error("nil RNG should fail")
+	}
+	if _, err := RunStuckAtCampaign(s, rand.New(rand.NewSource(1)), 10, nil, nil); err == nil {
+		t.Error("nil callbacks should fail")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	lib := newLib(t)
+	b := synth.NewBuilder("r", lib)
+	d := b.InputBus("d", 4, 0.3)
+	q := b.Register("r", d, 0.3)
+	b.SinkBus("o", q)
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ForceBus(d, 0xF)
+	s.Step()
+	if s.ReadBus(q) != 0xF {
+		t.Fatal("register did not load")
+	}
+	s.Reset()
+	if s.ReadBus(q) != 0 {
+		t.Error("reset should clear register state")
+	}
+	// Forced inputs survive reset.
+	if s.ReadBus(d) != 0xF {
+		t.Error("forced nets must survive reset")
+	}
+}

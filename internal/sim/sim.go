@@ -1,0 +1,254 @@
+// Package sim is a gate-level logic simulator for the project's netlists:
+// two-valued, cycle-based, with exact truth functions for every library
+// cell. It exists to *functionally verify* the synthesis generators — the
+// array multipliers, adders, registers, and systolic pipelines that the
+// physical-design flow implements are checked to compute the right values,
+// not just to have plausible structure.
+package sim
+
+import (
+	"fmt"
+
+	"m3d/internal/cell"
+	"m3d/internal/netlist"
+)
+
+// Simulator evaluates a netlist cycle by cycle.
+type Simulator struct {
+	nl *netlist.Netlist
+	// value holds the current logic value of each net (by net ID).
+	value []bool
+	// forced marks nets whose value is pinned by the testbench.
+	forced []bool
+	// state holds each DFF's current output value (by instance ID).
+	state []bool
+	// order caches a combinational evaluation order (instance IDs).
+	order []int
+}
+
+// New builds a simulator. The netlist must be structurally sound and
+// combinationally acyclic (netlist.Check is run; macros are not simulated —
+// their outputs read as 0 unless forced).
+func New(nl *netlist.Netlist) (*Simulator, error) {
+	if err := nl.Check(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s := &Simulator{
+		nl:     nl,
+		value:  make([]bool, len(nl.Nets)),
+		forced: make([]bool, len(nl.Nets)),
+		state:  make([]bool, len(nl.Instances)),
+	}
+	if err := s.buildOrder(); err != nil {
+		return nil, err
+	}
+	s.Settle()
+	return s, nil
+}
+
+// buildOrder topologically sorts combinational cells (Kahn's algorithm);
+// sequential cells, macros, and tie cells are sources.
+func (s *Simulator) buildOrder() error {
+	nl := s.nl
+	pending := make([]int, len(nl.Instances))
+	var queue []int
+	isSource := func(inst *netlist.Instance) bool {
+		if inst.IsMacro() {
+			return true
+		}
+		k := inst.Cell.Kind
+		return inst.Cell.Sequential || k == cell.TieHi || k == cell.TieLo
+	}
+	for i, inst := range nl.Instances {
+		if isSource(inst) {
+			pending[i] = -1
+			continue
+		}
+		n := 0
+		for _, p := range inst.Pins() {
+			if !p.IsOutput && p.Net != nil && !p.Net.Clock {
+				n++
+			}
+		}
+		pending[i] = n
+		if n == 0 {
+			queue = append(queue, i)
+		}
+	}
+	// Seed propagation from sources.
+	propagate := func(inst *netlist.Instance) {
+		for _, op := range inst.Pins() {
+			if !op.IsOutput || op.Net == nil || op.Net.Clock {
+				continue
+			}
+			for _, sink := range op.Net.Sinks {
+				si := sink.Inst.ID
+				if pending[si] < 0 {
+					continue
+				}
+				pending[si]--
+				if pending[si] == 0 {
+					pending[si] = -2 // scheduled
+					queue = append(queue, si)
+				}
+			}
+		}
+	}
+	for i, inst := range nl.Instances {
+		if pending[i] == -1 {
+			propagate(inst)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		s.order = append(s.order, id)
+		propagate(nl.Instances[id])
+	}
+	// Anything still pending > 0 is in a combinational cycle.
+	for i, p := range pending {
+		if p > 0 {
+			return fmt.Errorf("sim: combinational cycle through %s", nl.Instances[i].Name)
+		}
+	}
+	return nil
+}
+
+// Force pins a net to a value (overriding its driver) until Release.
+func (s *Simulator) Force(n *netlist.Net, v bool) {
+	s.forced[n.ID] = true
+	s.value[n.ID] = v
+}
+
+// Release removes a Force.
+func (s *Simulator) Release(n *netlist.Net) { s.forced[n.ID] = false }
+
+// Value reads a net's current value.
+func (s *Simulator) Value(n *netlist.Net) bool { return s.value[n.ID] }
+
+// inputVals gathers an instance's input pin values in pin order (clock
+// pins excluded).
+func (s *Simulator) inputVals(inst *netlist.Instance, buf []bool) []bool {
+	buf = buf[:0]
+	for _, p := range inst.Pins() {
+		if p.IsOutput || p.Net == nil || p.Net.Clock {
+			continue
+		}
+		buf = append(buf, s.value[p.Net.ID])
+	}
+	return buf
+}
+
+func at(in []bool, i int) bool {
+	if i < len(in) {
+		return in[i]
+	}
+	return false
+}
+
+// evalKind computes a combinational cell's output from its inputs.
+func evalKind(k cell.Kind, in []bool) bool {
+	a, b, c, d := at(in, 0), at(in, 1), at(in, 2), at(in, 3)
+	switch k {
+	case cell.Inv:
+		return !a
+	case cell.Buf, cell.ClkBuf:
+		return a
+	case cell.Nand2:
+		return !(a && b)
+	case cell.Nor2:
+		return !(a || b)
+	case cell.And2:
+		return a && b
+	case cell.Or2:
+		return a || b
+	case cell.Xor2:
+		return a != b
+	case cell.Mux2: // A selects between B (A=1) and C (A=0)
+		if a {
+			return b
+		}
+		return c
+	case cell.Aoi22:
+		return !((a && b) || (c && d))
+	case cell.Maj3:
+		return (a && b) || (b && c) || (a && c)
+	case cell.HalfAdder:
+		return a != b
+	case cell.FullAdder:
+		return (a != b) != c
+	case cell.TieHi:
+		return true
+	case cell.TieLo:
+		return false
+	default:
+		return false
+	}
+}
+
+// Settle propagates combinational logic from the current sources and
+// state (one evaluation pass in topological order).
+func (s *Simulator) Settle() {
+	nl := s.nl
+	var buf []bool
+	drive := func(inst *netlist.Instance, v bool) {
+		for _, op := range inst.Pins() {
+			if op.IsOutput && op.Net != nil && !s.forced[op.Net.ID] {
+				s.value[op.Net.ID] = v
+			}
+		}
+	}
+	// Sources first: ties, DFF outputs, macros (0).
+	for i, inst := range nl.Instances {
+		if inst.IsMacro() {
+			drive(inst, false)
+			continue
+		}
+		switch {
+		case inst.Cell.Sequential:
+			drive(inst, s.state[i])
+		case inst.Cell.Kind == cell.TieHi:
+			drive(inst, true)
+		case inst.Cell.Kind == cell.TieLo:
+			drive(inst, false)
+		}
+	}
+	for _, id := range s.order {
+		inst := nl.Instances[id]
+		buf = s.inputVals(inst, buf)
+		drive(inst, evalKind(inst.Cell.Kind, buf))
+	}
+}
+
+// Step advances one clock cycle: every DFF captures its D input, then the
+// combinational logic settles.
+func (s *Simulator) Step() {
+	var buf []bool
+	for i, inst := range s.nl.Instances {
+		if inst.IsMacro() || !inst.Cell.Sequential {
+			continue
+		}
+		buf = s.inputVals(inst, buf)
+		s.state[i] = at(buf, 0) // D is the first non-clock input
+	}
+	s.Settle()
+}
+
+// ForceBus pins a bus of nets (LSB first) to an integer value.
+func (s *Simulator) ForceBus(bus []*netlist.Net, v uint64) {
+	for i, n := range bus {
+		s.Force(n, v&(1<<uint(i)) != 0)
+	}
+	s.Settle()
+}
+
+// ReadBus reads a bus of nets (LSB first) as an integer.
+func (s *Simulator) ReadBus(bus []*netlist.Net) uint64 {
+	var v uint64
+	for i, n := range bus {
+		if s.value[n.ID] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"m3d/internal/cell"
+	"m3d/internal/netlist"
+	"m3d/internal/synth"
+	"m3d/internal/tech"
+)
+
+func newLib(t *testing.T) *cell.Library {
+	t.Helper()
+	lib, err := cell.NewLibrary(tech.Default130(), tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestGateTruthTables(t *testing.T) {
+	cases := []struct {
+		k    cell.Kind
+		in   []bool
+		want bool
+	}{
+		{cell.Inv, []bool{true}, false},
+		{cell.Inv, []bool{false}, true},
+		{cell.Nand2, []bool{true, true}, false},
+		{cell.Nand2, []bool{true, false}, true},
+		{cell.Nor2, []bool{false, false}, true},
+		{cell.Nor2, []bool{true, false}, false},
+		{cell.And2, []bool{true, true}, true},
+		{cell.Or2, []bool{false, true}, true},
+		{cell.Xor2, []bool{true, true}, false},
+		{cell.Xor2, []bool{true, false}, true},
+		{cell.Mux2, []bool{true, true, false}, true},   // sel=1 -> B
+		{cell.Mux2, []bool{false, true, false}, false}, // sel=0 -> C
+		{cell.Aoi22, []bool{true, true, false, false}, false},
+		{cell.Aoi22, []bool{false, false, false, false}, true},
+		{cell.Maj3, []bool{true, true, false}, true},
+		{cell.Maj3, []bool{true, false, false}, false},
+		{cell.FullAdder, []bool{true, true, true}, true},
+		{cell.FullAdder, []bool{true, true, false}, false},
+		{cell.FullAdder, []bool{true, false, false}, true},
+		{cell.TieHi, nil, true},
+		{cell.TieLo, nil, false},
+	}
+	for _, c := range cases {
+		if got := evalKind(c.k, c.in); got != c.want {
+			t.Errorf("%v%v = %v, want %v", c.k, c.in, got, c.want)
+		}
+	}
+}
+
+func TestAdderComputesSum(t *testing.T) {
+	lib := newLib(t)
+	b := synth.NewBuilder("add", lib)
+	x := b.InputBus("x", 8, 0.3)
+	y := b.InputBus("y", 8, 0.3)
+	sum := b.Adder("add", x, y, 0.3)
+	b.SinkBus("s", sum)
+
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range [][2]uint64{{0, 0}, {1, 1}, {255, 255}, {200, 55}, {127, 128}, {73, 41}} {
+		s.ForceBus(x, tc[0])
+		s.ForceBus(y, tc[1])
+		if got := s.ReadBus(sum); got != tc[0]+tc[1] {
+			t.Errorf("%d + %d = %d, want %d", tc[0], tc[1], got, tc[0]+tc[1])
+		}
+	}
+}
+
+func TestAdderProperty(t *testing.T) {
+	lib := newLib(t)
+	b := synth.NewBuilder("add", lib)
+	x := b.InputBus("x", 12, 0.3)
+	y := b.InputBus("y", 12, 0.3)
+	sum := b.Adder("add", x, y, 0.3)
+	b.SinkBus("s", sum)
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, bb uint16) bool {
+		av, bv := uint64(a&0xFFF), uint64(bb&0xFFF)
+		s.ForceBus(x, av)
+		s.ForceBus(y, bv)
+		return s.ReadBus(sum) == av+bv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplierComputesProduct(t *testing.T) {
+	lib := newLib(t)
+	b := synth.NewBuilder("mul", lib)
+	x := b.InputBus("x", 8, 0.3)
+	y := b.InputBus("y", 8, 0.3)
+	prod := b.Multiplier("mul", x, y, 0.3)
+	b.SinkBus("p", prod)
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, bb uint8) bool {
+		s.ForceBus(x, uint64(a))
+		s.ForceBus(y, uint64(bb))
+		return s.ReadBus(prod) == uint64(a)*uint64(bb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegisterPipelines(t *testing.T) {
+	lib := newLib(t)
+	b := synth.NewBuilder("reg", lib)
+	d := b.InputBus("d", 4, 0.3)
+	q1 := b.Register("r1", d, 0.3)
+	q2 := b.Register("r2", q1, 0.3)
+	b.SinkBus("o", q2)
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ForceBus(d, 0xA)
+	if got := s.ReadBus(q2); got != 0 {
+		t.Fatalf("before any clock, q2 = %x", got)
+	}
+	s.Step()
+	if got := s.ReadBus(q1); got != 0xA {
+		t.Fatalf("after 1 clock, q1 = %x, want A", got)
+	}
+	if got := s.ReadBus(q2); got != 0 {
+		t.Fatalf("after 1 clock, q2 = %x, want 0", got)
+	}
+	s.ForceBus(d, 0x5)
+	s.Step()
+	if got := s.ReadBus(q2); got != 0xA {
+		t.Fatalf("after 2 clocks, q2 = %x, want A", got)
+	}
+	if got := s.ReadBus(q1); got != 0x5 {
+		t.Fatalf("after 2 clocks, q1 = %x, want 5", got)
+	}
+}
+
+func TestMACComputes(t *testing.T) {
+	// The PE: psumOut = actReg * wReg + psumIn, registered. Verify the
+	// full generated datapath end to end.
+	lib := newLib(t)
+	b := synth.NewBuilder("pe", lib)
+	act := b.InputBus("a", 8, 0.3)
+	psum := b.InputBus("p", 24, 0.3)
+	w := b.InputBus("w", 8, 0.3)
+	res := b.MACWithWeights("pe", act, psum, w, 0.3)
+	b.SinkBus("ao", res.ActOut)
+	b.SinkBus("po", res.PSumOut)
+
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Include a large-product case (MSB of the 16-bit product set): it
+	// caught a real zero-vs-sign extension bug in the generator.
+	cases := [][3]uint64{
+		{37, 113, 5000},
+		{255, 255, 65535}, // maximal everything
+		{200, 250, 0},     // product MSB set, no psum
+		{1, 1, 1},
+		{0, 0, 0},
+	}
+	for _, tc := range cases {
+		aVal, wVal, pVal := tc[0], tc[1], tc[2]
+		s.Reset()
+		s.ForceBus(act, aVal)
+		s.ForceBus(w, wVal)
+		s.ForceBus(psum, pVal)
+		// Cycle 1 latches the weight and activation; cycle 2 latches the
+		// accumulated partial sum.
+		s.Step()
+		s.Step()
+		want := aVal*wVal + pVal
+		if got := s.ReadBus(res.PSumOut); got != want {
+			t.Fatalf("MAC: %d*%d+%d = %d, want %d", aVal, wVal, pVal, got, want)
+		}
+		if got := s.ReadBus(res.ActOut); got != aVal {
+			t.Fatalf("activation forwarding = %d, want %d", got, aVal)
+		}
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	lib := newLib(t)
+	nl := netlist.New("loop")
+	i1 := nl.AddCell("i1", lib.MustPick(cell.Inv, 1))
+	i2 := nl.AddCell("i2", lib.MustPick(cell.Inv, 1))
+	n1 := nl.AddNet("n1", 0.2)
+	n2 := nl.AddNet("n2", 0.2)
+	nl.MustPin(i1, "Y", true, 0, n1)
+	nl.MustPin(i2, "A", false, 1e-15, n1)
+	nl.MustPin(i2, "Y", true, 0, n2)
+	nl.MustPin(i1, "A", false, 1e-15, n2)
+	if _, err := New(nl); err == nil {
+		t.Error("ring oscillator should be rejected")
+	}
+}
+
+func TestBrokenNetlistRejected(t *testing.T) {
+	lib := newLib(t)
+	nl := netlist.New("bad")
+	i := nl.AddCell("i", lib.MustPick(cell.Inv, 1))
+	n := nl.AddNet("n", 0.2)
+	nl.MustPin(i, "A", false, 1e-15, n) // no driver
+	if _, err := New(nl); err == nil {
+		t.Error("undriven net should be rejected")
+	}
+}
+
+func TestForceRelease(t *testing.T) {
+	lib := newLib(t)
+	b := synth.NewBuilder("fr", lib)
+	in := b.Input("x", 0.3)
+	b.Sink("y", in)
+	s, err := New(b.NL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input stubs idle at 0 (TieLo-driven).
+	if s.Value(in) {
+		t.Fatal("stub should read 0")
+	}
+	s.Force(in, true)
+	s.Settle()
+	if !s.Value(in) {
+		t.Fatal("force failed")
+	}
+	s.Release(in)
+	s.Settle()
+	if s.Value(in) {
+		t.Fatal("release failed: driver should restore 0")
+	}
+}

@@ -1,0 +1,274 @@
+package sta
+
+import (
+	"fmt"
+	"sort"
+
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+// PathGroup classifies a timing endpoint by its launch and capture points.
+type PathGroup string
+
+// Path groups.
+const (
+	GroupRegToReg   PathGroup = "reg2reg"
+	GroupMacroToReg PathGroup = "macro2reg"
+	GroupRegToMacro PathGroup = "reg2macro"
+	GroupInToReg    PathGroup = "in2reg"
+)
+
+// GroupSummary aggregates endpoints of one path group.
+type GroupSummary struct {
+	Group     PathGroup
+	Endpoints int
+	// WorstArrivalS is the worst data arrival (including setup where the
+	// endpoint is a flip-flop).
+	WorstArrivalS float64
+	// WorstEndpoint names the worst pin.
+	WorstEndpoint string
+}
+
+// HoldReport carries min-delay (hold) analysis results.
+type HoldReport struct {
+	// WorstSlackS is the smallest hold slack (negative = violation).
+	WorstSlackS float64
+	// Violations counts endpoints with negative hold slack.
+	Violations int
+	// Endpoints checked.
+	Endpoints int
+	// WorstEndpoint names the worst pin.
+	WorstEndpoint string
+}
+
+// holdTimeS is the flip-flop hold requirement. The library's DFFs are
+// built with internal delay buffering, so the requirement is small; data
+// must not change within this window after the clock edge.
+const holdTimeS = 15e-12
+
+// AnalyzeHold runs min-delay analysis: for every flip-flop D input, the
+// shortest launch-to-D path must exceed the hold time (with an ideal,
+// zero-skew clock, any positive path delay above holdTimeS passes). It
+// mirrors Analyze but propagates minimum arrivals.
+func AnalyzeHold(p *tech.PDK, nl *netlist.Netlist, wm *WireModel) (*HoldReport, error) {
+	if wm == nil {
+		wm = NewWireModel(p, nil)
+	}
+	arr := make(map[*netlist.Pin]float64)
+	cls := make(map[*netlist.Pin]launchClass)
+
+	netDelay := makeNetDelay(wm)
+
+	type node struct{ pending int }
+	nodes := make(map[*netlist.Instance]*node, len(nl.Instances))
+	var queue []*netlist.Instance
+	for _, inst := range nl.Instances {
+		nd := &node{}
+		for _, pin := range inst.Pins() {
+			if !pin.IsOutput && pin.Net != nil && !pin.Net.Clock {
+				nd.pending++
+			}
+		}
+		nodes[inst] = nd
+		if isLaunch(inst) || nd.pending == 0 {
+			t := 0.0
+			class := launchConst
+			if !inst.IsMacro() && inst.Cell.Sequential {
+				t = inst.Cell.ClkQS
+				class = launchReg
+			}
+			if inst.IsMacro() {
+				t = inst.Macro.AccessLatencyS
+				class = launchMacro
+			}
+			for _, pin := range inst.Pins() {
+				if pin.IsOutput {
+					arr[pin] = t
+					cls[pin] = class
+				}
+			}
+			queue = append(queue, inst)
+			nd.pending = -1
+		}
+	}
+	for len(queue) > 0 {
+		inst := queue[0]
+		queue = queue[1:]
+		for _, out := range inst.Pins() {
+			if !out.IsOutput || out.Net == nil || out.Net.Clock {
+				continue
+			}
+			tOut, ok := arr[out]
+			if !ok {
+				continue
+			}
+			d := netDelay(out.Net)
+			for _, sink := range out.Net.Sinks {
+				tSink := tOut + d
+				if old, ok := arr[sink]; !ok || tSink < old {
+					arr[sink] = tSink
+					cls[sink] = cls[out]
+				}
+				snd := nodes[sink.Inst]
+				if snd.pending < 0 {
+					continue
+				}
+				snd.pending--
+				if snd.pending == 0 {
+					snd.pending = -1
+					best := 0.0
+					bestCls := launchConst
+					first := true
+					for _, in := range sink.Inst.Pins() {
+						if in.IsOutput || in.Net == nil || in.Net.Clock {
+							continue
+						}
+						if t, ok := arr[in]; ok && (first || t < best) {
+							best = t
+							bestCls = cls[in]
+							first = false
+						}
+					}
+					for _, op := range sink.Inst.Pins() {
+						if op.IsOutput {
+							arr[op] = best
+							cls[op] = bestCls
+						}
+					}
+					queue = append(queue, sink.Inst)
+				}
+			}
+		}
+	}
+
+	rep := &HoldReport{WorstSlackS: 1e9}
+	for _, inst := range nl.Instances {
+		if inst.IsMacro() || !inst.Cell.Sequential {
+			continue
+		}
+		for _, pin := range inst.Pins() {
+			if pin.IsOutput || pin.Net == nil || pin.Net.Clock {
+				continue
+			}
+			t, ok := arr[pin]
+			if !ok {
+				continue
+			}
+			// Constant-launched paths (tie cells, input stubs) carry no
+			// clock-edge race and are not hold-checked.
+			if cls[pin] == launchConst {
+				continue
+			}
+			rep.Endpoints++
+			slack := t - holdTimeS
+			if slack < rep.WorstSlackS {
+				rep.WorstSlackS = slack
+				rep.WorstEndpoint = inst.Name + "/" + pin.Name
+			}
+			if slack < 0 {
+				rep.Violations++
+			}
+		}
+	}
+	if rep.Endpoints == 0 {
+		return nil, fmt.Errorf("sta: no hold endpoints")
+	}
+	return rep, nil
+}
+
+// isLaunch reports whether an instance's outputs start timing paths.
+func isLaunch(inst *netlist.Instance) bool {
+	if inst.IsMacro() {
+		return true
+	}
+	return inst.Cell.Sequential
+}
+
+// makeNetDelay builds the shared driver+wire delay function.
+func makeNetDelay(wm *WireModel) func(*netlist.Net) float64 {
+	return func(n *netlist.Net) float64 {
+		rw, cw := wm.NetRC(n)
+		cTotal := cw + n.SinkCapF()
+		var rd, intrinsic float64
+		if n.Driver != nil && !n.Driver.Inst.IsMacro() {
+			c := n.Driver.Inst.Cell
+			if isConstKind(c) {
+				return 0
+			}
+			rd = c.DriveResOhm
+			intrinsic = c.IntrinsicDelayS
+		} else if n.Driver != nil {
+			rd = 200
+		}
+		return intrinsic + 0.69*(rd*cTotal+rw*(cw/2+n.SinkCapF()))
+	}
+}
+
+// GroupEndpoints classifies every timing endpoint by path group using the
+// max-arrival analysis and returns per-group summaries (sorted by group).
+func GroupEndpoints(p *tech.PDK, nl *netlist.Netlist, wm *WireModel, rep *Report) ([]GroupSummary, error) {
+	if rep == nil {
+		return nil, fmt.Errorf("sta: nil setup report")
+	}
+	// Re-derive worst arrival per endpoint group from a fresh analysis:
+	// we only need the endpoint pins and their launch classes, which the
+	// existing Analyze exposes via the critical path; for grouping we
+	// rerun arrivals here in a compact form.
+	groups := map[PathGroup]*GroupSummary{}
+	bump := func(g PathGroup, arrival float64, name string) {
+		s, ok := groups[g]
+		if !ok {
+			s = &GroupSummary{Group: g}
+			groups[g] = s
+		}
+		s.Endpoints++
+		if arrival > s.WorstArrivalS {
+			s.WorstArrivalS = arrival
+			s.WorstEndpoint = name
+		}
+	}
+	arrivals, launches, err := arrivalsWithLaunchClass(p, nl, wm)
+	if err != nil {
+		return nil, err
+	}
+	for _, inst := range nl.Instances {
+		seq := !inst.IsMacro() && inst.Cell.Sequential
+		mac := inst.IsMacro()
+		if !seq && !mac {
+			continue
+		}
+		for _, pin := range inst.Pins() {
+			if pin.IsOutput || pin.Net == nil || pin.Net.Clock {
+				continue
+			}
+			t, ok := arrivals[pin]
+			if !ok {
+				continue
+			}
+			if seq {
+				t += inst.Cell.SetupS
+			}
+			var g PathGroup
+			switch {
+			case mac && launches[pin] == launchMacro:
+				g = GroupRegToMacro // macro endpoint; launch class irrelevant label-wise
+			case mac:
+				g = GroupRegToMacro
+			case launches[pin] == launchMacro:
+				g = GroupMacroToReg
+			case launches[pin] == launchConst:
+				g = GroupInToReg
+			default:
+				g = GroupRegToReg
+			}
+			bump(g, t, inst.Name+"/"+pin.Name)
+		}
+	}
+	out := make([]GroupSummary, 0, len(groups))
+	for _, s := range groups {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out, nil
+}

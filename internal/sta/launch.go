@@ -1,0 +1,117 @@
+package sta
+
+import (
+	"m3d/internal/cell"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+// launchClass labels where a timing path starts.
+type launchClass int
+
+const (
+	launchReg launchClass = iota
+	launchMacro
+	launchConst
+)
+
+func isConstKind(c *cell.Cell) bool {
+	return c.Kind == cell.TieHi || c.Kind == cell.TieLo
+}
+
+// arrivalsWithLaunchClass runs max-arrival propagation (like Analyze) but
+// also tracks the launch class of each pin's dominant path.
+func arrivalsWithLaunchClass(p *tech.PDK, nl *netlist.Netlist, wm *WireModel) (map[*netlist.Pin]float64, map[*netlist.Pin]launchClass, error) {
+	if wm == nil {
+		wm = NewWireModel(p, nil)
+	}
+	arr := make(map[*netlist.Pin]float64)
+	cls := make(map[*netlist.Pin]launchClass)
+	netDelay := makeNetDelay(wm)
+
+	type node struct{ pending int }
+	nodes := make(map[*netlist.Instance]*node, len(nl.Instances))
+	var queue []*netlist.Instance
+	for _, inst := range nl.Instances {
+		nd := &node{}
+		for _, pin := range inst.Pins() {
+			if !pin.IsOutput && pin.Net != nil && !pin.Net.Clock {
+				nd.pending++
+			}
+		}
+		nodes[inst] = nd
+		launchT := -1.0
+		class := launchReg
+		switch {
+		case inst.IsMacro():
+			launchT = inst.Macro.AccessLatencyS
+			class = launchMacro
+		case inst.Cell.Sequential:
+			launchT = inst.Cell.ClkQS
+		case isConstKind(inst.Cell):
+			launchT = 0
+			class = launchConst
+		case nd.pending == 0:
+			launchT = 0
+			class = launchConst
+		}
+		if launchT >= 0 {
+			for _, pin := range inst.Pins() {
+				if pin.IsOutput {
+					arr[pin] = launchT
+					cls[pin] = class
+				}
+			}
+			queue = append(queue, inst)
+			nd.pending = -1
+		}
+	}
+	for len(queue) > 0 {
+		inst := queue[0]
+		queue = queue[1:]
+		for _, out := range inst.Pins() {
+			if !out.IsOutput || out.Net == nil || out.Net.Clock {
+				continue
+			}
+			tOut, ok := arr[out]
+			if !ok {
+				continue
+			}
+			d := netDelay(out.Net)
+			for _, sink := range out.Net.Sinks {
+				tSink := tOut + d
+				if old, ok := arr[sink]; !ok || tSink > old {
+					arr[sink] = tSink
+					cls[sink] = cls[out]
+				}
+				snd := nodes[sink.Inst]
+				if snd.pending < 0 {
+					continue
+				}
+				snd.pending--
+				if snd.pending == 0 {
+					snd.pending = -1
+					worst := 0.0
+					worstCls := launchConst
+					for _, in := range sink.Inst.Pins() {
+						if in.IsOutput || in.Net == nil || in.Net.Clock {
+							continue
+						}
+						if t, ok := arr[in]; ok && t >= worst {
+							worst = t
+							worstCls = cls[in]
+						}
+					}
+					for _, op := range sink.Inst.Pins() {
+						if op.IsOutput {
+							arr[op] = worst
+							cls[op] = worstCls
+						}
+					}
+					queue = append(queue, sink.Inst)
+				}
+			}
+		}
+	}
+	return arr, cls, nil
+}

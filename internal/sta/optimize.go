@@ -1,0 +1,84 @@
+package sta
+
+import (
+	"m3d/internal/cell"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+// OptimizeResult reports the post-route optimization pass.
+type OptimizeResult struct {
+	// Upsized is the number of driver cells swapped to stronger drives.
+	Upsized int
+	// AddedAreaNM2 is the footprint growth from upsizing (the "buffer
+	// area" the paper's 3D flows reduce by ~20%).
+	AddedAreaNM2 int64
+	// Rounds is the number of optimize+analyze iterations performed.
+	Rounds int
+	// Final is the report after the last round.
+	Final *Report
+}
+
+// OptimizeDrives is the flow's post-route optimization: it repeatedly runs
+// STA and upsizes drivers of nets whose wire delay dominates, until the
+// target period is met or no further improvement is found. libs maps each
+// tier to the library used for cells on that tier.
+func OptimizeDrives(p *tech.PDK, nl *netlist.Netlist, wm *WireModel,
+	libs map[tech.Tier]*cell.Library, targetPeriodS float64, maxRounds int) (*OptimizeResult, error) {
+
+	if maxRounds <= 0 {
+		maxRounds = 4
+	}
+	if wm == nil {
+		wm = NewWireModel(p, nil)
+	}
+	res := &OptimizeResult{}
+	for round := 0; round < maxRounds; round++ {
+		rep, err := Analyze(p, nl, wm, targetPeriodS)
+		if err != nil {
+			return nil, err
+		}
+		res.Final = rep
+		res.Rounds = round + 1
+		if rep.Met() {
+			return res, nil
+		}
+		changed := 0
+		// Upsize every driver whose net delay exceeds its fair share of the
+		// period; cheap heuristic that matches how ECO sizing behaves.
+		budget := targetPeriodS / 12
+		for _, n := range nl.Nets {
+			if n.Clock || n.Driver == nil || n.Driver.Inst.IsMacro() {
+				continue
+			}
+			drv := n.Driver.Inst
+			lib, ok := libs[drv.Tier]
+			if !ok {
+				continue
+			}
+			rw, cw := wm.NetRC(n)
+			load := cw + n.SinkCapF()
+			cur := drv.Cell
+			delay := cur.Delay(load) + 0.69*rw*(cw/2+n.SinkCapF())
+			if delay <= budget {
+				continue
+			}
+			best := lib.UpsizeFor(cur.Kind, load, budget-0.69*rw*(cw/2+n.SinkCapF()))
+			if best != nil && best.Drive > cur.Drive {
+				res.AddedAreaNM2 += best.AreaNM2 - cur.AreaNM2
+				drv.Cell = best
+				changed++
+			}
+		}
+		res.Upsized += changed
+		if changed == 0 {
+			return res, nil
+		}
+	}
+	rep, err := Analyze(p, nl, wm, targetPeriodS)
+	if err != nil {
+		return nil, err
+	}
+	res.Final = rep
+	return res, nil
+}

@@ -1,0 +1,268 @@
+// Package sta implements static timing analysis over a placed-and-routed
+// netlist: lumped-RC wire delays derived from the global routes (Elmore
+// approximation), NLDM-style cell delays from the library characterization,
+// topological arrival-time propagation, setup checks at every flip-flop,
+// and an achieved-frequency report. A post-route drive optimization pass
+// (the flow's "post-route optimization to meet power and timing") upsizes
+// drivers on failing paths.
+package sta
+
+import (
+	"fmt"
+	"sort"
+
+	"m3d/internal/cell"
+	"m3d/internal/netlist"
+	"m3d/internal/route"
+	"m3d/internal/tech"
+)
+
+// WireModel converts a net into a lumped resistance/capacitance pair. When
+// routes are available it sums segment RC per layer plus via and ILV
+// parasitics; otherwise it estimates from HPWL with average lower-metal RC.
+type WireModel struct {
+	p      *tech.PDK
+	routes *route.Result
+	layers []tech.Layer
+	// fallback per-DBU parasitics.
+	rPerDBU, cPerDBU float64
+}
+
+// NewWireModel builds a wire model; routes may be nil (pre-route estimate).
+func NewWireModel(p *tech.PDK, routes *route.Result) *WireModel {
+	layers := p.RoutingLayers()
+	// Average of M1/M2 for the pre-route estimate.
+	r := (layers[0].ROhmPerUm + layers[1].ROhmPerUm) / 2 / 1000.0
+	c := (layers[0].CfFPerUm + layers[1].CfFPerUm) / 2 / 1000.0 * 1e-15
+	return &WireModel{p: p, routes: routes, layers: layers, rPerDBU: r, cPerDBU: c}
+}
+
+// NetRC returns the lumped wire resistance (ohm) and capacitance (F) of n.
+func (w *WireModel) NetRC(n *netlist.Net) (rOhm, cF float64) {
+	if w.routes != nil {
+		if nr, ok := w.routes.Routes[n]; ok && len(nr.Segs) > 0 {
+			for _, s := range nr.Segs {
+				L := w.layers[s.LayerIdx]
+				lenDBU := float64(s.A.ManhattanDist(s.B))
+				rOhm += L.ROhmPerUm * lenDBU / 1000.0
+				cF += L.CfFPerUm * lenDBU / 1000.0 * 1e-15
+			}
+			rOhm += float64(nr.Vias) * w.p.ILVResistanceOhm / 4
+			cF += float64(nr.Vias) * w.p.ILVCapF / 4
+			rOhm += float64(nr.ILVs) * w.p.ILVResistanceOhm
+			cF += float64(nr.ILVs) * w.p.ILVCapF
+			return rOhm, cF
+		}
+	}
+	wl := float64(n.HPWL())
+	return w.rPerDBU * wl, w.cPerDBU * wl
+}
+
+// PathPoint is one pin on the critical path.
+type PathPoint struct {
+	Inst    string
+	Pin     string
+	Arrival float64
+}
+
+// Report is the STA result.
+type Report struct {
+	// CriticalPathS is the worst launch-to-capture delay including setup.
+	CriticalPathS float64
+	// FmaxHz is 1 / CriticalPathS.
+	FmaxHz float64
+	// WorstSlackS is slack at the target period (negative = violated).
+	WorstSlackS float64
+	// TargetPeriodS echoes the constraint.
+	TargetPeriodS float64
+	// Endpoints is the number of timing endpoints checked.
+	Endpoints int
+	// CriticalPath lists the pins of the worst path, launch to capture.
+	CriticalPath []PathPoint
+}
+
+// Met reports whether the target period is met.
+func (r *Report) Met() bool { return r.WorstSlackS >= 0 }
+
+// Analyze runs STA at the given target clock period.
+func Analyze(p *tech.PDK, nl *netlist.Netlist, wm *WireModel, targetPeriodS float64) (*Report, error) {
+	if wm == nil {
+		wm = NewWireModel(p, nil)
+	}
+	if targetPeriodS <= 0 {
+		return nil, fmt.Errorf("sta: target period must be positive, got %g", targetPeriodS)
+	}
+
+	// Arrival time per pin; -1 = not yet computed.
+	arr := make(map[*netlist.Pin]float64)
+	from := make(map[*netlist.Pin]*netlist.Pin)
+
+	// Net delay from driver to one sink: Elmore with lumped wire RC.
+	netDelay := func(n *netlist.Net) float64 {
+		rw, cw := wm.NetRC(n)
+		cTotal := cw + n.SinkCapF()
+		var rd float64
+		var intrinsic float64
+		if n.Driver != nil && !n.Driver.Inst.IsMacro() {
+			k := n.Driver.Inst.Cell.Kind
+			if k == cell.TieHi || k == cell.TieLo {
+				// Constant nets do not propagate transitions.
+				return 0
+			}
+			rd = n.Driver.Inst.Cell.DriveResOhm
+			intrinsic = n.Driver.Inst.Cell.IntrinsicDelayS
+		} else if n.Driver != nil {
+			rd = 200 // macro output driver
+		}
+		return intrinsic + 0.69*(rd*cTotal+rw*(cw/2+n.SinkCapF()))
+	}
+
+	// Build a combinational dependency count per instance: outputs wait on
+	// all inputs (sequential and macro outputs are launch points).
+	type node struct {
+		inst    *netlist.Instance
+		pending int
+	}
+	nodes := make(map[*netlist.Instance]*node, len(nl.Instances))
+	var queue []*netlist.Instance
+
+	launch := func(pin *netlist.Pin, t float64) {
+		arr[pin] = t
+	}
+
+	for _, inst := range nl.Instances {
+		nd := &node{inst: inst}
+		for _, pin := range inst.Pins() {
+			if !pin.IsOutput && pin.Net != nil && !pin.Net.Clock {
+				nd.pending++
+			}
+		}
+		nodes[inst] = nd
+		seq := !inst.IsMacro() && inst.Cell.Sequential
+		mac := inst.IsMacro()
+		tie := !mac && (inst.Cell.Kind == cell.TieHi || inst.Cell.Kind == cell.TieLo)
+		if seq || mac || tie || nd.pending == 0 {
+			// Launch point: outputs available at fixed time.
+			t := 0.0
+			if seq {
+				t = inst.Cell.ClkQS
+			}
+			if mac {
+				t = inst.Macro.AccessLatencyS
+			}
+			for _, pin := range inst.Pins() {
+				if pin.IsOutput {
+					launch(pin, t)
+				}
+			}
+			queue = append(queue, inst)
+			nd.pending = -1 // mark done
+		}
+	}
+
+	for len(queue) > 0 {
+		inst := queue[0]
+		queue = queue[1:]
+		for _, out := range inst.Pins() {
+			if !out.IsOutput || out.Net == nil || out.Net.Clock {
+				continue
+			}
+			tOut, ok := arr[out]
+			if !ok {
+				continue
+			}
+			d := netDelay(out.Net)
+			for _, sink := range out.Net.Sinks {
+				tSink := tOut + d
+				if old, ok := arr[sink]; !ok || tSink > old {
+					arr[sink] = tSink
+					from[sink] = out
+				}
+				snd := nodes[sink.Inst]
+				if snd.pending < 0 {
+					continue // launch point; D pins are endpoints only
+				}
+				snd.pending--
+				if snd.pending == 0 {
+					snd.pending = -1
+					// Compute output arrivals: max input arrival + cell delay.
+					worstIn := 0.0
+					var worstPin *netlist.Pin
+					for _, in := range sink.Inst.Pins() {
+						if in.IsOutput || in.Net == nil || in.Net.Clock {
+							continue
+						}
+						if t, ok := arr[in]; ok && t >= worstIn {
+							worstIn = t
+							worstPin = in
+						}
+					}
+					// The cell's intrinsic and drive delay are charged on the
+					// output net arc (netDelay), so the output pin launches
+					// at the worst input arrival.
+					for _, op := range sink.Inst.Pins() {
+						if op.IsOutput {
+							arr[op] = worstIn
+							if worstPin != nil {
+								from[op] = worstPin
+							}
+						}
+					}
+					queue = append(queue, sink.Inst)
+				}
+			}
+		}
+	}
+
+	// Endpoints: DFF D pins (+ setup), macro input pins.
+	rep := &Report{TargetPeriodS: targetPeriodS}
+	var worst float64
+	var worstPin *netlist.Pin
+	for _, inst := range nl.Instances {
+		seq := !inst.IsMacro() && inst.Cell.Sequential
+		mac := inst.IsMacro()
+		if !seq && !mac {
+			continue
+		}
+		for _, pin := range inst.Pins() {
+			if pin.IsOutput || pin.Net == nil || pin.Net.Clock {
+				continue
+			}
+			t, ok := arr[pin]
+			if !ok {
+				continue
+			}
+			if seq {
+				t += inst.Cell.SetupS
+			}
+			rep.Endpoints++
+			if t > worst {
+				worst = t
+				worstPin = pin
+			}
+		}
+	}
+	if rep.Endpoints == 0 {
+		return nil, fmt.Errorf("sta: design has no timing endpoints")
+	}
+	rep.CriticalPathS = worst
+	if worst > 0 {
+		rep.FmaxHz = 1 / worst
+	}
+	rep.WorstSlackS = targetPeriodS - worst
+
+	// Trace the critical path.
+	for pin := worstPin; pin != nil; pin = from[pin] {
+		rep.CriticalPath = append(rep.CriticalPath, PathPoint{
+			Inst: pin.Inst.Name, Pin: pin.Name, Arrival: arr[pin],
+		})
+		if len(rep.CriticalPath) > 10000 {
+			break
+		}
+	}
+	// Reverse to launch-to-capture order.
+	sort.SliceStable(rep.CriticalPath, func(i, j int) bool {
+		return rep.CriticalPath[i].Arrival < rep.CriticalPath[j].Arrival
+	})
+	return rep, nil
+}

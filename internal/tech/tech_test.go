@@ -1,0 +1,226 @@
+package tech
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefault130Validates(t *testing.T) {
+	p := Default130()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default PDK invalid: %v", err)
+	}
+	if p.NodeNM != 130 {
+		t.Errorf("node = %d, want 130", p.NodeNM)
+	}
+}
+
+func TestStackOrdering(t *testing.T) {
+	p := Default130()
+	// RRAM must sit above the lower metals and below the CNFET layer
+	// (Fig. 4a): FEOL < M4 < RRAM < CNFET < M6.
+	idx := func(name string) int {
+		l, ok := p.LayerByName(name)
+		if !ok {
+			t.Fatalf("missing layer %q", name)
+		}
+		return l.Index
+	}
+	if !(idx("FEOL") < idx("M4") && idx("M4") < idx("RRAM") && idx("RRAM") < idx("CNFET") && idx("CNFET") < idx("M6")) {
+		t.Error("stack-up ordering does not match Fig. 4a")
+	}
+}
+
+func TestRoutingLayers(t *testing.T) {
+	p := Default130()
+	rl := p.RoutingLayers()
+	if len(rl) != 6 {
+		t.Fatalf("routing layers = %d, want 6 (M1-M6)", len(rl))
+	}
+	// Adjacent metals must alternate preferred direction.
+	for i := 1; i < len(rl); i++ {
+		if rl[i].Dir == rl[i-1].Dir {
+			t.Errorf("layers %s and %s share direction", rl[i-1].Name, rl[i].Name)
+		}
+	}
+}
+
+func TestLayerByNameMissing(t *testing.T) {
+	p := Default130()
+	if _, ok := p.LayerByName("M99"); ok {
+		t.Error("found a layer that should not exist")
+	}
+}
+
+func TestFETEffectiveResistance(t *testing.T) {
+	p := Default130()
+	rMin := p.SiFET.EffectiveResistance(p.VDD, p.SiFET.MinWidth)
+	rWide := p.SiFET.EffectiveResistance(p.VDD, 4*p.SiFET.MinWidth)
+	if rMin <= 0 || rWide <= 0 {
+		t.Fatal("resistances must be positive")
+	}
+	if rWide >= rMin {
+		t.Errorf("4x wider FET should have lower resistance: %g vs %g", rWide, rMin)
+	}
+	// Zero width falls back to the minimum device.
+	if got := p.SiFET.EffectiveResistance(p.VDD, 0); got != rMin {
+		t.Errorf("zero-width fallback = %g, want %g", got, rMin)
+	}
+}
+
+func TestCNFETWeakerThanSi(t *testing.T) {
+	p := Default130()
+	rSi := p.SiFET.EffectiveResistance(p.VDD, 300)
+	rCN := p.CNFET.EffectiveResistance(p.VDD, 300)
+	if rCN <= rSi {
+		t.Errorf("newly-introduced CNFET should be weaker than Si: R_cn=%g R_si=%g", rCN, rSi)
+	}
+}
+
+func TestGateCapScalesWithWidth(t *testing.T) {
+	p := Default130()
+	c1 := p.SiFET.GateCapF(300)
+	c2 := p.SiFET.GateCapF(600)
+	if c2 <= c1 {
+		t.Error("gate cap must grow with width")
+	}
+	if got, want := c2/c1, 2.0; got < want-0.01 || got > want+0.01 {
+		t.Errorf("cap ratio = %g, want 2", got)
+	}
+}
+
+func TestBitcellAreas(t *testing.T) {
+	p := Default130()
+	a2d := p.BitcellArea2D()
+	a3d := p.BitcellArea3D()
+	if a2d <= 0 || a3d <= 0 {
+		t.Fatal("bitcell areas must be positive")
+	}
+	// At δ=1 the Si and CNFET access devices have the same drawn footprint,
+	// so the cell areas match; M3D just relocates the FET off the Si tier.
+	if a2d != a3d {
+		t.Errorf("iso-width bitcell areas differ: 2D=%d 3D=%d", a2d, a3d)
+	}
+}
+
+func TestWidthRelaxGrowsCell(t *testing.T) {
+	p := Default130()
+	base := p.BitcellArea3D()
+	relaxed := p.WithCNFETWidthRelax(2.0).BitcellArea3D()
+	if relaxed <= base {
+		t.Errorf("δ=2 should grow the 3D bitcell: %d vs %d", relaxed, base)
+	}
+	// δ clamps at 1 from below.
+	if got := p.WithCNFETWidthRelax(0.5).CNFETWidthRelax; got != 1 {
+		t.Errorf("δ=0.5 should clamp to 1, got %g", got)
+	}
+}
+
+func TestBitcellViaLimitedAtBaseline(t *testing.T) {
+	// The paper's Case 2 premise: the memory cell is via-pitch limited, so
+	// the baseline cell area equals m·β² and any β increase grows it.
+	p := Default130()
+	base := p.BitcellArea2D()
+	want := int64(p.RRAM.ViasPerCell) * p.ILVPitch * p.ILVPitch
+	if base != want {
+		t.Errorf("baseline cell should be via-limited: %d vs m·β²=%d", base, want)
+	}
+	small := p.WithILVPitchScale(1.2).BitcellArea3D()
+	large := p.WithILVPitchScale(3.0).BitcellArea3D()
+	if small <= base {
+		t.Errorf("β=1.2 must grow a via-limited cell: %d vs %d", small, base)
+	}
+	if large <= small {
+		t.Errorf("β=3 must grow further: %d vs %d", large, small)
+	}
+}
+
+func TestWithILVPitchScaleUpdatesStack(t *testing.T) {
+	p := Default130().WithILVPitchScale(2.0)
+	l, ok := p.LayerByName("ILV_RRAM")
+	if !ok {
+		t.Fatal("missing ILV_RRAM layer")
+	}
+	if l.Pitch != p.ILVPitch {
+		t.Errorf("stack ILV pitch %d != PDK ILV pitch %d", l.Pitch, p.ILVPitch)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := Default130()
+	q := p.Clone()
+	q.Stack[0].Name = "mutated"
+	q.VDD = 9
+	if p.Stack[0].Name == "mutated" || p.VDD == 9 {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestWithCNFETDerate(t *testing.T) {
+	p := Default130()
+	d := p.WithCNFETDerate(0.5)
+	if d.CNFET.IonUAPerUm >= p.CNFET.IonUAPerUm {
+		t.Error("derate did not weaken the CNFET")
+	}
+	if p.CNFET.IonUAPerUm != Default130().CNFET.IonUAPerUm {
+		t.Error("derate mutated the source PDK")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []func(*PDK){
+		func(p *PDK) { p.NodeNM = 0 },
+		func(p *PDK) { p.VDD = -1 },
+		func(p *PDK) { p.RowHeight = 0 },
+		func(p *PDK) { p.ILVPitch = 0 },
+		func(p *PDK) { p.CNFETWidthRelax = 0.5 },
+		func(p *PDK) { p.Stack = nil },
+		func(p *PDK) { p.Stack[3].Index = 99 },
+		func(p *PDK) { p.Stack[1].Pitch = 0 }, // M1 routing layer
+		func(p *PDK) { p.RRAM.ViasPerCell = 0 },
+	}
+	for i, corrupt := range cases {
+		p := Default130()
+		corrupt(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: corruption not caught", i)
+		}
+	}
+}
+
+func TestBitcellAreaMonotoneInDelta(t *testing.T) {
+	base := Default130()
+	f := func(raw uint8) bool {
+		d1 := 1.0 + float64(raw)/100.0 // δ ∈ [1, 3.55]
+		d2 := d1 + 0.25
+		a1 := base.WithCNFETWidthRelax(d1).BitcellArea3D()
+		a2 := base.WithCNFETWidthRelax(d2).BitcellArea3D()
+		return a2 >= a1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitcellAreaMonotoneInBeta(t *testing.T) {
+	base := Default130()
+	f := func(raw uint8) bool {
+		b1 := 1.0 + float64(raw)/64.0
+		b2 := b1 + 0.5
+		a1 := base.WithILVPitchScale(b1).BitcellArea3D()
+		a2 := base.WithILVPitchScale(b2).BitcellArea3D()
+		return a2 >= a1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierSiCMOS.String() != "SiCMOS" || TierRRAM.String() != "RRAM" || TierCNFET.String() != "CNFET" {
+		t.Error("tier names wrong")
+	}
+	if Tier(42).String() == "" {
+		t.Error("unknown tier should still format")
+	}
+}

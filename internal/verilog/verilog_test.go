@@ -1,0 +1,174 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"m3d/internal/cell"
+	"m3d/internal/macro"
+	"m3d/internal/netlist"
+	"m3d/internal/synth"
+	"m3d/internal/tech"
+)
+
+func testDesign(t *testing.T) (*cell.Library, *netlist.Netlist, map[string]*netlist.MacroRef) {
+	t.Helper()
+	p := tech.Default130()
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := synth.NewBuilder("dut", lib)
+	b.Systolic("cs", synth.SystolicSpec{Rows: 1, Cols: 2, ActBits: 4, WeightBits: 4, AccBits: 12, Activity: 0.2})
+	bank, err := macro.NewRRAMBank(p, macro.RRAMBankSpec{CapacityBits: 1 << 20, WordBits: 32, Style: macro.Style3D})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := b.NL.AddMacro("bank0", bank.Ref, tech.TierRRAM)
+	// One macro connection so the macro has pins.
+	in := b.Input("ba", 0.2)
+	b.NL.MustPin(inst, "A0", false, bank.Ref.PinCapF, in)
+	q := b.NL.AddNet("bq", 0.2)
+	b.NL.MustPin(inst, "Q0", true, 0, q)
+	b.Sink("bqs", q)
+	if err := b.NL.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return lib, b.NL, map[string]*netlist.MacroRef{sanitize(bank.Ref.Kind): bank.Ref}
+}
+
+func TestWriteBasics(t *testing.T) {
+	_, nl, _ := testDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "// Generated") {
+		t.Error("missing header comment")
+	}
+	if !strings.Contains(out, "module dut;") {
+		t.Error("missing module line")
+	}
+	if !strings.Contains(out, "endmodule") {
+		t.Error("missing endmodule")
+	}
+	if !strings.Contains(out, "wire clk;") {
+		t.Error("missing clock wire")
+	}
+	if !strings.Contains(out, "rram_bank_M3D bank0 (") {
+		t.Errorf("missing macro instance:\n%s", out[:400])
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	lib, nl, macros := testDesign(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, lib, macros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, m1, n1, f1 := Stats(nl)
+	c2, m2, n2, f2 := Stats(back)
+	if c1 != c2 || m1 != m2 || n1 != n2 {
+		t.Fatalf("counts differ: %d/%d/%d vs %d/%d/%d", c1, m1, n1, c2, m2, n2)
+	}
+	if f1 != f2 {
+		t.Fatal("connectivity fingerprints differ after round trip")
+	}
+	if err := back.Check(); err != nil {
+		t.Fatalf("round-tripped netlist broken: %v", err)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"abc_123":   "abc_123",
+		"a.b/c":     "a_b_c",
+		"9lives":    "_lives",
+		"ok9":       "ok9",
+		"x y":       "x_y",
+		"CLKBUF_X4": "CLKBUF_X4",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	p := tech.Default130()
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"wire before module", "wire x;\n"},
+		{"unknown master", "module m;\nwire a;\nBOGUS_X1 u (.A(a));\nendmodule\n"},
+		{"undeclared net", "module m;\nINV_X1 u (.A(nope), .Y(nope));\nendmodule\n"},
+		{"malformed instance", "module m;\nINV_X1 u .A(x);\nendmodule\n"},
+		{"malformed connection", "module m;\nwire a;\nINV_X1 u (A(a));\nendmodule\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.src), lib, nil); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadMinimal(t *testing.T) {
+	p := tech.Default130()
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `// comment
+module tiny;
+  wire n1;
+  wire n2;
+
+  TIEHI_X1 t (.Y(n1));
+  INV_X1 u (.A(n1), .Y(n2));
+  INV_X1 v (.A(n2));
+endmodule
+`
+	nl, err := Read(strings.NewReader(src), lib, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Instances) != 3 || len(nl.Nets) != 2 {
+		t.Errorf("parsed %d instances / %d nets", len(nl.Instances), len(nl.Nets))
+	}
+	// Direction inference: Y out, A in.
+	if nl.Nets[0].Driver == nil || nl.Nets[0].Driver.Inst.Name != "t" {
+		t.Error("driver inference failed")
+	}
+}
+
+func TestDuplicateDriverCaught(t *testing.T) {
+	p := tech.Default130()
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `module bad;
+  wire n1;
+  TIEHI_X1 a (.Y(n1));
+  TIEHI_X1 b (.Y(n1));
+endmodule
+`
+	if _, err := Read(strings.NewReader(src), lib, nil); err == nil {
+		t.Error("double driver should be rejected")
+	}
+}

@@ -1,0 +1,339 @@
+// Package workload provides the DNN model zoo the paper evaluates on:
+// AlexNet, VGG-16, and the ResNet family (18/34/50/152), as per-layer shape
+// tables with derived quantities — MAC counts (the paper's F₀), on-chip
+// memory traffic (D₀), weight footprints, and output-channel
+// partitionability (the paper's N#).
+package workload
+
+import "fmt"
+
+// LayerType classifies a layer.
+type LayerType int
+
+const (
+	// Conv is a standard convolution.
+	Conv LayerType = iota
+	// Downsample is a 1×1 strided projection (ResNet "DS" shortcut).
+	Downsample
+	// FC is a fully connected layer.
+	FC
+)
+
+// String names the layer type.
+func (t LayerType) String() string {
+	switch t {
+	case Conv:
+		return "CONV"
+	case Downsample:
+		return "DS"
+	case FC:
+		return "FC"
+	default:
+		return fmt.Sprintf("LayerType(%d)", int(t))
+	}
+}
+
+// Layer is one DNN layer shape. For FC layers, treat OX=OY=1, R=S=1,
+// C=input features, K=output features.
+type Layer struct {
+	Name   string
+	Type   LayerType
+	K      int // output channels
+	C      int // input channels (total, across all groups)
+	R, S   int // kernel height, width
+	OX, OY int // output width, height
+	Stride int
+	// Groups splits the convolution into independent channel groups
+	// (Groups == K == C is a depthwise convolution). 0 means 1.
+	Groups int
+}
+
+// groups returns the effective group count.
+func (l Layer) groups() int {
+	if l.Groups < 1 {
+		return 1
+	}
+	return l.Groups
+}
+
+// MACs returns the multiply-accumulate count (the paper's F₀ in ops).
+// Grouped convolutions only connect channels within their group.
+func (l Layer) MACs() int64 {
+	return int64(l.K) * int64(l.C) / int64(l.groups()) *
+		int64(l.R) * int64(l.S) * int64(l.OX) * int64(l.OY)
+}
+
+// Weights returns the weight parameter count.
+func (l Layer) Weights() int64 {
+	return int64(l.K) * int64(l.C) / int64(l.groups()) * int64(l.R) * int64(l.S)
+}
+
+// InputActs returns the input activation count consumed (IX×IY×C).
+func (l Layer) InputActs() int64 {
+	ix := (l.OX-1)*l.Stride + l.R
+	iy := (l.OY-1)*l.Stride + l.S
+	return int64(ix) * int64(iy) * int64(l.C)
+}
+
+// OutputActs returns the output activation count produced.
+func (l Layer) OutputActs() int64 {
+	return int64(l.OX) * int64(l.OY) * int64(l.K)
+}
+
+// Validate checks the shape.
+func (l Layer) Validate() error {
+	if l.K <= 0 || l.C <= 0 || l.R <= 0 || l.S <= 0 || l.OX <= 0 || l.OY <= 0 {
+		return fmt.Errorf("workload: layer %q has non-positive dims", l.Name)
+	}
+	if l.Stride <= 0 {
+		return fmt.Errorf("workload: layer %q has non-positive stride", l.Name)
+	}
+	g := l.groups()
+	if l.K%g != 0 || l.C%g != 0 {
+		return fmt.Errorf("workload: layer %q groups %d do not divide K=%d/C=%d", l.Name, g, l.K, l.C)
+	}
+	return nil
+}
+
+// Model is a named sequence of layers.
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// MACs totals F₀ over the model.
+func (m Model) MACs() int64 {
+	var s int64
+	for _, l := range m.Layers {
+		s += l.MACs()
+	}
+	return s
+}
+
+// Params totals the weight count.
+func (m Model) Params() int64 {
+	var s int64
+	for _, l := range m.Layers {
+		s += l.Weights()
+	}
+	return s
+}
+
+// WeightBits returns the model weight footprint at the given precision.
+func (m Model) WeightBits(bitsPerWeight int) int64 {
+	return m.Params() * int64(bitsPerWeight)
+}
+
+// Validate checks every layer.
+func (m Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("workload: model %q has no layers", m.Name)
+	}
+	for _, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("model %q: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+func conv(name string, k, c, r, ox int, stride int) Layer {
+	return Layer{Name: name, Type: Conv, K: k, C: c, R: r, S: r, OX: ox, OY: ox, Stride: stride}
+}
+
+func ds(name string, k, c, ox int, stride int) Layer {
+	return Layer{Name: name, Type: Downsample, K: k, C: c, R: 1, S: 1, OX: ox, OY: ox, Stride: stride}
+}
+
+func fc(name string, k, c int) Layer {
+	return Layer{Name: name, Type: FC, K: k, C: c, R: 1, S: 1, OX: 1, OY: 1, Stride: 1}
+}
+
+// ResNet18 returns the ResNet-18 layer table (ImageNet, 224×224 input),
+// with the exact rows of the paper's Table I plus the final FC.
+func ResNet18() Model {
+	return Model{Name: "ResNet-18", Layers: []Layer{
+		conv("CONV1+POOL", 64, 3, 7, 112, 2),
+		conv("L1.0 CONV1", 64, 64, 3, 56, 1),
+		conv("L1.0 CONV2", 64, 64, 3, 56, 1),
+		conv("L1.1 CONV1", 64, 64, 3, 56, 1),
+		conv("L1.1 CONV2", 64, 64, 3, 56, 1),
+		ds("L2.0 DS", 128, 64, 28, 2),
+		conv("L2.0 CONV1", 128, 64, 3, 28, 2),
+		conv("L2.0 CONV2", 128, 128, 3, 28, 1),
+		conv("L2.1 CONV1", 128, 128, 3, 28, 1),
+		conv("L2.1 CONV2", 128, 128, 3, 28, 1),
+		ds("L3.0 DS", 256, 128, 14, 2),
+		conv("L3.0 CONV1", 256, 128, 3, 14, 2),
+		conv("L3.0 CONV2", 256, 256, 3, 14, 1),
+		conv("L3.1 CONV1", 256, 256, 3, 14, 1),
+		conv("L3.1 CONV2", 256, 256, 3, 14, 1),
+		ds("L4.0 DS", 512, 256, 7, 2),
+		conv("L4.0 CONV1", 512, 256, 3, 7, 2),
+		conv("L4.0 CONV2", 512, 512, 3, 7, 1),
+		conv("L4.1 CONV1", 512, 512, 3, 7, 1),
+		conv("L4.1 CONV2", 512, 512, 3, 7, 1),
+		fc("FC", 1000, 512),
+	}}
+}
+
+// ResNet34 returns ResNet-34 (basic blocks 3/4/6/3).
+func ResNet34() Model {
+	m := Model{Name: "ResNet-34"}
+	m.Layers = append(m.Layers, conv("CONV1+POOL", 64, 3, 7, 112, 2))
+	stage := func(prefix string, k, c, ox, blocks int, firstStride int) {
+		for b := 0; b < blocks; b++ {
+			cin, s := k, 1
+			if b == 0 {
+				cin, s = c, firstStride
+				if s != 1 || c != k {
+					m.Layers = append(m.Layers, ds(fmt.Sprintf("%s.0 DS", prefix), k, c, ox, s))
+				}
+			}
+			m.Layers = append(m.Layers,
+				conv(fmt.Sprintf("%s.%d CONV1", prefix, b), k, cin, 3, ox, s),
+				conv(fmt.Sprintf("%s.%d CONV2", prefix, b), k, k, 3, ox, 1))
+		}
+	}
+	stage("L1", 64, 64, 56, 3, 1)
+	stage("L2", 128, 64, 28, 4, 2)
+	stage("L3", 256, 128, 14, 6, 2)
+	stage("L4", 512, 256, 7, 3, 2)
+	m.Layers = append(m.Layers, fc("FC", 1000, 512))
+	return m
+}
+
+// bottleneckStage appends a ResNet bottleneck stage (1×1 reduce, 3×3,
+// 1×1 expand ×4).
+func bottleneckStage(m *Model, prefix string, mid, cin, ox, blocks, firstStride int) {
+	out := mid * 4
+	for b := 0; b < blocks; b++ {
+		c, s := out, 1
+		if b == 0 {
+			c, s = cin, firstStride
+			m.Layers = append(m.Layers, ds(fmt.Sprintf("%s.0 DS", prefix), out, c, ox, s))
+		}
+		m.Layers = append(m.Layers,
+			conv(fmt.Sprintf("%s.%d CONV1", prefix, b), mid, c, 1, ox, s),
+			conv(fmt.Sprintf("%s.%d CONV2", prefix, b), mid, mid, 3, ox, 1),
+			conv(fmt.Sprintf("%s.%d CONV3", prefix, b), out, mid, 1, ox, 1))
+	}
+}
+
+// ResNet50 returns ResNet-50 (bottleneck blocks 3/4/6/3).
+func ResNet50() Model {
+	m := Model{Name: "ResNet-50"}
+	m.Layers = append(m.Layers, conv("CONV1+POOL", 64, 3, 7, 112, 2))
+	bottleneckStage(&m, "L1", 64, 64, 56, 3, 1)
+	bottleneckStage(&m, "L2", 128, 256, 28, 4, 2)
+	bottleneckStage(&m, "L3", 256, 512, 14, 6, 2)
+	bottleneckStage(&m, "L4", 512, 1024, 7, 3, 2)
+	m.Layers = append(m.Layers, fc("FC", 1000, 2048))
+	return m
+}
+
+// ResNet152 returns ResNet-152 (bottleneck blocks 3/8/36/3, ~60 M params —
+// the capacity target that motivates the paper's 64 MB on-chip RRAM).
+func ResNet152() Model {
+	m := Model{Name: "ResNet-152"}
+	m.Layers = append(m.Layers, conv("CONV1+POOL", 64, 3, 7, 112, 2))
+	bottleneckStage(&m, "L1", 64, 64, 56, 3, 1)
+	bottleneckStage(&m, "L2", 128, 256, 28, 8, 2)
+	bottleneckStage(&m, "L3", 256, 512, 14, 36, 2)
+	bottleneckStage(&m, "L4", 512, 1024, 7, 3, 2)
+	m.Layers = append(m.Layers, fc("FC", 1000, 2048))
+	return m
+}
+
+// AlexNet returns AlexNet (ImageNet).
+func AlexNet() Model {
+	return Model{Name: "AlexNet", Layers: []Layer{
+		{Name: "CONV1", Type: Conv, K: 96, C: 3, R: 11, S: 11, OX: 55, OY: 55, Stride: 4},
+		conv("CONV2", 256, 96, 5, 27, 1),
+		conv("CONV3", 384, 256, 3, 13, 1),
+		conv("CONV4", 384, 384, 3, 13, 1),
+		conv("CONV5", 256, 384, 3, 13, 1),
+		fc("FC6", 4096, 9216),
+		fc("FC7", 4096, 4096),
+		fc("FC8", 1000, 4096),
+	}}
+}
+
+// VGG16 returns VGG-16 (ImageNet).
+func VGG16() Model {
+	return Model{Name: "VGG-16", Layers: []Layer{
+		conv("CONV1_1", 64, 3, 3, 224, 1),
+		conv("CONV1_2", 64, 64, 3, 224, 1),
+		conv("CONV2_1", 128, 64, 3, 112, 1),
+		conv("CONV2_2", 128, 128, 3, 112, 1),
+		conv("CONV3_1", 256, 128, 3, 56, 1),
+		conv("CONV3_2", 256, 256, 3, 56, 1),
+		conv("CONV3_3", 256, 256, 3, 56, 1),
+		conv("CONV4_1", 512, 256, 3, 28, 1),
+		conv("CONV4_2", 512, 512, 3, 28, 1),
+		conv("CONV4_3", 512, 512, 3, 28, 1),
+		conv("CONV5_1", 512, 512, 3, 14, 1),
+		conv("CONV5_2", 512, 512, 3, 14, 1),
+		conv("CONV5_3", 512, 512, 3, 14, 1),
+		fc("FC6", 4096, 25088),
+		fc("FC7", 4096, 4096),
+		fc("FC8", 1000, 4096),
+	}}
+}
+
+// MobileNetV1 returns MobileNetV1 (depthwise-separable convolutions,
+// ImageNet) — an extension beyond the paper's suite exercising grouped
+// convolutions, whose low arithmetic intensity stresses the activation
+// bandwidth exactly like the paper's DS layers.
+func MobileNetV1() Model {
+	m := Model{Name: "MobileNetV1"}
+	m.Layers = append(m.Layers, conv("CONV1", 32, 3, 3, 112, 2))
+	ch, ox := 32, 112
+	block := 0
+	dsBlock := func(out, stride int) {
+		block++
+		oxOut := ox
+		if stride == 2 {
+			oxOut = ox / 2
+		}
+		m.Layers = append(m.Layers,
+			Layer{Name: fmt.Sprintf("DW%d", block), Type: Conv, K: ch, C: ch,
+				R: 3, S: 3, OX: oxOut, OY: oxOut, Stride: stride, Groups: ch},
+			Layer{Name: fmt.Sprintf("PW%d", block), Type: Conv, K: out, C: ch,
+				R: 1, S: 1, OX: oxOut, OY: oxOut, Stride: 1})
+		ch, ox = out, oxOut
+	}
+	dsBlock(64, 1)
+	dsBlock(128, 2)
+	dsBlock(128, 1)
+	dsBlock(256, 2)
+	dsBlock(256, 1)
+	dsBlock(512, 2)
+	for i := 0; i < 5; i++ {
+		dsBlock(512, 1)
+	}
+	dsBlock(1024, 2)
+	dsBlock(1024, 1)
+	m.Layers = append(m.Layers, fc("FC", 1000, 1024))
+	return m
+}
+
+// Zoo returns every model of the paper's suite (the Fig. 5 x-axis).
+func Zoo() []Model {
+	return []Model{AlexNet(), VGG16(), ResNet18(), ResNet34(), ResNet50(), ResNet152()}
+}
+
+// ExtendedZoo adds the extension models beyond the paper's suite.
+func ExtendedZoo() []Model {
+	return append(Zoo(), MobileNetV1())
+}
+
+// ByName returns the named model from the extended zoo.
+func ByName(name string) (Model, error) {
+	for _, m := range ExtendedZoo() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("workload: unknown model %q", name)
+}

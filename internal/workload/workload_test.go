@@ -1,0 +1,204 @@
+package workload
+
+import "testing"
+
+func TestZooValidates(t *testing.T) {
+	for _, m := range Zoo() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestResNet18ParamCount(t *testing.T) {
+	// ResNet-18 has ~11.7 M parameters (conv + FC, no BN); the paper quotes
+	// ~12 M.
+	p := ResNet18().Params()
+	if p < 11_000_000 || p > 12_500_000 {
+		t.Errorf("ResNet-18 params = %d, want ~11.7M", p)
+	}
+}
+
+func TestResNet18MACs(t *testing.T) {
+	// ~1.8 GMACs for 224×224 ImageNet inference.
+	m := ResNet18().MACs()
+	if m < 1_700_000_000 || m > 2_000_000_000 {
+		t.Errorf("ResNet-18 MACs = %d, want ~1.8G", m)
+	}
+}
+
+func TestResNet18TableIRows(t *testing.T) {
+	m := ResNet18()
+	// Paper's Table I has 20 compute rows; we add the FC layer.
+	if len(m.Layers) != 21 {
+		t.Fatalf("layers = %d, want 21", len(m.Layers))
+	}
+	wantNames := []string{"CONV1+POOL", "L1.0 CONV1", "L2.0 DS", "L4.1 CONV2", "FC"}
+	found := map[string]bool{}
+	for _, l := range m.Layers {
+		found[l.Name] = true
+	}
+	for _, n := range wantNames {
+		if !found[n] {
+			t.Errorf("missing Table I row %q", n)
+		}
+	}
+}
+
+func TestResNet152Params(t *testing.T) {
+	// ~60 M parameters — the paper sizes its 64 MB RRAM to fit this.
+	p := ResNet152().Params()
+	if p < 55_000_000 || p > 62_000_000 {
+		t.Errorf("ResNet-152 params = %d, want ~60M", p)
+	}
+	// At 8-bit weights it fits in 64 MB.
+	if bits := ResNet152().WeightBits(8); bits > 64<<23 {
+		t.Errorf("ResNet-152 8-bit weights (%d bits) exceed 64 MB", bits)
+	}
+}
+
+func TestAlexNetParams(t *testing.T) {
+	// ~61 M parameters.
+	p := AlexNet().Params()
+	if p < 58_000_000 || p > 63_000_000 {
+		t.Errorf("AlexNet params = %d, want ~61M", p)
+	}
+}
+
+func TestVGG16Params(t *testing.T) {
+	// ~138 M parameters.
+	p := VGG16().Params()
+	if p < 134_000_000 || p > 140_000_000 {
+		t.Errorf("VGG-16 params = %d, want ~138M", p)
+	}
+}
+
+func TestVGG16MACs(t *testing.T) {
+	// ~15.5 GMACs.
+	m := VGG16().MACs()
+	if m < 15_000_000_000 || m > 16_000_000_000 {
+		t.Errorf("VGG-16 MACs = %d, want ~15.5G", m)
+	}
+}
+
+func TestResNet50Params(t *testing.T) {
+	// ~25.5 M parameters.
+	p := ResNet50().Params()
+	if p < 23_000_000 || p > 27_000_000 {
+		t.Errorf("ResNet-50 params = %d, want ~25.5M", p)
+	}
+}
+
+func TestLayerDerivedQuantities(t *testing.T) {
+	l := ResNet18().Layers[1] // L1.0 CONV1: 64x64 3x3 56x56
+	if got := l.MACs(); got != 64*64*9*56*56 {
+		t.Errorf("MACs = %d", got)
+	}
+	if got := l.Weights(); got != 64*64*9 {
+		t.Errorf("weights = %d", got)
+	}
+	if got := l.OutputActs(); got != 56*56*64 {
+		t.Errorf("output acts = %d", got)
+	}
+	// Input: (56-1)*1+3 = 58 → 58×58×64.
+	if got := l.InputActs(); got != 58*58*64 {
+		t.Errorf("input acts = %d", got)
+	}
+}
+
+func TestLayerValidate(t *testing.T) {
+	bad := Layer{Name: "x", K: 0, C: 1, R: 1, S: 1, OX: 1, OY: 1, Stride: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero K should fail")
+	}
+	bad = Layer{Name: "x", K: 1, C: 1, R: 1, S: 1, OX: 1, OY: 1, Stride: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero stride should fail")
+	}
+	empty := Model{Name: "e"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty model should fail")
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("ResNet-18")
+	if err != nil || m.Name != "ResNet-18" {
+		t.Errorf("ByName failed: %v", err)
+	}
+	if _, err := ByName("LeNet"); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestFCLayersAreUnitSpatial(t *testing.T) {
+	for _, m := range Zoo() {
+		for _, l := range m.Layers {
+			if l.Type == FC && (l.OX != 1 || l.OY != 1) {
+				t.Errorf("%s/%s: FC layer must have OX=OY=1", m.Name, l.Name)
+			}
+		}
+	}
+}
+
+func TestLayerTypeString(t *testing.T) {
+	if Conv.String() != "CONV" || Downsample.String() != "DS" || FC.String() != "FC" {
+		t.Error("layer type names wrong")
+	}
+}
+
+func TestMobileNetV1(t *testing.T) {
+	m := MobileNetV1()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ~4.2 M parameters.
+	if p := m.Params(); p < 3_900_000 || p > 4_500_000 {
+		t.Errorf("MobileNetV1 params = %d, want ~4.2M", p)
+	}
+	// ~568 MMACs.
+	if mc := m.MACs(); mc < 520_000_000 || mc > 620_000_000 {
+		t.Errorf("MobileNetV1 MACs = %d, want ~568M", mc)
+	}
+	// Depthwise layers must carry groups.
+	found := false
+	for _, l := range m.Layers {
+		if l.Groups > 1 {
+			found = true
+			if l.Groups != l.C || l.Groups != l.K {
+				t.Errorf("%s: depthwise should have groups == C == K", l.Name)
+			}
+		}
+	}
+	if !found {
+		t.Error("no depthwise layers found")
+	}
+}
+
+func TestGroupedConvMath(t *testing.T) {
+	dense := Layer{Name: "d", Type: Conv, K: 64, C: 64, R: 3, S: 3, OX: 8, OY: 8, Stride: 1}
+	dw := dense
+	dw.Groups = 64
+	if dw.MACs() != dense.MACs()/64 {
+		t.Errorf("depthwise MACs = %d, want %d", dw.MACs(), dense.MACs()/64)
+	}
+	if dw.Weights() != dense.Weights()/64 {
+		t.Errorf("depthwise weights = %d", dw.Weights())
+	}
+	// Groups must divide channels.
+	bad := dense
+	bad.Groups = 7
+	if err := bad.Validate(); err == nil {
+		t.Error("groups=7 should not divide K=C=64")
+	}
+}
+
+func TestExtendedZoo(t *testing.T) {
+	ext := ExtendedZoo()
+	if len(ext) != len(Zoo())+1 {
+		t.Fatalf("extended zoo = %d models", len(ext))
+	}
+	if _, err := ByName("MobileNetV1"); err != nil {
+		t.Errorf("MobileNetV1 should resolve: %v", err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package m3d reproduces "Ultra-Dense 3D Physical Design Unlocks New
+// Architectural Design Points with Large Benefits" (DATE 2023): a
+// monolithic-3D (M3D) design-space-exploration library built on a
+// self-contained EDA substrate — technology/PDK modeling, standard-cell
+// characterization, structural synthesis, floorplanning, placement with
+// M3D tier assignment, 3D global routing over inter-layer vias, static
+// timing, power analysis, GDSII export — plus an accelerator architecture
+// model, a ZigZag-style mapping engine, and the paper's analytical
+// framework (Eqs. 1-12, 17).
+//
+// This file re-exports the public API surface from the internal packages;
+// see the examples/ directory for end-to-end usage and bench_test.go for
+// the per-table/figure reproduction harness.
+package m3d
+
+import (
+	"m3d/internal/analytic"
+	"m3d/internal/arch"
+	"m3d/internal/core"
+	"m3d/internal/flow"
+	"m3d/internal/macro"
+	"m3d/internal/tech"
+	"m3d/internal/thermal"
+	"m3d/internal/workload"
+)
+
+// Technology modeling (the foundry M3D PDK substitute).
+type (
+	// PDK is the parameterized 130 nm M3D process model.
+	PDK = tech.PDK
+	// Tier identifies a device tier (Si CMOS / RRAM / CNFET).
+	Tier = tech.Tier
+)
+
+// Tier values.
+const (
+	TierSiCMOS = tech.TierSiCMOS
+	TierRRAM   = tech.TierRRAM
+	TierCNFET  = tech.TierCNFET
+)
+
+// Default130 returns the default 130 nm foundry M3D PDK model.
+func Default130() *PDK { return tech.Default130() }
+
+// Accelerator architecture modeling.
+type (
+	// Accel is an accelerator configuration (CS organization, banked RRAM,
+	// buffer hierarchy, energy model).
+	Accel = arch.Accel
+	// Model is a DNN workload (layer shape table).
+	Model = workload.Model
+	// Layer is one DNN layer shape.
+	Layer = workload.Layer
+)
+
+// CaseStudy2D returns the paper's Sec. II 2D baseline accelerator.
+func CaseStudy2D() *Accel { return arch.CaseStudy2D() }
+
+// CaseStudy3D returns the paper's iso-footprint M3D design point (8 CSs).
+func CaseStudy3D() *Accel { return arch.CaseStudy3D() }
+
+// TableII returns Table II architecture preset n (1-6).
+func TableII(n int) (*Accel, error) { return arch.TableII(n) }
+
+// Workload zoo.
+var (
+	// AlexNet ... ResNet152 return the evaluation networks.
+	AlexNet   = workload.AlexNet
+	VGG16     = workload.VGG16
+	ResNet18  = workload.ResNet18
+	ResNet34  = workload.ResNet34
+	ResNet50  = workload.ResNet50
+	ResNet152 = workload.ResNet152
+	// Zoo returns all of them (the Fig. 5 x-axis).
+	Zoo = workload.Zoo
+)
+
+// Analytical framework (Sec. III).
+type (
+	// Params are the framework's machine quantities (P_peak, B, N, α, E).
+	Params = analytic.Params
+	// Load is one workload abstraction (F₀ ops, D₀ bits, N# partitions).
+	Load = analytic.Load
+	// AreaModel is the Fig. 6a area decomposition feeding Eq. 2.
+	AreaModel = analytic.AreaModel
+	// Result bundles speedup, energy ratio, and EDP benefit.
+	Result = analytic.Result
+	// SweepPoint is one Fig. 8 (CS count × bandwidth) grid cell.
+	SweepPoint = analytic.SweepPoint
+)
+
+// Evaluate applies Eqs. 1-8 to one load.
+func Evaluate(p Params, w Load) (Result, error) { return analytic.Evaluate(p, w) }
+
+// EvaluateMany aggregates Eqs. 1-8 over a layer sequence.
+func EvaluateMany(p Params, loads []Load) (Result, error) { return analytic.EvaluateMany(p, loads) }
+
+// Experiments (one per paper table/figure; see also the benchmarks).
+type (
+	// BenefitRow is one speedup/energy/EDP comparison row.
+	BenefitRow = core.BenefitRow
+	// Fig7Row pairs mapper and analytic results for one architecture.
+	Fig7Row = core.Fig7Row
+	// Fig9Row is one RRAM-capacity point.
+	Fig9Row = core.Fig9Row
+	// Fig10Row is one δ/β design point.
+	Fig10Row = core.Fig10Row
+	// Fig10dRow is one interleaved-tier point with its thermal state.
+	Fig10dRow = core.Fig10dRow
+	// PhysicalComparison is the Fig. 2-style post-route comparison.
+	PhysicalComparison = core.PhysicalComparison
+	// FoldingComparison quantifies the folding-only baseline.
+	FoldingComparison = core.FoldingComparison
+)
+
+// Experiment entry points; each regenerates the corresponding paper
+// table/figure data.
+var (
+	Table1           = core.Table1
+	Fig5             = core.Fig5
+	Fig7             = core.Fig7
+	Fig8             = core.Fig8
+	Fig9             = core.Fig9
+	Fig10bc          = core.Fig10bc
+	Obs8             = core.Obs8
+	Fig10d           = core.Fig10d
+	Obs3             = core.Obs3
+	RunCaseStudyFlow = core.RunCaseStudyFlow
+	RunFoldingStudy  = core.RunFoldingStudy
+	BuildAreaModel   = core.AreaModel
+	CaseStudyPair    = core.CaseStudyPair
+	// FutureWorkUpperLogic evaluates the conclusion's "full CMOS on upper
+	// layers" extension.
+	FutureWorkUpperLogic = core.FutureWorkUpperLogic
+)
+
+// Physical-design flow.
+type (
+	// SoCSpec describes one RTL-to-GDS flow run.
+	SoCSpec = flow.SoCSpec
+	// FlowResult is the flow's post-route report.
+	FlowResult = flow.Result
+	// MacroStyle selects 2D (Si access FETs) vs M3D (CNFET access FETs).
+	MacroStyle = macro.Style
+)
+
+// Macro styles.
+const (
+	Style2D = macro.Style2D
+	Style3D = macro.Style3D
+)
+
+// RunFlow executes the RTL-to-GDS flow for one SoC spec.
+func RunFlow(p *PDK, spec SoCSpec) (*FlowResult, error) { return flow.Run(p, spec) }
+
+// RunFlowCaseStudy runs the 2D baseline and the iso-footprint M3D design.
+func RunFlowCaseStudy(p *PDK, scale SoCSpec, numCS int) (*FlowResult, *FlowResult, error) {
+	return flow.CaseStudy(p, scale, numCS)
+}
+
+// Thermal modeling (Eq. 17).
+type (
+	// ThermalStack is a vertical tier stack with per-tier power.
+	ThermalStack = thermal.Stack
+)
+
+// NewThermalStack builds an Eq. 17 stack from the PDK and per-tier powers.
+func NewThermalStack(p *PDK, tierPowersW []float64) ThermalStack {
+	return thermal.NewStack(p, tierPowersW)
+}
+
+// MaxThermalTiers returns the deepest feasible stack at the given per-tier
+// power under the PDK's temperature budget (Obs. 10).
+func MaxThermalTiers(p *PDK, perTierPowerW float64) int {
+	return thermal.MaxTiers(p, perTierPowerW)
+}

@@ -1,0 +1,104 @@
+package m3d
+
+import "testing"
+
+// TestPublicAPI exercises the re-exported surface end to end: a downstream
+// user's first session with the library.
+func TestPublicAPI(t *testing.T) {
+	pdk := Default130()
+	if pdk.NodeNM != 130 {
+		t.Fatal("default PDK wrong")
+	}
+
+	am, err := BuildAreaModel(pdk, 64<<23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am.N() != 8 {
+		t.Fatalf("Eq. 2 N = %d, want 8", am.N())
+	}
+
+	a2d, a3d, n, err := CaseStudyPair(pdk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("n = %d", n)
+	}
+	sp, er, edp, err := a3d.Benefit(a2d, ResNet18())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 4.8 || sp > 6.5 || edp < 4.6 || edp > 6.6 || er < 0.9 || er > 1.1 {
+		t.Errorf("headline result off: %.2fx / %.3f / %.2fx", sp, er, edp)
+	}
+
+	// Analytical framework direct use.
+	params := Params{
+		PPeak: 256, B2D: 256, B3D: 8 * 256, N: 8,
+		Alpha2D: 0.64e-12, Alpha3D: 0.64e-12, EC: 3e-12, ECIdle: 23e-12,
+		EMIdle2D: 1e-12, EMIdle3D: 1e-12,
+	}
+	res, err := Evaluate(params, Load{F0: 256e6, D0: 1e6, NPart: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 7 || res.Speedup > 8.1 {
+		t.Errorf("compute-bound speedup = %.2f, want ≈8", res.Speedup)
+	}
+
+	// Thermal.
+	if MaxThermalTiers(pdk, 2.0) != 6 {
+		t.Errorf("max tiers at 2W = %d, want 6", MaxThermalTiers(pdk, 2.0))
+	}
+	stack := NewThermalStack(pdk, []float64{2, 2})
+	if !stack.Feasible(pdk.MaxTempRiseK) {
+		t.Error("two 2W pairs should be feasible")
+	}
+
+	// Workload zoo.
+	if len(Zoo()) != 6 {
+		t.Errorf("zoo = %d models", len(Zoo()))
+	}
+	if ResNet152().Params() < 55_000_000 {
+		t.Error("ResNet-152 params wrong")
+	}
+
+	// Table II presets.
+	for i := 1; i <= 6; i++ {
+		a, err := TableII(i)
+		if err != nil || a.PPeak() != 1024 {
+			t.Errorf("Arch%d broken: %v", i, err)
+		}
+	}
+
+	// Experiment entry points return data.
+	rows, err := Table1(pdk)
+	if err != nil || len(rows) != 22 {
+		t.Errorf("Table1: %d rows, err %v", len(rows), err)
+	}
+	f9, err := Fig9(pdk, []int{32, 64})
+	if err != nil || len(f9) != 2 {
+		t.Errorf("Fig9: %v", err)
+	}
+	fw, err := FutureWorkUpperLogic(pdk)
+	if err != nil || len(fw) != 2 {
+		t.Errorf("FutureWork: %v", err)
+	}
+}
+
+// TestPDKKnobs exercises the With* sweepable options from the top level.
+func TestPDKKnobs(t *testing.T) {
+	pdk := Default130()
+	relaxed := pdk.WithCNFETWidthRelax(1.5)
+	if relaxed.CNFETWidthRelax != 1.5 {
+		t.Error("δ knob broken")
+	}
+	scaled := pdk.WithILVPitchScale(1.3)
+	if scaled.ILVPitch <= pdk.ILVPitch {
+		t.Error("β knob broken")
+	}
+	if pdk.CNFETWidthRelax != 1.0 {
+		t.Error("knobs must not mutate the source PDK")
+	}
+}
