@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is the pre-merge gate the CI-less
+# workflow relies on; the individual targets are for quick iteration.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check vet build test race fuzz bench report
+
+check:
+	FUZZTIME=$(FUZZTIME) ./scripts/check.sh
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	for pkg in verilog def lef liberty; do \
+		$(GO) test -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/$$pkg/ || exit 1; \
+	done
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchtime 2s ./internal/analytic/
+	$(GO) test -run '^$$' -bench 'BenchmarkRunMany' -benchtime 1x ./internal/flow/
+
+report:
+	$(GO) run ./cmd/m3dreport

@@ -1,7 +1,9 @@
 // Command m3ddse runs custom analytical design-space sweeps: BEOL FET
 // width relaxation (Case 1), ILV pitch (Case 2), interleaved tiers
-// (Case 3), RRAM capacity (Fig. 9), and bandwidth/CS grids (Fig. 8) on
-// the ResNet-18 reference workload.
+// (Case 3), RRAM capacity (Fig. 9), bandwidth/CS grids (Fig. 8), and a
+// physical-flow CS-count sweep, on the ResNet-18 reference workload.
+// Sweep points are evaluated concurrently on the exec worker pool
+// (-workers; results are deterministic at any width).
 package main
 
 import (
@@ -13,6 +15,9 @@ import (
 	"strings"
 
 	"m3d/internal/core"
+	"m3d/internal/exec"
+	"m3d/internal/flow"
+	"m3d/internal/macro"
 	"m3d/internal/report"
 	"m3d/internal/tech"
 )
@@ -20,16 +25,19 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("m3ddse: ")
-	sweep := flag.String("sweep", "delta", "sweep kind: delta | beta | tiers | capacity | grid")
+	sweep := flag.String("sweep", "delta", "sweep kind: delta | beta | tiers | capacity | grid | flowcs")
 	points := flag.String("points", "", "comma-separated sweep points (defaults per sweep)")
 	tierPower := flag.Float64("tierpower", 2.0, "per-tier-pair power (W) for the tiers sweep")
+	workers := flag.Int("workers", 0, "worker pool width (0 = GOMAXPROCS, or M3D_WORKERS)")
+	side := flag.Int("side", 3, "systolic array side per CS for the flowcs sweep")
 	flag.Parse()
 
 	p := tech.Default130()
+	pool := exec.WithWorkers(*workers)
 
 	switch *sweep {
 	case "delta":
-		rows, err := core.Fig10bc(p, parseFloats(*points))
+		rows, err := core.Fig10bc(p, parseFloats(*points), pool)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +48,7 @@ func main() {
 		}
 		render(tb)
 	case "beta":
-		rows, err := core.Obs8(p, parseFloats(*points))
+		rows, err := core.Obs8(p, parseFloats(*points), pool)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -51,7 +59,7 @@ func main() {
 		}
 		render(tb)
 	case "tiers":
-		rows, err := core.Fig10d(p, parseInts(*points), *tierPower)
+		rows, err := core.Fig10d(p, parseInts(*points), *tierPower, pool)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,7 +70,7 @@ func main() {
 		}
 		render(tb)
 	case "capacity":
-		rows, err := core.Fig9(p, parseInts(*points))
+		rows, err := core.Fig9(p, parseInts(*points), pool)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,7 +80,7 @@ func main() {
 		}
 		render(tb)
 	case "grid":
-		cb, mb, err := core.Fig8(p)
+		cb, mb, err := core.Fig8(p, pool)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -84,8 +92,54 @@ func main() {
 		for _, pt := range mb {
 			fmt.Printf("  %2d  %5.1f  %.2fx\n", pt.NumCS, pt.BWScale, pt.EDPBenefit)
 		}
+	case "flowcs":
+		// Physical-flow DSE: the 2D baseline sizes the die, then every
+		// M3D CS-count variant runs the full RTL-to-GDS flow on that die
+		// in parallel through flow.RunMany.
+		csCounts := parseInts(*points)
+		if len(csCounts) == 0 {
+			csCounts = []int{2, 4, 8}
+		}
+		base := flow.SoCSpec{
+			ArrayRows: *side, ArrayCols: *side,
+			RRAMCapBits:    4 << 23,
+			GlobalSRAMBits: 64 << 10,
+			Seed:           1,
+		}
+		spec2 := base
+		spec2.Style = macro.Style2D
+		spec2.NumCS = 1
+		spec2.Banks = 1
+		log.Printf("running 2D baseline flow (%dx%d PEs/CS)...", *side, *side)
+		twoD, err := flow.Run(p, spec2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs := make([]flow.SoCSpec, len(csCounts))
+		for i, n := range csCounts {
+			s := base
+			s.Style = macro.Style3D
+			s.NumCS = n
+			s.Banks = n
+			s.Die = twoD.Die
+			specs[i] = s
+		}
+		log.Printf("running %d iso-footprint M3D variants...", len(specs))
+		results, err := flow.RunMany(p, specs, pool)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb := report.New("Flow CS-count sweep (iso-footprint vs 2D baseline)",
+			"CS", "Std cells", "Routed WL (mm)", "Fmax", "Timing @20MHz", "Power", "Free Si")
+		tb.Add(1, twoD.Cells, float64(twoD.RoutedWL)/1e6, report.MHz(twoD.FmaxHz),
+			twoD.TimingMet, report.MW(twoD.Power.TotalW), report.MM2(twoD.Area.FreeSiNM2))
+		for i, r := range results {
+			tb.Add(csCounts[i], r.Cells, float64(r.RoutedWL)/1e6, report.MHz(r.FmaxHz),
+				r.TimingMet, report.MW(r.Power.TotalW), report.MM2(r.Area.FreeSiNM2))
+		}
+		render(tb)
 	default:
-		log.Fatalf("unknown sweep %q (want delta|beta|tiers|capacity|grid)", *sweep)
+		log.Fatalf("unknown sweep %q (want delta|beta|tiers|capacity|grid|flowcs)", *sweep)
 	}
 }
 

@@ -1,7 +1,8 @@
 // Command m3dflow runs the RTL-to-GDS implementation flow (Fig. 4b) for
-// the 2D baseline and the iso-footprint M3D accelerator and prints the
-// post-route comparison (the paper's Fig. 2). Optionally writes both GDS
-// layouts.
+// the 2D baseline and one or more iso-footprint M3D accelerator variants
+// (comma-separated -cs list, fanned out in parallel through flow.RunMany)
+// and prints the post-route comparison (the paper's Fig. 2). Optionally
+// writes the GDS layouts.
 package main
 
 import (
@@ -10,7 +11,10 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
+	"m3d/internal/exec"
 	"m3d/internal/flow"
 	"m3d/internal/macro"
 	"m3d/internal/report"
@@ -21,13 +25,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("m3dflow: ")
 	side := flag.Int("side", 4, "systolic array side per CS (16 = paper scale)")
-	numCS := flag.Int("cs", 8, "parallel computing sub-systems in the M3D design")
+	csList := flag.String("cs", "8", "comma-separated parallel-CS counts for the M3D design(s)")
 	rramMB := flag.Int("rram", 8, "on-chip RRAM capacity in MB")
 	gdsPrefix := flag.String("gds", "", "write <prefix>_2d.gds and <prefix>_m3d.gds")
 	vPath := flag.String("verilog", "", "write the M3D structural netlist to this file")
 	defPath := flag.String("def", "", "write the M3D placement DEF to this file")
 	seed := flag.Int64("seed", 1, "placement seed")
+	workers := flag.Int("workers", 0, "worker pool width for the M3D variants (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	csCounts, err := parseCSList(*csList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	numCS := csCounts[0]
 
 	p := tech.Default130()
 	spec := flow.SoCSpec{
@@ -39,7 +50,6 @@ func main() {
 	}
 
 	var f2d, f3d *os.File
-	var err error
 	if *gdsPrefix != "" {
 		if f2d, err = os.Create(*gdsPrefix + "_2d.gds"); err != nil {
 			log.Fatal(err)
@@ -64,19 +74,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	log.Printf("running iso-footprint M3D flow (%d CSs)...", *numCS)
-	spec3 := spec
-	spec3.Style = macro.Style3D
-	spec3.NumCS = *numCS
-	spec3.Banks = *numCS
-	spec3.Die = twoD.Die
+	log.Printf("running %d iso-footprint M3D flow variant(s) (CS counts %v)...", len(csCounts), csCounts)
+	specs := make([]flow.SoCSpec, len(csCounts))
+	for i, cs := range csCounts {
+		s := spec
+		s.Style = macro.Style3D
+		s.NumCS = cs
+		s.Banks = cs
+		s.Die = twoD.Die
+		specs[i] = s
+	}
+	// Export sinks attach to the first (primary) M3D variant.
 	if f3d != nil {
-		spec3.WriteGDS = f3d
+		specs[0].WriteGDS = f3d
 	}
 	for _, out := range []struct {
 		path string
 		dst  *io.Writer
-	}{{*vPath, &spec3.WriteVerilog}, {*defPath, &spec3.WriteDEF}} {
+	}{{*vPath, &specs[0].WriteVerilog}, {*defPath, &specs[0].WriteDEF}} {
 		if out.path == "" {
 			continue
 		}
@@ -87,32 +102,63 @@ func main() {
 		defer f.Close()
 		*out.dst = f
 	}
-	m3d, err := flow.Run(p, spec3)
+	variants, err := flow.RunMany(p, specs, exec.WithWorkers(*workers))
 	if err != nil {
 		log.Fatal(err)
 	}
+	m3d := variants[0]
 
-	tb := report.New("Post-route comparison (cf. paper Fig. 2)",
-		"Metric", "2D baseline", "iso-footprint M3D")
-	tb.Add("Die", report.MM2(twoD.Die.Area()), report.MM2(m3d.Die.Area()))
-	tb.Add("Computing sub-systems", 1, *numCS)
-	tb.Add("Std cells", twoD.Cells, m3d.Cells)
-	tb.Add("Macros", twoD.Macros, m3d.Macros)
-	tb.Add("HPWL (mm)", float64(twoD.HPWL)/1e6, float64(m3d.HPWL)/1e6)
-	tb.Add("Routed WL (mm)", float64(twoD.RoutedWL)/1e6, float64(m3d.RoutedWL)/1e6)
-	tb.Add("Vias", twoD.Vias, m3d.Vias)
-	tb.Add("ILVs", twoD.ILVs, m3d.ILVs)
-	tb.Add("Fmax", report.MHz(twoD.FmaxHz), report.MHz(m3d.FmaxHz))
-	tb.Add("Timing met @20MHz", twoD.TimingMet, m3d.TimingMet)
-	tb.Add("Drivers upsized", twoD.Upsized, m3d.Upsized)
-	tb.Add("Power", report.MW(twoD.Power.TotalW), report.MW(m3d.Power.TotalW))
-	tb.Add("Peak density (W/mm2)", twoD.Power.PeakDensityWPerMM2, m3d.Power.PeakDensityWPerMM2)
-	tb.Add("Upper-tier power frac", twoD.Power.UpperTierFraction(), m3d.Power.UpperTierFraction())
-	tb.Add("Free Si area", report.MM2(twoD.Area.FreeSiNM2), report.MM2(m3d.Area.FreeSiNM2))
-	tb.Add("RRAM cell array", report.MM2(twoD.Area.CellsNM2), report.MM2(m3d.Area.CellsNM2))
+	headers := []string{"Metric", "2D baseline"}
+	for _, cs := range csCounts {
+		headers = append(headers, fmt.Sprintf("M3D cs=%d", cs))
+	}
+	tb := report.New("Post-route comparison (cf. paper Fig. 2)", headers...)
+	row := func(metric string, base interface{}, per func(r *flow.Result) interface{}) {
+		cells := []interface{}{metric, base}
+		for _, r := range variants {
+			cells = append(cells, per(r))
+		}
+		tb.Add(cells...)
+	}
+	row("Die", report.MM2(twoD.Die.Area()), func(r *flow.Result) interface{} { return report.MM2(r.Die.Area()) })
+	row("Computing sub-systems", 1, func(r *flow.Result) interface{} { return r.Spec.NumCS })
+	row("Std cells", twoD.Cells, func(r *flow.Result) interface{} { return r.Cells })
+	row("Macros", twoD.Macros, func(r *flow.Result) interface{} { return r.Macros })
+	row("HPWL (mm)", float64(twoD.HPWL)/1e6, func(r *flow.Result) interface{} { return float64(r.HPWL) / 1e6 })
+	row("Routed WL (mm)", float64(twoD.RoutedWL)/1e6, func(r *flow.Result) interface{} { return float64(r.RoutedWL) / 1e6 })
+	row("Vias", twoD.Vias, func(r *flow.Result) interface{} { return r.Vias })
+	row("ILVs", twoD.ILVs, func(r *flow.Result) interface{} { return r.ILVs })
+	row("Fmax", report.MHz(twoD.FmaxHz), func(r *flow.Result) interface{} { return report.MHz(r.FmaxHz) })
+	row("Timing met @20MHz", twoD.TimingMet, func(r *flow.Result) interface{} { return r.TimingMet })
+	row("Drivers upsized", twoD.Upsized, func(r *flow.Result) interface{} { return r.Upsized })
+	row("Power", report.MW(twoD.Power.TotalW), func(r *flow.Result) interface{} { return report.MW(r.Power.TotalW) })
+	row("Peak density (W/mm2)", twoD.Power.PeakDensityWPerMM2, func(r *flow.Result) interface{} { return r.Power.PeakDensityWPerMM2 })
+	row("Upper-tier power frac", twoD.Power.UpperTierFraction(), func(r *flow.Result) interface{} { return r.Power.UpperTierFraction() })
+	row("Free Si area", report.MM2(twoD.Area.FreeSiNM2), func(r *flow.Result) interface{} { return report.MM2(r.Area.FreeSiNM2) })
+	row("RRAM cell array", report.MM2(twoD.Area.CellsNM2), func(r *flow.Result) interface{} { return report.MM2(r.Area.CellsNM2) })
 	if err := tb.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nFreed Si under arrays: %s (the space the M3D architecture fills with %d parallel CSs)\n",
-		report.MM2(m3d.Area.FreeSiNM2-twoD.Area.FreeSiNM2), *numCS)
+		report.MM2(m3d.Area.FreeSiNM2-twoD.Area.FreeSiNM2), numCS)
+}
+
+// parseCSList parses the comma-separated -cs flag.
+func parseCSList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -cs value %q (want positive integers)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-cs needs at least one CS count")
+	}
+	return out, nil
 }

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -24,7 +25,7 @@ func main() {
 	flag.Parse()
 
 	p := tech.Default130()
-	out := os.Stdout
+	var out io.Writer = os.Stdout
 
 	if err := printAnalytical(p, out); err != nil {
 		log.Fatal(err)
@@ -36,7 +37,7 @@ func main() {
 	}
 }
 
-func printAnalytical(p *tech.PDK, out *os.File) error {
+func printAnalytical(p *tech.PDK, out io.Writer) error {
 	// Eq. 2 calibration.
 	am, err := core.AreaModel(p, int64(64)<<23)
 	if err != nil {
@@ -227,7 +228,7 @@ func renderSweep(tb *report.Table, pts []analytic.SweepPoint) {
 	}
 }
 
-func printFlowStudy(p *tech.PDK, side int, out *os.File) error {
+func printFlowStudy(p *tech.PDK, side int, out io.Writer) error {
 	fmt.Fprintf(out, "== Sec. II physical-design case study (flow, %dx%d PEs/CS) ==\n", side, side)
 	cmp, err := core.RunCaseStudyFlow(p, side, 8, 8<<20)
 	if err != nil {

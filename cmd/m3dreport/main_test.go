@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"m3d/internal/tech"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestAnalyticalGolden locks the full analytical report (Table I, Fig. 5,
+// Fig. 7-10, observations) against a checked-in golden file. Because every
+// sweep behind it now runs on the parallel engine, this doubles as an
+// end-to-end determinism check: any ordering instability in exec.Map/Grid
+// shows up as a golden diff. Run with -update to regenerate after an
+// intentional model change.
+func TestAnalyticalGolden(t *testing.T) {
+	p := tech.Default130()
+	var buf bytes.Buffer
+	if err := printAnalytical(p, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "analytical.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report differs from golden (%d vs %d bytes); run with -update if intentional",
+			buf.Len(), len(want))
+		got, wantLines := bytes.Split(buf.Bytes(), []byte("\n")), bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(got) && i < len(wantLines); i++ {
+			if !bytes.Equal(got[i], wantLines[i]) {
+				t.Errorf("first diff at line %d:\ngot:  %s\nwant: %s", i+1, got[i], wantLines[i])
+				break
+			}
+		}
+	}
+}
+
+// TestAnalyticalStableAcrossRuns re-renders the report and requires
+// byte-identical output — the report path itself must be deterministic.
+func TestAnalyticalStableAcrossRuns(t *testing.T) {
+	p := tech.Default130()
+	var a, b bytes.Buffer
+	if err := printAnalytical(p, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := printAnalytical(p, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of the analytical report differ")
+	}
+}

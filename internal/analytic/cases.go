@@ -1,8 +1,11 @@
 package analytic
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"m3d/internal/exec"
 )
 
 // tLike is the generalized Eq. 4 time: n parallel CSs sharing total
@@ -113,11 +116,82 @@ type SweepPoint struct {
 	EDPBenefit float64
 }
 
+// sweepPoint computes one Fig. 8 grid cell: an M3D design with n CSs and
+// b×B2D total bandwidth vs the 1-CS 2D baseline.
+func sweepPoint(p Params, w Load, n int, b float64) SweepPoint {
+	b3d := p.B2D * b
+	t2 := T2D(p, w)
+	t3 := tLike(p, w, n, b3d)
+	e2 := E2D(p, w)
+	e3 := eLike(p, w, n, b3d, p.Alpha3D, p.EMIdle3D)
+	return SweepPoint{
+		NumCS:      n,
+		BWScale:    b,
+		EDPBenefit: (t2 / t3) * (e2 / e3),
+	}
+}
+
+// validateSweepAxes mirrors the serial sweep's error order: the first
+// offending axis value in row-major (csCounts outer, bwScales inner)
+// iteration order is reported.
+func validateSweepAxes(csCounts []int, bwScales []float64) error {
+	for _, n := range csCounts {
+		if n < 1 {
+			return fmt.Errorf("analytic: CS count %d must be ≥ 1", n)
+		}
+		for _, b := range bwScales {
+			if b <= 0 {
+				return fmt.Errorf("analytic: bandwidth scale %g must be positive", b)
+			}
+		}
+	}
+	return nil
+}
+
+// sweepKey identifies one memoizable sweep evaluation: the full machine
+// parameters, the load, and the grid coordinates determine the point.
+type sweepKey struct {
+	p Params
+	w Load
+	n int
+	b float64
+}
+
+// sweepCache memoizes repeated (Params, Load, n, b) evaluations across
+// sweeps. SweepPoint is a pure function of the key, so a process-wide
+// cache is deterministic and safe under concurrency.
+var sweepCache exec.Cache[sweepKey, SweepPoint]
+
 // SweepBandwidthCS evaluates the Fig. 8 grid: EDP benefit as a function of
 // parallel CS count and total-bandwidth scale, for a workload with the
 // given compute intensity (ops per bit). Each point is an M3D design with
 // n CSs and b×B2D total bandwidth vs the 1-CS 2D baseline.
-func SweepBandwidthCS(p Params, w Load, csCounts []int, bwScales []float64) ([]SweepPoint, error) {
+//
+// Points are evaluated concurrently on the exec worker pool (exec.Option
+// controls width and cancellation); results are returned in the serial
+// row-major order (csCounts outer, bwScales inner) and are bit-identical
+// to the serial evaluation at any pool width. Repeated points are served
+// from a process-wide memo cache.
+func SweepBandwidthCS(p Params, w Load, csCounts []int, bwScales []float64, opts ...exec.Option) ([]SweepPoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSweepAxes(csCounts, bwScales); err != nil {
+		return nil, err
+	}
+	if len(csCounts) == 0 || len(bwScales) == 0 {
+		return nil, nil
+	}
+	return exec.Grid(csCounts, bwScales, func(_ context.Context, n int, b float64) (SweepPoint, error) {
+		return sweepCache.Do(sweepKey{p, w, n, b}, func() (SweepPoint, error) {
+			return sweepPoint(p, w, n, b), nil
+		})
+	}, opts...)
+}
+
+// sweepBandwidthCSSerial is the seed implementation, retained as the
+// reference for the parallel-equivalence tests.
+func sweepBandwidthCSSerial(p Params, w Load, csCounts []int, bwScales []float64) ([]SweepPoint, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -130,16 +204,7 @@ func SweepBandwidthCS(p Params, w Load, csCounts []int, bwScales []float64) ([]S
 			if b <= 0 {
 				return nil, fmt.Errorf("analytic: bandwidth scale %g must be positive", b)
 			}
-			b3d := p.B2D * b
-			t2 := T2D(p, w)
-			t3 := tLike(p, w, n, b3d)
-			e2 := E2D(p, w)
-			e3 := eLike(p, w, n, b3d, p.Alpha3D, p.EMIdle3D)
-			out = append(out, SweepPoint{
-				NumCS:      n,
-				BWScale:    b,
-				EDPBenefit: (t2 / t3) * (e2 / e3),
-			})
+			out = append(out, sweepPoint(p, w, n, b))
 		}
 	}
 	return out, nil

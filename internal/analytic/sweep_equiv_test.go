@@ -1,0 +1,74 @@
+package analytic
+
+import (
+	"fmt"
+	"testing"
+
+	"m3d/internal/exec"
+)
+
+func equivParams() Params {
+	return Params{
+		PPeak: 256, B2D: 168, B3D: 1344, N: 8,
+		Alpha2D: 1e-12, Alpha3D: 1.1e-12,
+		EC: 0.5e-12, ECIdle: 2e-12, EMIdle2D: 5e-12, EMIdle3D: 5.5e-12,
+	}
+}
+
+// TestSweepBandwidthCSEquivalence proves the tentpole determinism claim:
+// the pooled sweep is byte-identical to the serial seed implementation at
+// pool widths 1, 2, and 8, and stable across repeated runs.
+func TestSweepBandwidthCSEquivalence(t *testing.T) {
+	p := equivParams()
+	w := Load{F0: 16e6, D0: 1e6, NPart: 64}
+	cs := []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	bw := []float64{0.5, 1, 1.5, 2, 4, 8, 16, 32}
+
+	serial, err := sweepBandwidthCSSerial(p, w, cs, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%v", serial)
+
+	for _, width := range []int{1, 2, 8} {
+		for rep := 0; rep < 3; rep++ {
+			got, err := SweepBandwidthCS(p, w, cs, bw, exec.WithWorkers(width))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(cs)*len(bw) {
+				t.Fatalf("width %d: %d points, want %d", width, len(got), len(cs)*len(bw))
+			}
+			if s := fmt.Sprintf("%v", got); s != want {
+				t.Fatalf("width %d rep %d: parallel sweep diverged from serial\nserial:   %s\nparallel: %s",
+					width, rep, want, s)
+			}
+		}
+	}
+}
+
+// TestSweepBandwidthCSErrorOrder pins the serial error semantics: the
+// first offending axis value in row-major order is the one reported.
+func TestSweepBandwidthCSErrorOrder(t *testing.T) {
+	p := equivParams()
+	w := Load{F0: 1e6, D0: 1e6, NPart: 4}
+	for _, width := range []int{1, 2, 8} {
+		_, err := SweepBandwidthCS(p, w, []int{1, 0}, []float64{0, 1}, exec.WithWorkers(width))
+		if err == nil {
+			t.Fatalf("width %d: expected error", width)
+		}
+		// Row-major: n=1 valid, then b=0 invalid, before n=0 is reached.
+		if want := "analytic: bandwidth scale 0 must be positive"; err.Error() != want {
+			t.Fatalf("width %d: got %q, want %q", width, err.Error(), want)
+		}
+	}
+}
+
+func TestSweepBandwidthCSEmptyAxes(t *testing.T) {
+	p := equivParams()
+	w := Load{F0: 1e6, D0: 1e6, NPart: 4}
+	pts, err := SweepBandwidthCS(p, w, nil, []float64{1})
+	if err != nil || len(pts) != 0 {
+		t.Fatalf("empty axes: got %v, %v", pts, err)
+	}
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"m3d/internal/analytic"
 	"m3d/internal/arch"
+	"m3d/internal/exec"
 	"m3d/internal/mapper"
 	"m3d/internal/tech"
 	"m3d/internal/thermal"
@@ -132,19 +134,20 @@ func Fig7(p *tech.PDK) ([]Fig7Row, error) {
 
 // Fig8 reproduces the Fig. 8 sweeps: EDP benefit vs (CS count, bandwidth
 // scale) for a compute-bound (16 ops/bit) and a memory-bound (16 bits/op)
-// workload.
-func Fig8(p *tech.PDK) (computeBound, memoryBound []analytic.SweepPoint, err error) {
+// workload. Both grids run on the exec worker pool (exec.Option controls
+// width/cancellation) with deterministic, serial-identical output order.
+func Fig8(p *tech.PDK, opts ...exec.Option) (computeBound, memoryBound []analytic.SweepPoint, err error) {
 	a2d := arch.CaseStudy2D()
 	params := Params(a2d, a2d.WithParallelCS(1))
 	cs := []int{1, 2, 4, 8, 16}
 	bw := []float64{1, 2, 4, 8, 16}
 	cb := analytic.Load{F0: 16e6, D0: 1e6, NPart: 64}
 	mb := analytic.Load{F0: 1e6, D0: 16e6, NPart: 64}
-	computeBound, err = analytic.SweepBandwidthCS(params, cb, cs, bw)
+	computeBound, err = analytic.SweepBandwidthCS(params, cb, cs, bw, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
-	memoryBound, err = analytic.SweepBandwidthCS(params, mb, cs, bw)
+	memoryBound, err = analytic.SweepBandwidthCS(params, mb, cs, bw, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -161,20 +164,21 @@ type Fig9Row struct {
 // Fig9 reproduces Fig. 9: ResNet-18 M3D EDP benefit as the (iso) on-chip
 // RRAM capacity of both designs grows from 12 MB to 128 MB — more freed Si
 // under the arrays means more parallel CSs (Obs. 6).
-func Fig9(p *tech.PDK, capacitiesMB []int) ([]Fig9Row, error) {
+func Fig9(p *tech.PDK, capacitiesMB []int, opts ...exec.Option) ([]Fig9Row, error) {
 	if len(capacitiesMB) == 0 {
 		capacitiesMB = []int{12, 16, 32, 64, 96, 128}
 	}
-	m := workload.ResNet18()
-	var rows []Fig9Row
 	for _, mb := range capacitiesMB {
 		if mb <= 0 {
 			return nil, fmt.Errorf("core: capacity %d MB must be positive", mb)
 		}
+	}
+	m := workload.ResNet18()
+	return exec.Map(capacitiesMB, func(_ context.Context, _ int, mb int) (Fig9Row, error) {
 		bits := int64(mb) << 23
 		am, err := AreaModel(p, bits)
 		if err != nil {
-			return nil, err
+			return Fig9Row{}, err
 		}
 		n := am.N()
 		a2d := arch.CaseStudy2D()
@@ -182,11 +186,10 @@ func Fig9(p *tech.PDK, capacitiesMB []int) ([]Fig9Row, error) {
 		a3d := a2d.WithParallelCS(n)
 		_, _, edp, err := a3d.Benefit(a2d, m)
 		if err != nil {
-			return nil, err
+			return Fig9Row{}, err
 		}
-		rows = append(rows, Fig9Row{CapacityMB: mb, N: n, EDPBenefit: edp})
-	}
-	return rows, nil
+		return Fig9Row{CapacityMB: mb, N: n, EDPBenefit: edp}, nil
+	}, opts...)
 }
 
 // Fig10Row is one δ (or β) point of Fig. 10b-c / Obs. 8.
@@ -200,7 +203,7 @@ type Fig10Row struct {
 
 // Fig10bc reproduces Fig. 10b-c: CS counts and EDP benefit vs the BEOL
 // memory access FET width relaxation δ (Case 1), on ResNet-18.
-func Fig10bc(p *tech.PDK, deltas []float64) ([]Fig10Row, error) {
+func Fig10bc(p *tech.PDK, deltas []float64, opts ...exec.Option) ([]Fig10Row, error) {
 	if len(deltas) == 0 {
 		deltas = []float64{1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.25, 2.5}
 	}
@@ -217,22 +220,20 @@ func Fig10bc(p *tech.PDK, deltas []float64) ([]Fig10Row, error) {
 		return nil, err
 	}
 	params := Params(a2d, a3d)
-	var rows []Fig10Row
-	for _, d := range deltas {
+	return exec.Map(deltas, func(_ context.Context, _ int, d float64) (Fig10Row, error) {
 		res, geo, err := analytic.Case1Benefit(params, am, loads, d)
 		if err != nil {
-			return nil, err
+			return Fig10Row{}, err
 		}
-		rows = append(rows, Fig10Row{
+		return Fig10Row{
 			Delta: d, N3D: geo.N3D, N2DNew: geo.N2DNew, EDPBenefit: res.EDPBenefit,
-		})
-	}
-	return rows, nil
+		}, nil
+	}, opts...)
 }
 
 // Obs8 reproduces the via-pitch study: EDP benefit vs β (Case 2), on
 // ResNet-18, using the PDK's via-limited cell geometry.
-func Obs8(p *tech.PDK, betas []float64) ([]Fig10Row, error) {
+func Obs8(p *tech.PDK, betas []float64, opts ...exec.Option) ([]Fig10Row, error) {
 	if len(betas) == 0 {
 		betas = []float64{1.0, 1.1, 1.2, 1.3, 1.4, 1.6, 2.0}
 	}
@@ -249,19 +250,18 @@ func Obs8(p *tech.PDK, betas []float64) ([]Fig10Row, error) {
 		return nil, err
 	}
 	params := Params(a2d, a3d)
-	var rows []Fig10Row
-	for _, b := range betas {
+	viasPerCell, ilvPitch, bitcell := p.RRAM.ViasPerCell, float64(p.ILVPitch), float64(p.BitcellArea2D())
+	return exec.Map(betas, func(_ context.Context, _ int, b float64) (Fig10Row, error) {
 		res, geo, err := analytic.Case2Benefit(params, am, loads, b,
-			p.RRAM.ViasPerCell, float64(p.ILVPitch), float64(p.BitcellArea2D()))
+			viasPerCell, ilvPitch, bitcell)
 		if err != nil {
-			return nil, err
+			return Fig10Row{}, err
 		}
-		rows = append(rows, Fig10Row{
+		return Fig10Row{
 			Delta: geo.Delta, Beta: b, N3D: geo.N3D, N2DNew: geo.N2DNew,
 			EDPBenefit: res.EDPBenefit,
-		})
-	}
-	return rows, nil
+		}, nil
+	}, opts...)
 }
 
 // Fig10dRow is one interleaved-tier point.
@@ -276,7 +276,7 @@ type Fig10dRow struct {
 // Fig10d reproduces Fig. 10d / Obs. 9-10: EDP benefit vs the number of
 // interleaved compute+memory tier pairs Y, with the Eq. 17 temperature rise
 // of each stack (perTierPowerW dissipated per pair).
-func Fig10d(p *tech.PDK, ys []int, perTierPowerW float64) ([]Fig10dRow, error) {
+func Fig10d(p *tech.PDK, ys []int, perTierPowerW float64, opts ...exec.Option) ([]Fig10dRow, error) {
 	if len(ys) == 0 {
 		ys = []int{1, 2, 3, 4, 6, 8}
 	}
@@ -296,24 +296,22 @@ func Fig10d(p *tech.PDK, ys []int, perTierPowerW float64) ([]Fig10dRow, error) {
 		return nil, err
 	}
 	params := Params(a2d, a3d)
-	var rows []Fig10dRow
-	for _, y := range ys {
+	return exec.Map(ys, func(_ context.Context, _ int, y int) (Fig10dRow, error) {
 		res, n, err := analytic.Case3Benefit(params, am, loads, y)
 		if err != nil {
-			return nil, err
+			return Fig10dRow{}, err
 		}
 		powers := make([]float64, y)
 		for i := range powers {
 			powers[i] = perTierPowerW
 		}
 		stack := thermal.NewStack(p, powers)
-		rows = append(rows, Fig10dRow{
+		return Fig10dRow{
 			Y: y, N: n, EDPBenefit: res.EDPBenefit,
 			TempRiseK: stack.TempRiseK(),
 			Thermal:   stack.Feasible(p.MaxTempRiseK),
-		})
-	}
-	return rows, nil
+		}, nil
+	}, opts...)
 }
 
 // Obs3 reproduces Observation 3: replacing the 2D baseline's RRAM with a

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"m3d/internal/exec"
+	"m3d/internal/tech"
+)
+
+// TestExperimentsParallelEquivalence proves the rewired experiment sweeps
+// return byte-identical results at pool widths 1, 2, and 8, and that
+// repeated runs are stable — the ISSUE's determinism criterion for every
+// fan-out site in this package.
+func TestExperimentsParallelEquivalence(t *testing.T) {
+	p := tech.Default130()
+
+	sweeps := []struct {
+		name string
+		run  func(opts ...exec.Option) (string, error)
+	}{
+		{"Fig8", func(opts ...exec.Option) (string, error) {
+			cb, mb, err := Fig8(p, opts...)
+			return fmt.Sprintf("%v|%v", cb, mb), err
+		}},
+		{"Fig9", func(opts ...exec.Option) (string, error) {
+			rows, err := Fig9(p, []int{12, 16, 32, 64}, opts...)
+			return fmt.Sprintf("%v", rows), err
+		}},
+		{"Fig10bc", func(opts ...exec.Option) (string, error) {
+			rows, err := Fig10bc(p, nil, opts...)
+			return fmt.Sprintf("%v", rows), err
+		}},
+		{"Obs8", func(opts ...exec.Option) (string, error) {
+			rows, err := Obs8(p, nil, opts...)
+			return fmt.Sprintf("%v", rows), err
+		}},
+		{"Fig10d", func(opts ...exec.Option) (string, error) {
+			rows, err := Fig10d(p, nil, 2.0, opts...)
+			return fmt.Sprintf("%v", rows), err
+		}},
+	}
+
+	for _, sw := range sweeps {
+		t.Run(sw.name, func(t *testing.T) {
+			want, err := sw.run(exec.WithWorkers(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, width := range []int{1, 2, 8} {
+				for rep := 0; rep < 2; rep++ {
+					got, err := sw.run(exec.WithWorkers(width))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("width %d rep %d: diverged from serial\nserial:   %s\nparallel: %s",
+							width, rep, want, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFig9RejectsBadCapacityAtAnyWidth(t *testing.T) {
+	p := tech.Default130()
+	for _, width := range []int{1, 2, 8} {
+		if _, err := Fig9(p, []int{16, -1}, exec.WithWorkers(width)); err == nil {
+			t.Fatalf("width %d: negative capacity accepted", width)
+		}
+	}
+}

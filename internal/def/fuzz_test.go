@@ -1,0 +1,31 @@
+package def
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary text through the DEF reader. The property
+// under test: Read never panics — malformed input must come back as an
+// error (or parse cleanly), never as a crash.
+func FuzzRead(f *testing.F) {
+	f.Add("VERSION 5.8 ;\nDESIGN dut ;\nUNITS DISTANCE MICRONS 1000 ;\n" +
+		"DIEAREA ( 0 0 ) ( 1000 1000 ) ;\nCOMPONENTS 1 ;\n" +
+		"- u0 INV_X1 + PLACED ( 10 20 ) N ;\nEND COMPONENTS\n" +
+		"NETS 3 ;\nEND NETS\nEND DESIGN\n")
+	f.Add("DESIGN d ;\n")
+	f.Add("DIEAREA ( 0 0 ) ( 10 ) ;\n")
+	f.Add("COMPONENTS 1 ;\n- u0 ;\nEND COMPONENTS\n")
+	f.Add("NETS many ;\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		parsed, err := Read(strings.NewReader(data))
+		if err == nil && parsed == nil {
+			t.Fatal("nil parse with nil error")
+		}
+		if err == nil && parsed.Design == "" {
+			t.Fatal("accepted input without DESIGN")
+		}
+	})
+}

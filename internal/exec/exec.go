@@ -1,0 +1,217 @@
+// Package exec is the concurrency substrate for design-space sweeps: a
+// context-aware, bounded worker pool (Map, Grid) whose results come back
+// in deterministic input order regardless of goroutine scheduling, plus a
+// concurrency-safe memoization Cache with single-flight semantics for
+// deduplicating repeated evaluations (identical flow specs, repeated
+// (Params, Load) points).
+//
+// Determinism contract: for a fixed input slice and a pure evaluation
+// function, Map returns bit-identical results at every pool width — each
+// item's result is written to its own input index, so scheduling order
+// never reorders output. Error contract: the error returned is the one
+// from the lowest failing input index whose evaluation ran; once any item
+// fails, in-flight items finish but no new items are dispatched.
+package exec
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkersEnv is the environment variable that overrides the default pool
+// width (DefaultWorkers).
+const WorkersEnv = "M3D_WORKERS"
+
+// DefaultWorkers returns the default pool width: GOMAXPROCS, overridden
+// by the M3D_WORKERS environment variable when it holds a positive
+// integer.
+func DefaultWorkers() int {
+	if s := os.Getenv(WorkersEnv); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+type config struct {
+	workers int
+	ctx     context.Context
+}
+
+// Option configures one Map/Grid call.
+type Option func(*config)
+
+// WithWorkers bounds the pool at n concurrent evaluations. n ≤ 0 selects
+// DefaultWorkers(); n = 1 is the serial path (still cancellable).
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithContext attaches a cancellation context: when ctx is cancelled, no
+// new items are dispatched, in-flight items observe the cancellation via
+// the context passed to fn, and Map returns ctx.Err().
+func WithContext(ctx context.Context) Option {
+	return func(c *config) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	}
+}
+
+func newConfig(opts []Option) config {
+	c := config{ctx: context.Background()}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.workers <= 0 {
+		c.workers = DefaultWorkers()
+	}
+	return c
+}
+
+// Map evaluates fn over every item with a bounded worker pool and returns
+// the results in input order. fn receives the cancellation context, the
+// item's input index, and the item. The first error (lowest failing input
+// index) aborts dispatch and is returned with a nil result slice.
+func Map[T, R any](items []T, fn func(ctx context.Context, idx int, item T) (R, error), opts ...Option) ([]R, error) {
+	cfg := newConfig(opts)
+	n := len(items)
+	results := make([]R, n)
+	if n == 0 {
+		return results, cfg.ctx.Err()
+	}
+	workers := cfg.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i, item := range items {
+			if err := cfg.ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := fn(cfg.ctx, i, item)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(cfg.ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	// Contiguous chunk dispatch amortizes the counter for cheap per-point
+	// sweeps; result placement by index keeps ordering deterministic.
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if ctx.Err() != nil {
+						return
+					}
+					r, err := fn(ctx, i, items[i])
+					if err != nil {
+						errs[i] = err
+						cancel()
+						return
+					}
+					results[i] = r
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Grid evaluates fn over the cross product as × bs and returns the
+// results flattened row-major (index i*len(bs)+j), matching the nested
+// serial loop `for a { for b { ... } }`.
+func Grid[A, B, R any](as []A, bs []B, fn func(ctx context.Context, a A, b B) (R, error), opts ...Option) ([]R, error) {
+	nb := len(bs)
+	idx := make([]int, len(as)*nb)
+	for i := range idx {
+		idx[i] = i
+	}
+	return Map(idx, func(ctx context.Context, _ int, k int) (R, error) {
+		return fn(ctx, as[k/nb], bs[k%nb])
+	}, opts...)
+}
+
+// Cache is a concurrency-safe memoization table with single-flight
+// semantics: for each key the compute function runs exactly once, even
+// under concurrent Do calls; later (and concurrent) callers share the
+// stored value and error. The zero value is ready to use. Results must be
+// treated as shared/immutable by callers.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Do returns the memoized value for key, computing it with fn on first
+// use. Errors are memoized too: a failed computation is not retried.
+func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*cacheEntry[V])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// Len reports how many keys have been interned (including in-flight
+// computations).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Reset drops every memoized entry.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+}

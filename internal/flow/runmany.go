@@ -1,0 +1,33 @@
+package flow
+
+import (
+	"context"
+
+	"m3d/internal/exec"
+	"m3d/internal/tech"
+)
+
+// RunMany executes Run for every spec on the exec worker pool and returns
+// the results in spec order (pool width and cancellation via exec.Option;
+// default width is exec.DefaultWorkers). Each run is independent: the
+// shared PDK is read-only throughout the flow, and all randomized stages
+// (tier partitioning, global placement, annealed refinement) draw from
+// per-run generators seeded by the spec's Seed, so batches are
+// race-detector clean and each spec's result is identical to a serial
+// Run of the same spec.
+//
+// Identical specs without writer sinks are evaluated once behind a
+// single-flight memo cache and share one *Result, so design-space sweeps
+// that revisit a configuration (e.g. a baseline appearing in several
+// comparisons) pay for it once. Specs that stream GDS/Verilog/DEF bypass
+// the cache: their writers are side effects that must happen per spec.
+func RunMany(p *tech.PDK, specs []SoCSpec, opts ...exec.Option) ([]*Result, error) {
+	cache := &exec.Cache[SoCSpec, *Result]{}
+	return exec.Map(specs, func(_ context.Context, _ int, spec SoCSpec) (*Result, error) {
+		spec = spec.withDefaults()
+		if spec.WriteGDS != nil || spec.WriteVerilog != nil || spec.WriteDEF != nil {
+			return Run(p, spec)
+		}
+		return cache.Do(spec, func() (*Result, error) { return Run(p, spec) })
+	}, opts...)
+}

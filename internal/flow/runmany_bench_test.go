@@ -1,0 +1,67 @@
+package flow
+
+import (
+	"testing"
+
+	"m3d/internal/exec"
+	"m3d/internal/tech"
+)
+
+// benchSpecs is a reduced RunMany batch: four distinct tiny SoCs (different
+// seeds) so nothing hits the memo cache and every spec runs the full
+// synthesize→partition→place→route→sign-off pipeline.
+func benchSpecs() []SoCSpec {
+	base := SoCSpec{
+		ArrayRows: 2, ArrayCols: 2,
+		RRAMCapBits:    2 << 20,
+		BankWordBits:   64,
+		GlobalSRAMBits: 64 << 10,
+	}
+	specs := make([]SoCSpec, 4)
+	for i := range specs {
+		specs[i] = base
+		specs[i].Seed = int64(i + 1)
+	}
+	return specs
+}
+
+// BenchmarkRunManySerial runs the batch through sequential Run calls —
+// the pre-engine behaviour.
+func BenchmarkRunManySerial(b *testing.B) {
+	p := tech.Default130()
+	specs := benchSpecs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, s := range specs {
+			if _, err := Run(p, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRunManyParallel runs the same batch through the worker pool at
+// the default width (GOMAXPROCS or M3D_WORKERS).
+func BenchmarkRunManyParallel(b *testing.B) {
+	p := tech.Default130()
+	specs := benchSpecs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMany(p, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunManyParallelWidth4 pins four workers — one per spec — the
+// configuration the ISSUE's speedup criterion measures on a ≥4-core host.
+func BenchmarkRunManyParallelWidth4(b *testing.B) {
+	p := tech.Default130()
+	specs := benchSpecs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMany(p, specs, exec.WithWorkers(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

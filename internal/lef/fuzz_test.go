@@ -1,0 +1,39 @@
+package lef
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"m3d/internal/cell"
+	"m3d/internal/tech"
+)
+
+// FuzzRead feeds arbitrary text through the LEF reader. The property
+// under test: Read never panics — malformed input must come back as an
+// error (or parse cleanly), never as a crash.
+func FuzzRead(f *testing.F) {
+	p := tech.Default130()
+	var techBuf bytes.Buffer
+	if err := WriteTech(&techBuf, p); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(techBuf.String())
+	if lib, err := cell.NewLibrary(p, tech.TierSiCMOS); err == nil {
+		var cellBuf bytes.Buffer
+		if err := WriteCells(&cellBuf, p, lib); err == nil {
+			f.Add(cellBuf.String())
+		}
+	}
+	f.Add("LAYER M1\n  TYPE ROUTING ;\n  PITCH 0.4 ;\nEND M1\n")
+	f.Add("MACRO X\n  SIZE 1 BY 2 ;\n  PIN A\n    DIRECTION INPUT ;\n  END A\nEND X\n")
+	f.Add("SIZE BY ;\n")
+	f.Add("END\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		parsed, err := Read(strings.NewReader(data))
+		if err == nil && parsed == nil {
+			t.Fatal("nil parse with nil error")
+		}
+	})
+}

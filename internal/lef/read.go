@@ -1,0 +1,224 @@
+package lef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParsedLayer is one LAYER block from a technology LEF.
+type ParsedLayer struct {
+	Name      string
+	Type      string // ROUTING | CUT
+	Direction string // HORIZONTAL | VERTICAL ("" for cut layers)
+	PitchUM   float64
+	RPerSq    float64
+}
+
+// ParsedPin is one PIN block inside a MACRO.
+type ParsedPin struct {
+	Name      string
+	Direction string // INPUT | OUTPUT | INOUT
+}
+
+// ParsedMacro is one MACRO block (standard cell or hard macro).
+type ParsedMacro struct {
+	Name     string
+	Class    string // CORE | BLOCK
+	WidthUM  float64
+	HeightUM float64
+	Pins     []ParsedPin
+}
+
+// ParsedSite is a SITE definition.
+type ParsedSite struct {
+	Name     string
+	WidthUM  float64
+	HeightUM float64
+}
+
+// Parsed is the reader's view of a LEF stream: the subset WriteTech,
+// WriteCells, and WriteMacros produce.
+type Parsed struct {
+	DatabaseUnits int
+	Sites         []ParsedSite
+	Layers        []ParsedLayer
+	Macros        []ParsedMacro
+}
+
+// Read parses the LEF subset this package writes (technology layers,
+// sites, macro geometry and pin directions). It is tolerant of unknown
+// statements — they are skipped — but returns errors (never panics) on
+// structurally broken input such as unterminated blocks or malformed
+// numbers in known statements.
+func Read(r io.Reader) (*Parsed, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	out := &Parsed{}
+	var layer *ParsedLayer
+	var mac *ParsedMacro
+	var pin *ParsedPin
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		f := strings.Fields(strings.TrimSpace(sc.Text()))
+		if len(f) == 0 || strings.HasPrefix(f[0], "#") {
+			continue
+		}
+		switch f[0] {
+		case "UNITS":
+			// DATABASE MICRONS <n> ; appears on a following line.
+		case "DATABASE":
+			if len(f) >= 3 && f[1] == "MICRONS" {
+				n, err := strconv.Atoi(f[2])
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("lef: line %d: bad DATABASE MICRONS %q", lineNo, f[2])
+				}
+				out.DatabaseUnits = n
+			}
+		case "SITE":
+			if len(f) < 2 {
+				return nil, fmt.Errorf("lef: line %d: SITE without a name", lineNo)
+			}
+			out.Sites = append(out.Sites, ParsedSite{Name: f[1]})
+		case "LAYER":
+			if mac != nil || pin != nil {
+				// LAYER inside a PIN PORT — geometry reference, skip.
+				continue
+			}
+			if layer != nil {
+				return nil, fmt.Errorf("lef: line %d: LAYER %q opened inside LAYER %q", lineNo, sliceAt(f, 1), layer.Name)
+			}
+			if len(f) < 2 {
+				return nil, fmt.Errorf("lef: line %d: LAYER without a name", lineNo)
+			}
+			layer = &ParsedLayer{Name: f[1]}
+		case "TYPE":
+			if layer != nil && len(f) >= 2 {
+				layer.Type = strings.TrimSuffix(f[1], ";")
+			}
+		case "DIRECTION":
+			if len(f) < 2 {
+				continue
+			}
+			v := strings.TrimSuffix(f[1], ";")
+			switch {
+			case pin != nil:
+				pin.Direction = v
+			case layer != nil:
+				layer.Direction = v
+			}
+		case "PITCH":
+			if layer != nil {
+				v, err := leafNumber(f, 1)
+				if err != nil {
+					return nil, fmt.Errorf("lef: line %d: %w", lineNo, err)
+				}
+				layer.PitchUM = v
+			}
+		case "RESISTANCE":
+			if layer != nil && len(f) >= 3 && f[1] == "RPERSQ" {
+				v, err := leafNumber(f, 2)
+				if err != nil {
+					return nil, fmt.Errorf("lef: line %d: %w", lineNo, err)
+				}
+				layer.RPerSq = v
+			}
+		case "MACRO":
+			if mac != nil {
+				return nil, fmt.Errorf("lef: line %d: MACRO %q opened inside MACRO %q", lineNo, sliceAt(f, 1), mac.Name)
+			}
+			if len(f) < 2 {
+				return nil, fmt.Errorf("lef: line %d: MACRO without a name", lineNo)
+			}
+			mac = &ParsedMacro{Name: f[1]}
+		case "CLASS":
+			if mac != nil && pin == nil && len(f) >= 2 {
+				mac.Class = strings.TrimSuffix(f[1], ";")
+			}
+		case "SIZE":
+			// SIZE w BY h ;
+			if len(f) < 4 || !strings.EqualFold(f[2], "BY") {
+				return nil, fmt.Errorf("lef: line %d: malformed SIZE", lineNo)
+			}
+			w, err := leafNumber(f, 1)
+			if err != nil {
+				return nil, fmt.Errorf("lef: line %d: %w", lineNo, err)
+			}
+			h, err := leafNumber(f, 3)
+			if err != nil {
+				return nil, fmt.Errorf("lef: line %d: %w", lineNo, err)
+			}
+			switch {
+			case mac != nil && pin == nil:
+				mac.WidthUM, mac.HeightUM = w, h
+			case mac == nil && len(out.Sites) > 0 && layer == nil:
+				out.Sites[len(out.Sites)-1].WidthUM = w
+				out.Sites[len(out.Sites)-1].HeightUM = h
+			}
+		case "PIN":
+			if mac == nil {
+				return nil, fmt.Errorf("lef: line %d: PIN outside MACRO", lineNo)
+			}
+			if pin != nil {
+				return nil, fmt.Errorf("lef: line %d: PIN %q opened inside PIN %q", lineNo, sliceAt(f, 1), pin.Name)
+			}
+			if len(f) < 2 {
+				return nil, fmt.Errorf("lef: line %d: PIN without a name", lineNo)
+			}
+			pin = &ParsedPin{Name: f[1]}
+		case "END":
+			switch {
+			case pin != nil && len(f) >= 2 && f[1] == pin.Name:
+				mac.Pins = append(mac.Pins, *pin)
+				pin = nil
+			case pin != nil && len(f) == 1:
+				// END of an inner PORT block; stay inside the pin.
+			case mac != nil && len(f) >= 2 && f[1] == mac.Name:
+				out.Macros = append(out.Macros, *mac)
+				mac = nil
+			case layer != nil && len(f) >= 2 && f[1] == layer.Name:
+				out.Layers = append(out.Layers, *layer)
+				layer = nil
+			default:
+				// END UNITS, END LIBRARY, END <site>, bare END: skip.
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lef: %w", err)
+	}
+	if layer != nil {
+		return nil, fmt.Errorf("lef: unterminated LAYER %q", layer.Name)
+	}
+	if pin != nil {
+		return nil, fmt.Errorf("lef: unterminated PIN %q", pin.Name)
+	}
+	if mac != nil {
+		return nil, fmt.Errorf("lef: unterminated MACRO %q", mac.Name)
+	}
+	return out, nil
+}
+
+// leafNumber parses fields[i] as a float, tolerating a trailing ';'.
+func leafNumber(fields []string, i int) (float64, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("missing numeric field")
+	}
+	s := strings.TrimSuffix(fields[i], ";")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", fields[i])
+	}
+	return v, nil
+}
+
+// sliceAt returns fields[i] or "" when out of range (for error messages).
+func sliceAt(fields []string, i int) string {
+	if i < len(fields) {
+		return fields[i]
+	}
+	return ""
+}

@@ -1,0 +1,35 @@
+package liberty
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"m3d/internal/cell"
+	"m3d/internal/tech"
+)
+
+// FuzzRead feeds arbitrary text through the Liberty reader. The property
+// under test: Read never panics — malformed input must come back as an
+// error (or parse cleanly), never as a crash.
+func FuzzRead(f *testing.F) {
+	p := tech.Default130()
+	if lib, err := cell.NewLibrary(p, tech.TierSiCMOS); err == nil {
+		var buf bytes.Buffer
+		if err := Write(&buf, p, lib); err == nil {
+			f.Add(buf.String())
+		}
+	}
+	f.Add("library (l) {\n  nom_voltage : 1.2;\n  cell (c) {\n    area : 1.0;\n    pin (a) {\n      direction : input;\n    }\n  }\n}\n")
+	f.Add("library (l) {\n")
+	f.Add("}\n")
+	f.Add("cell () { ff (IQ, IQN) { clocked_on : \"CK\"; } }\n")
+	f.Add("a : b; } {\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		parsed, err := Read(strings.NewReader(data))
+		if err == nil && parsed == nil {
+			t.Fatal("nil parse with nil error")
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParsedPin is one pin group of a Liberty cell.
+type ParsedPin struct {
+	Name          string
+	Direction     string
+	Function      string
+	CapacitancePF float64
+}
+
+// ParsedCell is one cell group.
+type ParsedCell struct {
+	Name      string
+	AreaUM2   float64
+	LeakageUW float64
+	Pins      []ParsedPin
+}
+
+// Parsed is the reader's view of a Liberty stream: the subset Write
+// produces (library → cells → pins with the attributes our flow uses).
+type Parsed struct {
+	Name       string
+	NomVoltage float64
+	Cells      []ParsedCell
+}
+
+// Read parses the Liberty subset this package writes. Unknown groups and
+// attributes are skipped; structural errors (unbalanced braces, malformed
+// known attributes) are returned as errors — the parser never panics.
+func Read(r io.Reader) (*Parsed, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	out := &Parsed{}
+	// Group stack: what each open '{' belongs to.
+	type frame struct{ kind, name string } // kind: library | cell | pin | other
+	var stack []frame
+	var cell *ParsedCell
+	var pin *ParsedPin
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "/*") {
+			continue
+		}
+		opens := strings.Count(line, "{")
+		closes := strings.Count(line, "}")
+		switch {
+		case opens == 1 && closes == 0:
+			kind, name := groupHeader(line)
+			switch kind {
+			case "library":
+				if len(stack) != 0 {
+					return nil, fmt.Errorf("liberty: line %d: nested library group", lineNo)
+				}
+				out.Name = name
+			case "cell":
+				if cell != nil {
+					return nil, fmt.Errorf("liberty: line %d: cell %q opened inside cell %q", lineNo, name, cell.Name)
+				}
+				cell = &ParsedCell{Name: name}
+			case "pin":
+				if cell == nil {
+					return nil, fmt.Errorf("liberty: line %d: pin %q outside a cell", lineNo, name)
+				}
+				if pin != nil {
+					return nil, fmt.Errorf("liberty: line %d: pin %q opened inside pin %q", lineNo, name, pin.Name)
+				}
+				pin = &ParsedPin{Name: name}
+			}
+			stack = append(stack, frame{kind, name})
+		case closes > opens:
+			for i := 0; i < closes-opens; i++ {
+				if len(stack) == 0 {
+					return nil, fmt.Errorf("liberty: line %d: unbalanced '}'", lineNo)
+				}
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				switch top.kind {
+				case "pin":
+					cell.Pins = append(cell.Pins, *pin)
+					pin = nil
+				case "cell":
+					out.Cells = append(out.Cells, *cell)
+					cell = nil
+				}
+			}
+		case opens == closes:
+			// Balanced one-line group such as `timing () { ... }` or
+			// `ff (IQ, IQN) { ... }`: self-contained, nothing to track.
+			if opens > 0 {
+				continue
+			}
+			if err := attribute(out, cell, pin, line, lineNo); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("liberty: line %d: unsupported brace layout %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("liberty: %w", err)
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("liberty: unterminated group %q", stack[len(stack)-1].kind)
+	}
+	return out, nil
+}
+
+// groupHeader splits `kind (name) {` into its kind and name.
+func groupHeader(line string) (kind, name string) {
+	open := strings.IndexByte(line, '(')
+	if open < 0 {
+		return strings.TrimSpace(strings.TrimSuffix(line, "{")), ""
+	}
+	kind = strings.TrimSpace(line[:open])
+	rest := line[open+1:]
+	if close := strings.IndexByte(rest, ')'); close >= 0 {
+		name = strings.TrimSpace(rest[:close])
+	}
+	return kind, name
+}
+
+// attribute applies one `key : value;` line to the innermost open group.
+func attribute(out *Parsed, cell *ParsedCell, pin *ParsedPin, line string, lineNo int) error {
+	colon := strings.IndexByte(line, ':')
+	if colon < 0 {
+		return nil // statement we do not model (e.g. bare identifiers)
+	}
+	key := strings.TrimSpace(line[:colon])
+	val := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line[colon+1:]), ";"))
+	num := func() (float64, error) {
+		v, err := strconv.ParseFloat(strings.Trim(val, `"`), 64)
+		if err != nil {
+			return 0, fmt.Errorf("liberty: line %d: bad numeric value %q for %s", lineNo, val, key)
+		}
+		return v, nil
+	}
+	var err error
+	switch key {
+	case "nom_voltage":
+		out.NomVoltage, err = num()
+	case "area":
+		if cell != nil && pin == nil {
+			cell.AreaUM2, err = num()
+		}
+	case "cell_leakage_power":
+		if cell != nil && pin == nil {
+			cell.LeakageUW, err = num()
+		}
+	case "direction":
+		if pin != nil {
+			pin.Direction = val
+		}
+	case "function":
+		if pin != nil {
+			pin.Function = strings.Trim(val, `"`)
+		}
+	case "capacitance":
+		if pin != nil {
+			pin.CapacitancePF, err = num()
+		}
+	}
+	return err
+}

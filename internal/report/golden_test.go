@@ -1,0 +1,50 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRenderGolden locks down the exact table layout (alignment, padding,
+// separators, formatter output) against a checked-in golden file. Run with
+// -update to regenerate after an intentional format change.
+func TestRenderGolden(t *testing.T) {
+	tb := New("== Golden layout check ==",
+		"Name", "Ratio", "Area", "Freq", "Power", "Count")
+	tb.Add("short", Ratio(5.6612), MM2(1_234_567_890_123), MHz(456.7e6), MW(0.01234), 7)
+	tb.Add("a-much-longer-name", Ratio(0.5), MM2(42), MHz(1e6), MW(1.5), 123456)
+	tb.Add("floats", 3.14159, float32(2.5), "x", "", -1)
+	tb.Add("ragged", "only-two")
+
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "table.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("render differs from golden\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// String() must agree with Render byte-for-byte.
+	if tb.String() != buf.String() {
+		t.Error("String() differs from Render() output")
+	}
+}

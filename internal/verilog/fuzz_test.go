@@ -1,0 +1,50 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"m3d/internal/cell"
+	"m3d/internal/macro"
+	"m3d/internal/netlist"
+	"m3d/internal/synth"
+	"m3d/internal/tech"
+)
+
+// FuzzRead feeds arbitrary text through the structural-Verilog reader.
+// The property under test: Read never panics — malformed input must come
+// back as an error (or parse cleanly), never as a crash.
+func FuzzRead(f *testing.F) {
+	p := tech.Default130()
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		f.Fatal(err)
+	}
+	bank, err := macro.NewRRAMBank(p, macro.RRAMBankSpec{CapacityBits: 1 << 20, WordBits: 32, Style: macro.Style3D})
+	if err != nil {
+		f.Fatal(err)
+	}
+	macros := map[string]*netlist.MacroRef{sanitize(bank.Ref.Kind): bank.Ref}
+
+	// Seed with real writer output so the fuzzer starts from the grammar.
+	b := synth.NewBuilder("dut", lib)
+	b.Systolic("cs", synth.SystolicSpec{Rows: 1, Cols: 2, ActBits: 4, WeightBits: 4, AccBits: 12, Activity: 0.2})
+	var buf bytes.Buffer
+	if err := Write(&buf, b.NL); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("module m;\nendmodule\n")
+	f.Add("module m;\nwire a;\nINV_X1 u0 (.A(a), .Y(a));\nendmodule\n")
+	f.Add("wire a;\n")
+	f.Add("BOGUS u0 (.A(x));\n")
+	f.Add("module m;\nINV_X1 u0 (A(a));\nendmodule\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		nl, err := Read(strings.NewReader(data), lib, macros)
+		if err == nil && nl == nil {
+			t.Fatal("nil netlist with nil error")
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"m3d/internal/analytic"
 	"m3d/internal/arch"
 	"m3d/internal/core"
+	"m3d/internal/exec"
 	"m3d/internal/flow"
 	"m3d/internal/macro"
 	"m3d/internal/tech"
@@ -152,6 +153,35 @@ const (
 
 // RunFlow executes the RTL-to-GDS flow for one SoC spec.
 func RunFlow(p *PDK, spec SoCSpec) (*FlowResult, error) { return flow.Run(p, spec) }
+
+// Sweep execution engine (worker pool with deterministic ordering).
+type (
+	// ExecOption configures a parallel sweep call (pool width, context).
+	ExecOption = exec.Option
+)
+
+var (
+	// WithWorkers bounds a sweep's worker pool (0 or less = default).
+	WithWorkers = exec.WithWorkers
+	// WithContext attaches a cancellation context to a sweep.
+	WithContext = exec.WithContext
+	// DefaultWorkers reports the default pool width (GOMAXPROCS or the
+	// M3D_WORKERS environment override).
+	DefaultWorkers = exec.DefaultWorkers
+)
+
+// SweepBandwidthCS evaluates the Fig. 8 (CS count × bandwidth) grid on
+// the worker pool with deterministic, serial-identical ordering.
+func SweepBandwidthCS(p Params, w Load, csCounts []int, bwScales []float64, opts ...ExecOption) ([]SweepPoint, error) {
+	return analytic.SweepBandwidthCS(p, w, csCounts, bwScales, opts...)
+}
+
+// RunFlowMany executes the RTL-to-GDS flow for every spec on the worker
+// pool, returning results in spec order; identical specs without writer
+// sinks are evaluated once and shared.
+func RunFlowMany(p *PDK, specs []SoCSpec, opts ...ExecOption) ([]*FlowResult, error) {
+	return flow.RunMany(p, specs, opts...)
+}
 
 // RunFlowCaseStudy runs the 2D baseline and the iso-footprint M3D design.
 func RunFlowCaseStudy(p *PDK, scale SoCSpec, numCS int) (*FlowResult, *FlowResult, error) {

@@ -1,0 +1,26 @@
+#!/bin/sh
+# check.sh — the full pre-merge gate: vet, build, race-enabled tests, and a
+# short fuzz smoke over every text parser. Run from the repo root:
+#
+#   ./scripts/check.sh            # everything (slowest part: -race tests)
+#   FUZZTIME=30s ./scripts/check.sh   # longer fuzz smoke
+set -eu
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fuzz smoke (${FUZZTIME}/target) =="
+for pkg in verilog def lef liberty; do
+    echo "-- internal/$pkg"
+    go test -fuzz=FuzzRead -fuzztime="$FUZZTIME" "./internal/$pkg/"
+done
+
+echo "OK: all checks passed"
