@@ -30,5 +30,9 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchtime 2s ./internal/analytic/
 	$(GO) test -run '^$$' -bench 'BenchmarkRunMany' -benchtime 1x ./internal/flow/
 
+# Observability overhead: no-op tracer + registry vs uninstrumented flow.
+obsbench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunFlow' -benchtime 4x -count 3 ./internal/flow/
+
 report:
 	$(GO) run ./cmd/m3dreport

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"m3d/internal/cliutil"
 	"m3d/internal/core"
 	"m3d/internal/exec"
 	"m3d/internal/flow"
@@ -30,14 +31,16 @@ func main() {
 	tierPower := flag.Float64("tierpower", 2.0, "per-tier-pair power (W) for the tiers sweep")
 	workers := flag.Int("workers", 0, "worker pool width (0 = GOMAXPROCS, or M3D_WORKERS)")
 	side := flag.Int("side", 3, "systolic array side per CS for the flowcs sweep")
+	obsFlags := cliutil.Register()
 	flag.Parse()
 
 	p := tech.Default130()
-	pool := exec.WithWorkers(*workers)
+	pool := append([]exec.Option{exec.WithWorkers(*workers)}, obsFlags.Setup()...)
+	defer obsFlags.Close()
 
 	switch *sweep {
 	case "delta":
-		rows, err := core.Fig10bc(p, parseFloats(*points), pool)
+		rows, err := core.Fig10bc(p, parseFloats(*points), pool...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +51,7 @@ func main() {
 		}
 		render(tb)
 	case "beta":
-		rows, err := core.Obs8(p, parseFloats(*points), pool)
+		rows, err := core.Obs8(p, parseFloats(*points), pool...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,7 +62,7 @@ func main() {
 		}
 		render(tb)
 	case "tiers":
-		rows, err := core.Fig10d(p, parseInts(*points), *tierPower, pool)
+		rows, err := core.Fig10d(p, parseInts(*points), *tierPower, pool...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -70,7 +73,7 @@ func main() {
 		}
 		render(tb)
 	case "capacity":
-		rows, err := core.Fig9(p, parseInts(*points), pool)
+		rows, err := core.Fig9(p, parseInts(*points), pool...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -80,7 +83,7 @@ func main() {
 		}
 		render(tb)
 	case "grid":
-		cb, mb, err := core.Fig8(p, pool)
+		cb, mb, err := core.Fig8(p, pool...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -111,7 +114,7 @@ func main() {
 		spec2.NumCS = 1
 		spec2.Banks = 1
 		log.Printf("running 2D baseline flow (%dx%d PEs/CS)...", *side, *side)
-		twoD, err := flow.Run(p, spec2)
+		twoD, err := flow.Run(p, spec2, pool...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -125,7 +128,7 @@ func main() {
 			specs[i] = s
 		}
 		log.Printf("running %d iso-footprint M3D variants...", len(specs))
-		results, err := flow.RunMany(p, specs, pool)
+		results, err := flow.RunMany(p, specs, pool...)
 		if err != nil {
 			log.Fatal(err)
 		}

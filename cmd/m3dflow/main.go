@@ -8,12 +8,12 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
 	"strconv"
 	"strings"
 
+	"m3d/internal/cliutil"
 	"m3d/internal/exec"
 	"m3d/internal/flow"
 	"m3d/internal/macro"
@@ -32,6 +32,7 @@ func main() {
 	defPath := flag.String("def", "", "write the M3D placement DEF to this file")
 	seed := flag.Int64("seed", 1, "placement seed")
 	workers := flag.Int("workers", 0, "worker pool width for the M3D variants (0 = GOMAXPROCS)")
+	obsFlags := cliutil.Register()
 	flag.Parse()
 
 	csCounts, err := parseCSList(*csList)
@@ -39,6 +40,8 @@ func main() {
 		log.Fatal(err)
 	}
 	numCS := csCounts[0]
+	obsOpts := obsFlags.Setup()
+	defer obsFlags.Close()
 
 	p := tech.Default130()
 	spec := flow.SoCSpec{
@@ -49,16 +52,35 @@ func main() {
 		Seed:           *seed,
 	}
 
-	var f2d, f3d *os.File
+	// Export sinks are functional options on the run calls (the old
+	// SoCSpec writer fields are deprecated); the M3D sinks attach to the
+	// first (primary) variant of the batch.
+	var opts2d []exec.Option
+	var optsM3D []exec.Option
+	create := func(path string) *os.File {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
 	if *gdsPrefix != "" {
-		if f2d, err = os.Create(*gdsPrefix + "_2d.gds"); err != nil {
-			log.Fatal(err)
-		}
+		f2d := create(*gdsPrefix + "_2d.gds")
 		defer f2d.Close()
-		if f3d, err = os.Create(*gdsPrefix + "_m3d.gds"); err != nil {
-			log.Fatal(err)
-		}
+		opts2d = append(opts2d, flow.WithGDS(f2d))
+		f3d := create(*gdsPrefix + "_m3d.gds")
 		defer f3d.Close()
+		optsM3D = append(optsM3D, flow.WithSinksAt(0, flow.Sinks{GDS: f3d}))
+	}
+	if *vPath != "" {
+		f := create(*vPath)
+		defer f.Close()
+		optsM3D = append(optsM3D, flow.WithSinksAt(0, flow.Sinks{Verilog: f}))
+	}
+	if *defPath != "" {
+		f := create(*defPath)
+		defer f.Close()
+		optsM3D = append(optsM3D, flow.WithSinksAt(0, flow.Sinks{DEF: f}))
 	}
 
 	log.Printf("running 2D baseline flow (%dx%d PEs, %d MB RRAM)...", *side, *side, *rramMB)
@@ -66,10 +88,7 @@ func main() {
 	spec2.Style = macro.Style2D
 	spec2.NumCS = 1
 	spec2.Banks = 1
-	if f2d != nil {
-		spec2.WriteGDS = f2d
-	}
-	twoD, err := flow.Run(p, spec2)
+	twoD, err := flow.Run(p, spec2, append(opts2d, obsOpts...)...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,25 +103,9 @@ func main() {
 		s.Die = twoD.Die
 		specs[i] = s
 	}
-	// Export sinks attach to the first (primary) M3D variant.
-	if f3d != nil {
-		specs[0].WriteGDS = f3d
-	}
-	for _, out := range []struct {
-		path string
-		dst  *io.Writer
-	}{{*vPath, &specs[0].WriteVerilog}, {*defPath, &specs[0].WriteDEF}} {
-		if out.path == "" {
-			continue
-		}
-		f, err := os.Create(out.path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		*out.dst = f
-	}
-	variants, err := flow.RunMany(p, specs, exec.WithWorkers(*workers))
+	runOpts := append([]exec.Option{exec.WithWorkers(*workers)}, optsM3D...)
+	runOpts = append(runOpts, obsOpts...)
+	variants, err := flow.RunMany(p, specs, runOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 
 	"m3d/internal/cell"
+	"m3d/internal/cliutil"
 	"m3d/internal/lef"
 	"m3d/internal/liberty"
 	"m3d/internal/macro"
@@ -23,7 +24,10 @@ func main() {
 	log.SetPrefix("m3dlib: ")
 	outDir := flag.String("out", "pdk_export", "output directory")
 	rramMB := flag.Int("rram", 8, "example RRAM bank capacity (MB) for the macro LEF")
+	obsFlags := cliutil.Register()
 	flag.Parse()
+	obsFlags.Setup()
+	defer obsFlags.Close()
 
 	p := tech.Default130()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -12,7 +12,9 @@ import (
 	"os"
 
 	"m3d/internal/analytic"
+	"m3d/internal/cliutil"
 	"m3d/internal/core"
+	"m3d/internal/exec"
 	"m3d/internal/report"
 	"m3d/internal/tech"
 )
@@ -22,22 +24,25 @@ func main() {
 	log.SetPrefix("m3dreport: ")
 	withFlow := flag.Bool("flow", false, "also run the physical-design flow case study (slow)")
 	flowSide := flag.Int("flowside", 4, "systolic array side for the flow case study")
+	obsFlags := cliutil.Register()
 	flag.Parse()
 
 	p := tech.Default130()
 	var out io.Writer = os.Stdout
+	opts := obsFlags.Setup()
+	defer obsFlags.Close()
 
-	if err := printAnalytical(p, out); err != nil {
+	if err := printAnalytical(p, out, opts...); err != nil {
 		log.Fatal(err)
 	}
 	if *withFlow {
-		if err := printFlowStudy(p, *flowSide, out); err != nil {
+		if err := printFlowStudy(p, *flowSide, out, opts...); err != nil {
 			log.Fatal(err)
 		}
 	}
 }
 
-func printAnalytical(p *tech.PDK, out io.Writer) error {
+func printAnalytical(p *tech.PDK, out io.Writer, opts ...exec.Option) error {
 	// Eq. 2 calibration.
 	am, err := core.AreaModel(p, int64(64)<<23)
 	if err != nil {
@@ -49,7 +54,7 @@ func printAnalytical(p *tech.PDK, out io.Writer) error {
 		report.MM2(int64(am.APerif)), am.GammaCells(), am.N())
 
 	// Table I.
-	t1, err := core.Table1(p)
+	t1, err := core.Table1(p, opts...)
 	if err != nil {
 		return err
 	}
@@ -64,7 +69,7 @@ func printAnalytical(p *tech.PDK, out io.Writer) error {
 	fmt.Fprintln(out)
 
 	// Fig. 5.
-	f5, err := core.Fig5(p)
+	f5, err := core.Fig5(p, opts...)
 	if err != nil {
 		return err
 	}
@@ -79,7 +84,7 @@ func printAnalytical(p *tech.PDK, out io.Writer) error {
 	fmt.Fprintln(out)
 
 	// Fig. 7.
-	f7, err := core.Fig7(p)
+	f7, err := core.Fig7(p, opts...)
 	if err != nil {
 		return err
 	}
@@ -95,7 +100,7 @@ func printAnalytical(p *tech.PDK, out io.Writer) error {
 	fmt.Fprintln(out)
 
 	// Fig. 8.
-	cb, mb, err := core.Fig8(p)
+	cb, mb, err := core.Fig8(p, opts...)
 	if err != nil {
 		return err
 	}
@@ -114,7 +119,7 @@ func printAnalytical(p *tech.PDK, out io.Writer) error {
 	fmt.Fprintln(out)
 
 	// Fig. 9.
-	f9, err := core.Fig9(p, nil)
+	f9, err := core.Fig9(p, nil, opts...)
 	if err != nil {
 		return err
 	}
@@ -129,7 +134,7 @@ func printAnalytical(p *tech.PDK, out io.Writer) error {
 	fmt.Fprintln(out)
 
 	// Fig. 10b-c.
-	f10, err := core.Fig10bc(p, nil)
+	f10, err := core.Fig10bc(p, nil, opts...)
 	if err != nil {
 		return err
 	}
@@ -144,7 +149,7 @@ func printAnalytical(p *tech.PDK, out io.Writer) error {
 	fmt.Fprintln(out)
 
 	// Obs. 8.
-	o8, err := core.Obs8(p, nil)
+	o8, err := core.Obs8(p, nil, opts...)
 	if err != nil {
 		return err
 	}
@@ -159,7 +164,7 @@ func printAnalytical(p *tech.PDK, out io.Writer) error {
 	fmt.Fprintln(out)
 
 	// Fig. 10d + Obs. 10.
-	f10d, err := core.Fig10d(p, nil, 2.0)
+	f10d, err := core.Fig10d(p, nil, 2.0, opts...)
 	if err != nil {
 		return err
 	}
@@ -174,7 +179,7 @@ func printAnalytical(p *tech.PDK, out io.Writer) error {
 	fmt.Fprintln(out)
 
 	// Obs. 3.
-	rram, sram, err := core.Obs3(p)
+	rram, sram, err := core.Obs3(p, opts...)
 	if err != nil {
 		return err
 	}
@@ -228,9 +233,9 @@ func renderSweep(tb *report.Table, pts []analytic.SweepPoint) {
 	}
 }
 
-func printFlowStudy(p *tech.PDK, side int, out io.Writer) error {
+func printFlowStudy(p *tech.PDK, side int, out io.Writer, opts ...exec.Option) error {
 	fmt.Fprintf(out, "== Sec. II physical-design case study (flow, %dx%d PEs/CS) ==\n", side, side)
-	cmp, err := core.RunCaseStudyFlow(p, side, 8, 8<<20)
+	cmp, err := core.RunCaseStudyFlow(p, side, 8, 8<<20, opts...)
 	if err != nil {
 		return err
 	}
@@ -252,7 +257,7 @@ func printFlowStudy(p *tech.PDK, side int, out io.Writer) error {
 	fmt.Fprintf(out, "Freed Si fraction: %.1f%%   Upper-tier power: %.2f%%   Peak density ratio: %.3f\n\n",
 		100*cmp.FreedSiFrac, 100*cmp.UpperTierPowerFrac, cmp.PeakDensityRatio)
 
-	fold, err := core.RunFoldingStudy(p, 3)
+	fold, err := core.RunFoldingStudy(p, 3, opts...)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,8 @@ package analytic
 import (
 	"fmt"
 	"math"
+
+	"m3d/internal/errs"
 )
 
 // Params carries the abstract machine quantities of Sec. III.
@@ -36,13 +38,13 @@ type Params struct {
 	EMIdle2D, EMIdle3D float64
 }
 
-// Validate checks the parameters.
+// Validate checks the parameters. Violations match errs.ErrBadSpec.
 func (p Params) Validate() error {
 	if p.PPeak <= 0 || p.B2D <= 0 || p.B3D <= 0 {
-		return fmt.Errorf("analytic: PPeak/B2D/B3D must be positive")
+		return fmt.Errorf("analytic: PPeak/B2D/B3D must be positive: %w", errs.ErrBadSpec)
 	}
 	if p.N < 1 {
-		return fmt.Errorf("analytic: N must be ≥ 1, got %d", p.N)
+		return fmt.Errorf("analytic: N must be ≥ 1, got %d: %w", p.N, errs.ErrBadSpec)
 	}
 	return nil
 }
@@ -122,7 +124,7 @@ func Evaluate(p Params, w Load) (Result, error) {
 		return Result{}, err
 	}
 	if w.F0 <= 0 || w.D0 <= 0 {
-		return Result{}, fmt.Errorf("analytic: load needs positive F0/D0")
+		return Result{}, fmt.Errorf("analytic: load needs positive F0/D0: %w", errs.ErrBadSpec)
 	}
 	e2, e3 := E2D(p, w), E3D(p, w)
 	if e3 <= 0 {
@@ -139,7 +141,7 @@ func EvaluateMany(p Params, loads []Load) (Result, error) {
 		return Result{}, err
 	}
 	if len(loads) == 0 {
-		return Result{}, fmt.Errorf("analytic: no loads")
+		return Result{}, fmt.Errorf("analytic: no loads: %w", errs.ErrBadSpec)
 	}
 	var t2, t3, e2, e3 float64
 	for _, w := range loads {

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 
+	"m3d/internal/errs"
 	"m3d/internal/exec"
+	"m3d/internal/obs"
 )
 
 // tLike is the generalized Eq. 4 time: n parallel CSs sharing total
@@ -53,7 +55,7 @@ func Case1Benefit(p Params, a AreaModel, loads []Load, delta float64) (Result, C
 		return Result{}, Case1Result{}, err
 	}
 	if len(loads) == 0 {
-		return Result{}, Case1Result{}, fmt.Errorf("analytic: no loads")
+		return Result{}, Case1Result{}, fmt.Errorf("analytic: no loads: %w", errs.ErrBadSpec)
 	}
 	// M3D bandwidth: per-CS share preserved from the reference design.
 	perCSB3D := p.B3D / float64(p.N)
@@ -95,7 +97,7 @@ func Case3Benefit(p Params, a AreaModel, loads []Load, y int) (Result, int, erro
 		return Result{}, 0, err
 	}
 	if len(loads) == 0 {
-		return Result{}, 0, fmt.Errorf("analytic: no loads")
+		return Result{}, 0, fmt.Errorf("analytic: no loads: %w", errs.ErrBadSpec)
 	}
 	b3d := p.B3D * float64(y)
 	var t2, t3, e2, e3 float64
@@ -133,15 +135,15 @@ func sweepPoint(p Params, w Load, n int, b float64) SweepPoint {
 
 // validateSweepAxes mirrors the serial sweep's error order: the first
 // offending axis value in row-major (csCounts outer, bwScales inner)
-// iteration order is reported.
+// iteration order is reported. Violations match errs.ErrBadSpec.
 func validateSweepAxes(csCounts []int, bwScales []float64) error {
 	for _, n := range csCounts {
 		if n < 1 {
-			return fmt.Errorf("analytic: CS count %d must be ≥ 1", n)
+			return fmt.Errorf("analytic: CS count %d must be ≥ 1: %w", n, errs.ErrBadSpec)
 		}
 		for _, b := range bwScales {
 			if b <= 0 {
-				return fmt.Errorf("analytic: bandwidth scale %g must be positive", b)
+				return fmt.Errorf("analytic: bandwidth scale %g must be positive: %w", b, errs.ErrBadSpec)
 			}
 		}
 	}
@@ -167,11 +169,14 @@ var sweepCache exec.Cache[sweepKey, SweepPoint]
 // given compute intensity (ops per bit). Each point is an M3D design with
 // n CSs and b×B2D total bandwidth vs the 1-CS 2D baseline.
 //
-// Points are evaluated concurrently on the exec worker pool (exec.Option
-// controls width and cancellation); results are returned in the serial
-// row-major order (csCounts outer, bwScales inner) and are bit-identical
-// to the serial evaluation at any pool width. Repeated points are served
-// from a process-wide memo cache.
+// Points are evaluated concurrently on the exec worker pool (the shared
+// exec.Option surface controls width, cancellation, tracing and
+// metrics); results are returned in the serial row-major order (csCounts
+// outer, bwScales inner) and are bit-identical to the serial evaluation
+// at any pool width. Repeated points are served from a process-wide memo
+// cache, accounted by the registry's sweep.memo.hits /
+// sweep.memo.misses counters; when a tracer is attached the whole grid
+// runs under one "analytic.sweep" span.
 func SweepBandwidthCS(p Params, w Load, csCounts []int, bwScales []float64, opts ...exec.Option) ([]SweepPoint, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -182,11 +187,22 @@ func SweepBandwidthCS(p Params, w Load, csCounts []int, bwScales []float64, opts
 	if len(csCounts) == 0 || len(bwScales) == 0 {
 		return nil, nil
 	}
-	return exec.Grid(csCounts, bwScales, func(_ context.Context, n int, b float64) (SweepPoint, error) {
-		return sweepCache.Do(sweepKey{p, w, n, b}, func() (SweepPoint, error) {
+	st := exec.Resolve(opts...)
+	if st.Label == "" {
+		st.Label = "sweep.point"
+	}
+	if st.Tracer != nil {
+		sp := st.Tracer.StartSpan("analytic.sweep",
+			obs.Int("cs_axis", len(csCounts)), obs.Int("bw_axis", len(bwScales)))
+		defer sp.End()
+	}
+	hits := st.Metrics.Counter("sweep.memo.hits")
+	misses := st.Metrics.Counter("sweep.memo.misses")
+	return exec.GridWith(st, csCounts, bwScales, func(_ context.Context, n int, b float64) (SweepPoint, error) {
+		return sweepCache.DoMetered(sweepKey{p, w, n, b}, hits, misses, func() (SweepPoint, error) {
 			return sweepPoint(p, w, n, b), nil
 		})
-	}, opts...)
+	})
 }
 
 // sweepBandwidthCSSerial is the seed implementation, retained as the

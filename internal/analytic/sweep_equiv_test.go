@@ -1,9 +1,12 @@
 package analytic
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
+	"m3d/internal/errs"
 	"m3d/internal/exec"
 )
 
@@ -58,8 +61,11 @@ func TestSweepBandwidthCSErrorOrder(t *testing.T) {
 			t.Fatalf("width %d: expected error", width)
 		}
 		// Row-major: n=1 valid, then b=0 invalid, before n=0 is reached.
-		if want := "analytic: bandwidth scale 0 must be positive"; err.Error() != want {
+		if want := "analytic: bandwidth scale 0 must be positive"; !strings.Contains(err.Error(), want) {
 			t.Fatalf("width %d: got %q, want %q", width, err.Error(), want)
+		}
+		if !errors.Is(err, errs.ErrBadSpec) {
+			t.Fatalf("width %d: error %v must match errs.ErrBadSpec", width, err)
 		}
 	}
 }

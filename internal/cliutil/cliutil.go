@@ -1,0 +1,99 @@
+// Package cliutil wires the shared observability flags — -trace (JSON
+// lines span trace), -metrics (aggregate snapshot on stderr), -pprof
+// (net/http/pprof endpoint) — into the m3d command-line tools, so every
+// binary exposes the same surface.
+package cliutil
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+
+	"m3d/internal/exec"
+	"m3d/internal/obs"
+)
+
+// ObsFlags holds the shared observability flag values. Build with
+// Register before flag.Parse, then call Setup once after.
+type ObsFlags struct {
+	TracePath string
+	Metrics   bool
+	PprofAddr string
+
+	trace *obs.JSONL
+	reg   *obs.Registry
+	file  *os.File
+}
+
+// Register declares -trace, -metrics and -pprof on the default FlagSet.
+func Register() *ObsFlags {
+	f := &ObsFlags{}
+	flag.StringVar(&f.TracePath, "trace", "", "write a JSON-lines span trace to this file (\"-\" = stderr)")
+	flag.BoolVar(&f.Metrics, "metrics", false, "print the aggregate metrics snapshot to stderr at exit (JSON)")
+	flag.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Setup opens the configured sinks and returns the run options to pass to
+// every library call. Call Close before exiting. With no flags set it
+// returns no options (observability fully disabled).
+func (f *ObsFlags) Setup() []exec.Option {
+	var opts []exec.Option
+	if f.TracePath != "" {
+		w := os.Stderr
+		if f.TracePath != "-" {
+			file, err := os.Create(f.TracePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			f.file = file
+			w = file
+		}
+		f.trace = obs.NewJSONL(w)
+		opts = append(opts, exec.WithTracer(f.trace))
+	}
+	// A trace alone still gets a registry: the final metrics event is part
+	// of the trace schema.
+	if f.Metrics || f.trace != nil {
+		f.reg = obs.NewRegistry()
+		opts = append(opts, exec.WithMetrics(f.reg))
+	}
+	if f.PprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(f.PprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
+	return opts
+}
+
+// Registry returns the metrics registry (nil when neither -trace nor
+// -metrics was given).
+func (f *ObsFlags) Registry() *obs.Registry { return f.reg }
+
+// Close flushes the sinks: the metrics snapshot is appended to the trace
+// (schema event type "metrics") and, with -metrics, printed to stderr;
+// the trace file is closed. Errors are fatal so a truncated trace never
+// passes silently.
+func (f *ObsFlags) Close() {
+	if f.trace != nil {
+		f.trace.EmitMetrics(f.reg)
+		if err := f.trace.Err(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+	}
+	if f.file != nil {
+		if err := f.file.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+	}
+	if f.Metrics && f.reg != nil {
+		if err := f.reg.WriteJSON(os.Stderr); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+	}
+}

@@ -9,10 +9,22 @@ import (
 	"m3d/internal/arch"
 	"m3d/internal/exec"
 	"m3d/internal/mapper"
+	"m3d/internal/obs"
 	"m3d/internal/tech"
 	"m3d/internal/thermal"
 	"m3d/internal/workload"
 )
+
+// span opens an experiment entry-point span on the resolved settings'
+// tracer; call the returned func to end it. With no tracer attached it is
+// a no-op.
+func span(st *exec.Settings, name string, attrs ...obs.Attr) func() {
+	if st.Tracer == nil {
+		return func() {}
+	}
+	sp := st.Tracer.StartSpan(name, attrs...)
+	return sp.End
+}
 
 // BenefitRow is one speedup/energy/EDP comparison row.
 type BenefitRow struct {
@@ -24,8 +36,10 @@ type BenefitRow struct {
 
 // Table1 reproduces Table I: per-layer ResNet-18 benefits of the
 // iso-footprint, iso-on-chip-memory-capacity M3D accelerator, plus the
-// total row.
-func Table1(p *tech.PDK) ([]BenefitRow, error) {
+// total row. The shared exec.Option surface attaches tracing/metrics
+// (the evaluation itself is serial).
+func Table1(p *tech.PDK, opts ...exec.Option) ([]BenefitRow, error) {
+	defer span(exec.Resolve(opts...), "core.table1")()
 	a2d, a3d, _, err := CaseStudyPair(p)
 	if err != nil {
 		return nil, err
@@ -54,7 +68,8 @@ func Table1(p *tech.PDK) ([]BenefitRow, error) {
 }
 
 // Fig5 reproduces Fig. 5: whole-model benefits across the workload zoo.
-func Fig5(p *tech.PDK) ([]BenefitRow, error) {
+func Fig5(p *tech.PDK, opts ...exec.Option) ([]BenefitRow, error) {
+	defer span(exec.Resolve(opts...), "core.fig5")()
 	a2d, a3d, _, err := CaseStudyPair(p)
 	if err != nil {
 		return nil, err
@@ -86,7 +101,8 @@ type Fig7Row struct {
 // fully-connected layers are excluded (standard practice for spatial
 // conv-accelerator comparisons): they are weight-bandwidth-bound, which
 // the framework's single-D₀ roofline does not model.
-func Fig7(p *tech.PDK) ([]Fig7Row, error) {
+func Fig7(p *tech.PDK, opts ...exec.Option) ([]Fig7Row, error) {
+	defer span(exec.Resolve(opts...), "core.fig7")()
 	am, err := AreaModel(p, int64(256)<<23)
 	if err != nil {
 		return nil, err
@@ -137,6 +153,7 @@ func Fig7(p *tech.PDK) ([]Fig7Row, error) {
 // workload. Both grids run on the exec worker pool (exec.Option controls
 // width/cancellation) with deterministic, serial-identical output order.
 func Fig8(p *tech.PDK, opts ...exec.Option) (computeBound, memoryBound []analytic.SweepPoint, err error) {
+	defer span(exec.Resolve(opts...), "core.fig8")()
 	a2d := arch.CaseStudy2D()
 	params := Params(a2d, a2d.WithParallelCS(1))
 	cs := []int{1, 2, 4, 8, 16}
@@ -174,7 +191,12 @@ func Fig9(p *tech.PDK, capacitiesMB []int, opts ...exec.Option) ([]Fig9Row, erro
 		}
 	}
 	m := workload.ResNet18()
-	return exec.Map(capacitiesMB, func(_ context.Context, _ int, mb int) (Fig9Row, error) {
+	st := exec.Resolve(opts...)
+	if st.Label == "" {
+		st.Label = "core.fig9.point"
+	}
+	defer span(st, "core.fig9", obs.Int("points", len(capacitiesMB)))()
+	return exec.MapWith(st, capacitiesMB, func(_ context.Context, _ int, mb int) (Fig9Row, error) {
 		bits := int64(mb) << 23
 		am, err := AreaModel(p, bits)
 		if err != nil {
@@ -189,7 +211,7 @@ func Fig9(p *tech.PDK, capacitiesMB []int, opts ...exec.Option) ([]Fig9Row, erro
 			return Fig9Row{}, err
 		}
 		return Fig9Row{CapacityMB: mb, N: n, EDPBenefit: edp}, nil
-	}, opts...)
+	})
 }
 
 // Fig10Row is one δ (or β) point of Fig. 10b-c / Obs. 8.
@@ -220,7 +242,12 @@ func Fig10bc(p *tech.PDK, deltas []float64, opts ...exec.Option) ([]Fig10Row, er
 		return nil, err
 	}
 	params := Params(a2d, a3d)
-	return exec.Map(deltas, func(_ context.Context, _ int, d float64) (Fig10Row, error) {
+	st := exec.Resolve(opts...)
+	if st.Label == "" {
+		st.Label = "core.fig10bc.point"
+	}
+	defer span(st, "core.fig10bc", obs.Int("points", len(deltas)))()
+	return exec.MapWith(st, deltas, func(_ context.Context, _ int, d float64) (Fig10Row, error) {
 		res, geo, err := analytic.Case1Benefit(params, am, loads, d)
 		if err != nil {
 			return Fig10Row{}, err
@@ -228,7 +255,7 @@ func Fig10bc(p *tech.PDK, deltas []float64, opts ...exec.Option) ([]Fig10Row, er
 		return Fig10Row{
 			Delta: d, N3D: geo.N3D, N2DNew: geo.N2DNew, EDPBenefit: res.EDPBenefit,
 		}, nil
-	}, opts...)
+	})
 }
 
 // Obs8 reproduces the via-pitch study: EDP benefit vs β (Case 2), on
@@ -251,7 +278,12 @@ func Obs8(p *tech.PDK, betas []float64, opts ...exec.Option) ([]Fig10Row, error)
 	}
 	params := Params(a2d, a3d)
 	viasPerCell, ilvPitch, bitcell := p.RRAM.ViasPerCell, float64(p.ILVPitch), float64(p.BitcellArea2D())
-	return exec.Map(betas, func(_ context.Context, _ int, b float64) (Fig10Row, error) {
+	st := exec.Resolve(opts...)
+	if st.Label == "" {
+		st.Label = "core.obs8.point"
+	}
+	defer span(st, "core.obs8", obs.Int("points", len(betas)))()
+	return exec.MapWith(st, betas, func(_ context.Context, _ int, b float64) (Fig10Row, error) {
 		res, geo, err := analytic.Case2Benefit(params, am, loads, b,
 			viasPerCell, ilvPitch, bitcell)
 		if err != nil {
@@ -261,7 +293,7 @@ func Obs8(p *tech.PDK, betas []float64, opts ...exec.Option) ([]Fig10Row, error)
 			Delta: geo.Delta, Beta: b, N3D: geo.N3D, N2DNew: geo.N2DNew,
 			EDPBenefit: res.EDPBenefit,
 		}, nil
-	}, opts...)
+	})
 }
 
 // Fig10dRow is one interleaved-tier point.
@@ -296,7 +328,12 @@ func Fig10d(p *tech.PDK, ys []int, perTierPowerW float64, opts ...exec.Option) (
 		return nil, err
 	}
 	params := Params(a2d, a3d)
-	return exec.Map(ys, func(_ context.Context, _ int, y int) (Fig10dRow, error) {
+	st := exec.Resolve(opts...)
+	if st.Label == "" {
+		st.Label = "core.fig10d.point"
+	}
+	defer span(st, "core.fig10d", obs.Int("points", len(ys)))()
+	return exec.MapWith(st, ys, func(_ context.Context, _ int, y int) (Fig10dRow, error) {
 		res, n, err := analytic.Case3Benefit(params, am, loads, y)
 		if err != nil {
 			return Fig10dRow{}, err
@@ -311,14 +348,15 @@ func Fig10d(p *tech.PDK, ys []int, perTierPowerW float64, opts ...exec.Option) (
 			TempRiseK: stack.TempRiseK(),
 			Thermal:   stack.Feasible(p.MaxTempRiseK),
 		}, nil
-	}, opts...)
+	})
 }
 
 // Obs3 reproduces Observation 3: replacing the 2D baseline's RRAM with a
 // 2× less dense SRAM grows the baseline, so the iso-footprint M3D design
 // hosts ~2× the CSs and the EDP benefit rises (8→16 CSs, 5.7×→6.8× in the
 // paper).
-func Obs3(p *tech.PDK) (rramBased, sramBased BenefitRow, err error) {
+func Obs3(p *tech.PDK, opts ...exec.Option) (rramBased, sramBased BenefitRow, err error) {
+	defer span(exec.Resolve(opts...), "core.obs3")()
 	a2d, a3d, n, err := CaseStudyPair(p)
 	if err != nil {
 		return BenefitRow{}, BenefitRow{}, err

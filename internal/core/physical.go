@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"m3d/internal/exec"
 	"m3d/internal/flow"
 	"m3d/internal/tech"
 )
@@ -25,8 +26,9 @@ type PhysicalComparison struct {
 // RunCaseStudyFlow executes the Sec. II physical-design case study through
 // the full RTL-to-GDS flow at the given scale (PEs per CS side; 16 is the
 // paper's size, smaller runs exercise the identical flow faster) and CS
-// count.
-func RunCaseStudyFlow(p *tech.PDK, arraySide, numCS int, rramBits int64) (*PhysicalComparison, error) {
+// count. Options (tracing, metrics, context, workers) thread through to
+// both flow runs.
+func RunCaseStudyFlow(p *tech.PDK, arraySide, numCS int, rramBits int64, opts ...exec.Option) (*PhysicalComparison, error) {
 	if arraySide <= 0 {
 		arraySide = 4
 	}
@@ -40,7 +42,9 @@ func RunCaseStudyFlow(p *tech.PDK, arraySide, numCS int, rramBits int64) (*Physi
 		GlobalSRAMBits: 64 << 10,
 		Seed:           1,
 	}
-	twoD, m3d, err := flow.CaseStudy(p, spec, numCS)
+	st := exec.Resolve(opts...)
+	defer span(st, "core.casestudy")()
+	twoD, m3d, err := flow.CaseStudy(p, spec, numCS, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -74,8 +78,8 @@ type FoldingComparison struct {
 }
 
 // RunFoldingStudy runs the folding-only baseline (logic-dominated config so
-// the footprint effect is visible).
-func RunFoldingStudy(p *tech.PDK, arraySide int) (*FoldingComparison, error) {
+// the footprint effect is visible). Options thread through to both runs.
+func RunFoldingStudy(p *tech.PDK, arraySide int, opts ...exec.Option) (*FoldingComparison, error) {
 	if arraySide <= 0 {
 		arraySide = 3
 	}
@@ -86,12 +90,14 @@ func RunFoldingStudy(p *tech.PDK, arraySide int) (*FoldingComparison, error) {
 		GlobalSRAMBits: 16 << 10,
 		Seed:           1,
 	}
-	flat, err := flow.Run(p, spec)
+	st := exec.Resolve(opts...)
+	defer span(st, "core.folding")()
+	flat, err := flow.Run(p, spec, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("core: flat flow: %w", err)
 	}
 	spec.FoldLogic = true
-	folded, err := flow.Run(p, spec)
+	folded, err := flow.Run(p, spec, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("core: folded flow: %w", err)
 	}

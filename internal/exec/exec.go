@@ -5,21 +5,38 @@
 // deduplicating repeated evaluations (identical flow specs, repeated
 // (Params, Load) points).
 //
+// It also owns the library's shared run-option surface: every public
+// entry point that fans out (flow.Run/RunMany, analytic.SweepBandwidthCS,
+// the core experiments) accepts the same Option type, so pool width
+// (WithWorkers), cancellation (WithContext), tracing (WithTracer),
+// metrics (WithMetrics) and caller-defined values (WithValue) thread
+// uniformly through the whole stack. When a tracer or registry is
+// attached, Map emits one span per task, maintains pool-width and
+// queue-depth gauges, and counts tasks and errors; the memo cache counts
+// hits and misses. With neither attached the instrumentation is skipped
+// entirely (nil checks only).
+//
 // Determinism contract: for a fixed input slice and a pure evaluation
 // function, Map returns bit-identical results at every pool width — each
 // item's result is written to its own input index, so scheduling order
 // never reorders output. Error contract: the error returned is the one
 // from the lowest failing input index whose evaluation ran; once any item
 // fails, in-flight items finish but no new items are dispatched.
+// Cancellation surfaces as an error matching both errs.ErrCanceled
+// (m3d.ErrCanceled) and the underlying context error.
 package exec
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"m3d/internal/errs"
+	"m3d/internal/obs"
 )
 
 // WorkersEnv is the environment variable that overrides the default pool
@@ -38,64 +55,176 @@ func DefaultWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-type config struct {
-	workers int
-	ctx     context.Context
+// Settings is the resolved configuration of one run: pool width, context,
+// observability sinks, and caller-defined values (see WithValue). Build
+// one with Resolve; packages layered on exec (flow, analytic, core) use
+// it to share a single option surface.
+type Settings struct {
+	// Workers is the pool width (≥ 1 after Resolve).
+	Workers int
+	// Ctx is the cancellation context (never nil after Resolve).
+	Ctx context.Context
+	// Tracer receives spans; nil disables tracing.
+	Tracer obs.Tracer
+	// Metrics receives counters/gauges/histograms; nil disables them.
+	Metrics *obs.Registry
+	// Label names Map's per-task spans ("exec.task" when empty).
+	Label string
+
+	vals map[any]any
 }
 
-// Option configures one Map/Grid call.
-type Option func(*config)
+// SetValue attaches a caller-defined key/value (keys follow the
+// context.Value convention: unexported struct types).
+func (s *Settings) SetValue(key, val any) {
+	if s.vals == nil {
+		s.vals = make(map[any]any)
+	}
+	s.vals[key] = val
+}
+
+// Value returns the value attached under key, or nil.
+func (s *Settings) Value(key any) any {
+	if s == nil {
+		return nil
+	}
+	return s.vals[key]
+}
+
+// instrument returns ctx carrying the settings' tracer and registry so
+// nested instrumented code (flow stages under Map) can find them.
+func (s *Settings) instrument(ctx context.Context) context.Context {
+	ctx = obs.ContextWithTracer(ctx, s.Tracer)
+	ctx = obs.ContextWithMetrics(ctx, s.Metrics)
+	return ctx
+}
+
+// Option configures one run (a Map/Grid call, a flow run, a sweep, an
+// experiment). This is the shared option type re-exported as m3d.Option.
+type Option func(*Settings)
 
 // WithWorkers bounds the pool at n concurrent evaluations. n ≤ 0 selects
 // DefaultWorkers(); n = 1 is the serial path (still cancellable).
 func WithWorkers(n int) Option {
-	return func(c *config) { c.workers = n }
+	return func(s *Settings) { s.Workers = n }
 }
 
 // WithContext attaches a cancellation context: when ctx is cancelled, no
 // new items are dispatched, in-flight items observe the cancellation via
-// the context passed to fn, and Map returns ctx.Err().
+// the context passed to fn, and Map returns an error matching both
+// errs.ErrCanceled and ctx.Err().
 func WithContext(ctx context.Context) Option {
-	return func(c *config) {
+	return func(s *Settings) {
 		if ctx != nil {
-			c.ctx = ctx
+			s.Ctx = ctx
 		}
 	}
 }
 
-func newConfig(opts []Option) config {
-	c := config{ctx: context.Background()}
+// WithTracer attaches a span sink (obs.Recorder, obs.JSONL, ...). nil
+// leaves tracing disabled.
+func WithTracer(t obs.Tracer) Option {
+	return func(s *Settings) { s.Tracer = t }
+}
+
+// WithMetrics attaches a metrics registry. nil leaves metrics disabled.
+func WithMetrics(r *obs.Registry) Option {
+	return func(s *Settings) { s.Metrics = r }
+}
+
+// WithLabel names the per-task spans of an instrumented Map call.
+func WithLabel(name string) Option {
+	return func(s *Settings) { s.Label = name }
+}
+
+// WithValue attaches a caller-defined key/value to the settings; layered
+// packages use this to extend the shared option surface (e.g. flow's
+// export-sink options) without exec knowing their types.
+func WithValue(key, val any) Option {
+	return func(s *Settings) { s.SetValue(key, val) }
+}
+
+// Resolve applies opts over defaults: background context, DefaultWorkers
+// width, and — when no explicit sink was given — the tracer/registry
+// carried by the resolved context (so context-first callers need no
+// extra options).
+func Resolve(opts ...Option) *Settings {
+	s := &Settings{Ctx: context.Background()}
 	for _, o := range opts {
-		o(&c)
+		if o != nil {
+			o(s)
+		}
 	}
-	if c.workers <= 0 {
-		c.workers = DefaultWorkers()
+	if s.Workers <= 0 {
+		s.Workers = DefaultWorkers()
 	}
-	return c
+	if s.Tracer == nil {
+		s.Tracer = obs.TracerFrom(s.Ctx)
+	}
+	if s.Metrics == nil {
+		s.Metrics = obs.MetricsFrom(s.Ctx)
+	}
+	return s
+}
+
+// canceled wraps a context error so it matches both errs.ErrCanceled and
+// the original context sentinel.
+func canceled(err error) error {
+	return fmt.Errorf("exec: %w: %w", errs.ErrCanceled, err)
 }
 
 // Map evaluates fn over every item with a bounded worker pool and returns
-// the results in input order. fn receives the cancellation context, the
-// item's input index, and the item. The first error (lowest failing input
-// index) aborts dispatch and is returned with a nil result slice.
+// the results in input order. fn receives the cancellation context (which
+// carries the settings' tracer/registry when set), the item's input
+// index, and the item. The first error (lowest failing input index)
+// aborts dispatch and is returned with a nil result slice.
 func Map[T, R any](items []T, fn func(ctx context.Context, idx int, item T) (R, error), opts ...Option) ([]R, error) {
-	cfg := newConfig(opts)
+	return MapWith(Resolve(opts...), items, fn)
+}
+
+// MapWith is Map with pre-resolved settings; layered packages that need
+// the settings themselves (memo counters, sink options) resolve once and
+// share.
+func MapWith[T, R any](st *Settings, items []T, fn func(ctx context.Context, idx int, item T) (R, error)) ([]R, error) {
 	n := len(items)
 	results := make([]R, n)
 	if n == 0 {
-		return results, cfg.ctx.Err()
+		if err := st.Ctx.Err(); err != nil {
+			return results, canceled(err)
+		}
+		return results, nil
 	}
-	workers := cfg.workers
+	workers := st.Workers
 	if workers > n {
 		workers = n
 	}
+	tasks := st.Metrics.Counter("exec.tasks")
+	taskErrs := st.Metrics.Counter("exec.task.errors")
+	st.Metrics.Gauge("exec.pool.width").Set(int64(workers))
+	queueDepth := st.Metrics.Gauge("exec.queue.depth")
+	queueDepth.Set(int64(n))
+	label := st.Label
+	if label == "" {
+		label = "exec.task"
+	}
 	if workers == 1 {
+		ctx := st.instrument(st.Ctx)
 		for i, item := range items {
-			if err := cfg.ctx.Err(); err != nil {
-				return nil, err
+			if err := st.Ctx.Err(); err != nil {
+				return nil, canceled(err)
 			}
-			r, err := fn(cfg.ctx, i, item)
+			queueDepth.Set(int64(n - i - 1))
+			var sp obs.Span
+			if st.Tracer != nil {
+				sp = st.Tracer.StartSpan(label, obs.Int("idx", i))
+			}
+			tasks.Add(1)
+			r, err := fn(ctx, i, item)
+			if sp != nil {
+				sp.End()
+			}
 			if err != nil {
+				taskErrs.Add(1)
 				return nil, err
 			}
 			results[i] = r
@@ -103,9 +232,10 @@ func Map[T, R any](items []T, fn func(ctx context.Context, idx int, item T) (R, 
 		return results, nil
 	}
 
-	ctx, cancel := context.WithCancel(cfg.ctx)
+	ctx, cancel := context.WithCancel(st.Ctx)
 	defer cancel()
-	errs := make([]error, n)
+	fnCtx := st.instrument(ctx)
+	errors := make([]error, n)
 	var next atomic.Int64
 	// Contiguous chunk dispatch amortizes the counter for cheap per-point
 	// sweeps; result placement by index keeps ordering deterministic.
@@ -127,13 +257,23 @@ func Map[T, R any](items []T, fn func(ctx context.Context, idx int, item T) (R, 
 				if hi > n {
 					hi = n
 				}
+				queueDepth.Set(int64(n - hi))
 				for i := lo; i < hi; i++ {
 					if ctx.Err() != nil {
 						return
 					}
-					r, err := fn(ctx, i, items[i])
+					var sp obs.Span
+					if st.Tracer != nil {
+						sp = st.Tracer.StartSpan(label, obs.Int("idx", i))
+					}
+					tasks.Add(1)
+					r, err := fn(fnCtx, i, items[i])
+					if sp != nil {
+						sp.End()
+					}
 					if err != nil {
-						errs[i] = err
+						taskErrs.Add(1)
+						errors[i] = err
 						cancel()
 						return
 					}
@@ -143,13 +283,13 @@ func Map[T, R any](items []T, fn func(ctx context.Context, idx int, item T) (R, 
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for _, err := range errors {
 		if err != nil {
 			return nil, err
 		}
 	}
-	if err := cfg.ctx.Err(); err != nil {
-		return nil, err
+	if err := st.Ctx.Err(); err != nil {
+		return nil, canceled(err)
 	}
 	return results, nil
 }
@@ -158,14 +298,19 @@ func Map[T, R any](items []T, fn func(ctx context.Context, idx int, item T) (R, 
 // results flattened row-major (index i*len(bs)+j), matching the nested
 // serial loop `for a { for b { ... } }`.
 func Grid[A, B, R any](as []A, bs []B, fn func(ctx context.Context, a A, b B) (R, error), opts ...Option) ([]R, error) {
+	return GridWith(Resolve(opts...), as, bs, fn)
+}
+
+// GridWith is Grid with pre-resolved settings (see MapWith).
+func GridWith[A, B, R any](st *Settings, as []A, bs []B, fn func(ctx context.Context, a A, b B) (R, error)) ([]R, error) {
 	nb := len(bs)
 	idx := make([]int, len(as)*nb)
 	for i := range idx {
 		idx[i] = i
 	}
-	return Map(idx, func(ctx context.Context, _ int, k int) (R, error) {
+	return MapWith(st, idx, func(ctx context.Context, _ int, k int) (R, error) {
 		return fn(ctx, as[k/nb], bs[k%nb])
-	}, opts...)
+	})
 }
 
 // Cache is a concurrency-safe memoization table with single-flight
@@ -187,6 +332,14 @@ type cacheEntry[V any] struct {
 // Do returns the memoized value for key, computing it with fn on first
 // use. Errors are memoized too: a failed computation is not retried.
 func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	return c.DoMetered(key, nil, nil, fn)
+}
+
+// DoMetered is Do with hit/miss counters (nil counters are no-ops). The
+// caller that interns the key counts one miss; every other caller —
+// concurrent single-flight waiters included — counts one hit, so at any
+// pool width misses equals the number of distinct keys.
+func (c *Cache[K, V]) DoMetered(key K, hits, misses *obs.Counter, fn func() (V, error)) (V, error) {
 	c.mu.Lock()
 	if c.m == nil {
 		c.m = make(map[K]*cacheEntry[V])
@@ -197,6 +350,11 @@ func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 		c.m[key] = e
 	}
 	c.mu.Unlock()
+	if ok {
+		hits.Add(1)
+	} else {
+		misses.Add(1)
+	}
 	e.once.Do(func() { e.val, e.err = fn() })
 	return e.val, e.err
 }

@@ -5,31 +5,56 @@
 // analysis, and GDS export. Running the flow twice — once with 2D-style
 // banks (Si access FETs) and once with M3D-style banks on the same die —
 // reproduces the paper's Sec. II physical-design case study.
+//
+// API shape: RunContext/RunManyContext are the context-first entry
+// points; Run/RunMany are thin wrappers over context.Background(). All
+// of them accept the shared exec.Option surface (m3d.Option):
+// WithWorkers, WithContext, WithTracer, WithMetrics, plus this package's
+// export-sink options (WithGDS, WithVerilog, WithDEF, WithSinksAt).
+// When a tracer is attached, every run emits one "flow.<stage>" span per
+// stage — synth, floorplan, place, cts, route, sta, power, gds (skipped
+// stages carry skipped="true") — under a "flow.run" root span; a metrics
+// registry additionally collects per-stage wall-time histograms
+// ("flow.stage.seconds.<stage>").
+//
+// Error contract: invalid specs fail with an error matching
+// errs.ErrBadSpec; cancellation surfaces as errs.ErrCanceled (also
+// matching the context sentinel); the optional WithThermalCheck sign-off
+// fails with errs.ErrThermalLimit.
 package flow
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"m3d/internal/cell"
 	"m3d/internal/cts"
 	"m3d/internal/def"
 	"m3d/internal/drc"
+	"m3d/internal/errs"
+	"m3d/internal/exec"
 	"m3d/internal/floorplan"
 	"m3d/internal/gds"
 	"m3d/internal/geom"
 	"m3d/internal/irdrop"
 	"m3d/internal/macro"
+	"m3d/internal/netlist"
+	"m3d/internal/obs"
 	"m3d/internal/place"
 	"m3d/internal/power"
 	"m3d/internal/route"
 	"m3d/internal/sta"
 	"m3d/internal/tech"
+	"m3d/internal/thermal"
 	"m3d/internal/verilog"
 )
 
-// SoCSpec describes one accelerator SoC implementation run.
+// SoCSpec describes one accelerator SoC implementation run. A spec is a
+// pure value: two equal specs describe the same design, which is what
+// lets RunMany memoize repeated configurations.
 type SoCSpec struct {
 	// Style selects 2D (Si access FETs under RRAM) or M3D (CNFET access
 	// FETs above RRAM).
@@ -51,11 +76,20 @@ type SoCSpec struct {
 	// for an iso-footprint comparison). Empty = size automatically.
 	Die geom.Rect
 	// WriteGDS streams the final layout to this writer when non-nil.
+	//
+	// Deprecated: pass WithGDS (or WithSinks/WithSinksAt) to the run call
+	// instead; writer fields make the spec impure and are only kept as a
+	// compatibility shim. They are stripped before the spec is used as a
+	// memo key.
 	WriteGDS io.Writer
 	// WriteVerilog streams the synthesized structural netlist when
 	// non-nil.
+	//
+	// Deprecated: pass WithVerilog to the run call instead.
 	WriteVerilog io.Writer
 	// WriteDEF streams the final placement when non-nil.
+	//
+	// Deprecated: pass WithDEF to the run call instead.
 	WriteDEF io.Writer
 	// FoldLogic enables the refs [3-4]-style M3D folding flow: logic cells
 	// are min-cut partitioned between the Si and CNFET tiers (CNFET cells
@@ -105,6 +139,151 @@ func (s SoCSpec) withDefaults() SoCSpec {
 	return s
 }
 
+// pure returns the spec with the deprecated writer fields stripped — the
+// memoizable value identity of the design.
+func (s SoCSpec) pure() SoCSpec {
+	s.WriteGDS, s.WriteVerilog, s.WriteDEF = nil, nil, nil
+	return s
+}
+
+// Validate checks the spec (after default filling). Violations return an
+// error matching errs.ErrBadSpec.
+func (s SoCSpec) Validate() error {
+	s = s.withDefaults()
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("flow: %w: %s", errs.ErrBadSpec, fmt.Sprintf(format, args...))
+	}
+	switch {
+	case s.NumCS < 1:
+		return bad("NumCS %d must be ≥ 1", s.NumCS)
+	case s.ArrayRows < 1 || s.ArrayCols < 1:
+		return bad("array %dx%d must be ≥ 1x1", s.ArrayRows, s.ArrayCols)
+	case s.ActBits < 1 || s.WeightBits < 1 || s.AccBits < 1:
+		return bad("bit widths act=%d weight=%d acc=%d must be ≥ 1", s.ActBits, s.WeightBits, s.AccBits)
+	case s.RRAMCapBits < 0:
+		return bad("RRAMCapBits %d must be ≥ 0", s.RRAMCapBits)
+	case s.Banks < 1:
+		return bad("Banks %d must be ≥ 1", s.Banks)
+	case s.BankWordBits < 1:
+		return bad("BankWordBits %d must be ≥ 1", s.BankWordBits)
+	case s.GlobalSRAMBits < 0:
+		return bad("GlobalSRAMBits %d must be ≥ 0", s.GlobalSRAMBits)
+	case s.TargetClockHz <= 0:
+		return bad("TargetClockHz %g must be positive", s.TargetClockHz)
+	}
+	return nil
+}
+
+// Sinks bundles the flow's export writers. Nil writers skip the export.
+type Sinks struct {
+	GDS, Verilog, DEF io.Writer
+}
+
+func (s Sinks) empty() bool { return s.GDS == nil && s.Verilog == nil && s.DEF == nil }
+
+// merge overlays over on s: non-nil writers in over win.
+func (s Sinks) merge(over Sinks) Sinks {
+	if over.GDS != nil {
+		s.GDS = over.GDS
+	}
+	if over.Verilog != nil {
+		s.Verilog = over.Verilog
+	}
+	if over.DEF != nil {
+		s.DEF = over.DEF
+	}
+	return s
+}
+
+func teeWriter(a, b io.Writer) io.Writer {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return io.MultiWriter(a, b)
+	}
+}
+
+// tee combines two sink sets so each export reaches both writers — used
+// where a spec's deprecated writer fields meet the option sinks, so
+// neither silently loses the export.
+func (s Sinks) tee(o Sinks) Sinks {
+	return Sinks{
+		GDS:     teeWriter(s.GDS, o.GDS),
+		Verilog: teeWriter(s.Verilog, o.Verilog),
+		DEF:     teeWriter(s.DEF, o.DEF),
+	}
+}
+
+type sinksKey struct{}
+
+type sinksAtKey struct{}
+
+type thermalKey struct{}
+
+func sinksOf(st *exec.Settings) Sinks {
+	s, _ := st.Value(sinksKey{}).(Sinks)
+	return s
+}
+
+func mutateSinks(st *exec.Settings, f func(*Sinks)) {
+	s, _ := st.Value(sinksKey{}).(Sinks)
+	f(&s)
+	st.SetValue(sinksKey{}, s)
+}
+
+// WithSinks attaches export writers to a Run/RunContext call (in
+// RunMany it applies to spec index 0).
+func WithSinks(s Sinks) exec.Option {
+	return func(st *exec.Settings) {
+		mutateSinks(st, func(dst *Sinks) { *dst = dst.merge(s) })
+	}
+}
+
+// WithGDS streams the final layout of the run (RunMany: of spec 0) to w.
+func WithGDS(w io.Writer) exec.Option {
+	return func(st *exec.Settings) { mutateSinks(st, func(s *Sinks) { s.GDS = w }) }
+}
+
+// WithVerilog streams the synthesized structural netlist to w.
+func WithVerilog(w io.Writer) exec.Option {
+	return func(st *exec.Settings) { mutateSinks(st, func(s *Sinks) { s.Verilog = w }) }
+}
+
+// WithDEF streams the final placement DEF to w.
+func WithDEF(w io.Writer) exec.Option {
+	return func(st *exec.Settings) { mutateSinks(st, func(s *Sinks) { s.DEF = w }) }
+}
+
+// WithSinksAt attaches export writers to the i-th spec of a
+// RunMany/RunManyContext call. Because specs stay pure values, the run
+// itself is still memoized; only the exports are per-index side effects.
+func WithSinksAt(i int, s Sinks) exec.Option {
+	return func(st *exec.Settings) {
+		m, _ := st.Value(sinksAtKey{}).(map[int]Sinks)
+		if m == nil {
+			m = make(map[int]Sinks)
+			st.SetValue(sinksAtKey{}, m)
+		}
+		m[i] = m[i].merge(s)
+	}
+}
+
+func sinksAt(st *exec.Settings) map[int]Sinks {
+	m, _ := st.Value(sinksAtKey{}).(map[int]Sinks)
+	return m
+}
+
+// WithThermalCheck adds an Eq. 17 thermal sign-off after power analysis:
+// the run fails with an error matching errs.ErrThermalLimit when the
+// stack's temperature rise exceeds maxRiseK (≤ 0 selects the PDK's
+// MaxTempRiseK budget).
+func WithThermalCheck(maxRiseK float64) exec.Option {
+	return func(st *exec.Settings) { st.SetValue(thermalKey{}, maxRiseK) }
+}
+
 // AreaReport carries the measured area decomposition (feeds Eq. 2).
 type AreaReport struct {
 	// CSNM2 is the standard-cell area of one computing sub-system.
@@ -117,7 +296,11 @@ type AreaReport struct {
 	FreeSiNM2 int64
 }
 
-// Result is the flow output for one SoC.
+// Result is the flow output for one SoC. It retains the design database
+// (netlist, routes, PDK), so exports can be replayed any time via
+// WriteGDS/WriteVerilog/WriteDEF — which is how RunMany shares one
+// memoized Result among duplicate specs while still filling every
+// caller's sinks.
 type Result struct {
 	Spec SoCSpec
 	Die  geom.Rect
@@ -145,6 +328,11 @@ type Result struct {
 
 	Power *power.Breakdown
 	Area  AreaReport
+
+	// Design database handles for export replay (read-only after the run).
+	pdk    *tech.PDK
+	nl     *netlist.Netlist
+	routes *route.Result
 }
 
 // FootprintMM2 returns the die area in mm².
@@ -152,29 +340,189 @@ func (r *Result) FootprintMM2() float64 {
 	return float64(r.Die.Area()) / 1e12
 }
 
-// Run executes the full flow for one SoC spec.
-func Run(p *tech.PDK, spec SoCSpec) (*Result, error) {
+// WriteVerilog streams the synthesized structural netlist to w.
+func (r *Result) WriteVerilog(w io.Writer) error {
+	if r == nil || r.nl == nil {
+		return fmt.Errorf("flow: result holds no netlist")
+	}
+	if err := verilog.Write(w, r.nl); err != nil {
+		return fmt.Errorf("flow: verilog: %w", err)
+	}
+	return nil
+}
+
+// WriteDEF streams the final placement DEF to w.
+func (r *Result) WriteDEF(w io.Writer) error {
+	if r == nil || r.nl == nil {
+		return fmt.Errorf("flow: result holds no netlist")
+	}
+	if err := def.Write(w, r.nl, r.Die); err != nil {
+		return fmt.Errorf("flow: def: %w", err)
+	}
+	return nil
+}
+
+// WriteGDS streams the final layout to w.
+func (r *Result) WriteGDS(w io.Writer) error {
+	if r == nil || r.nl == nil || r.routes == nil {
+		return fmt.Errorf("flow: result holds no routed design")
+	}
+	lib, err := gds.FromDesign(r.pdk, r.nl, r.Die, r.routes)
+	if err != nil {
+		return fmt.Errorf("flow: gds: %w", err)
+	}
+	if err := lib.Encode(w); err != nil {
+		return fmt.Errorf("flow: gds encode: %w", err)
+	}
+	return nil
+}
+
+// export writes every non-nil sink.
+func (r *Result) export(s Sinks) error {
+	if s.Verilog != nil {
+		if err := r.WriteVerilog(s.Verilog); err != nil {
+			return err
+		}
+	}
+	if s.DEF != nil {
+		if err := r.WriteDEF(s.DEF); err != nil {
+			return err
+		}
+	}
+	if s.GDS != nil {
+		if err := r.WriteGDS(s.GDS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stageTrace instruments the flow stages: one "flow.<stage>" span per
+// stage on the tracer and one wall-time histogram sample per stage on
+// the registry. With neither attached every call is a nil check.
+type stageTrace struct {
+	tr   obs.Tracer
+	reg  *obs.Registry
+	base []obs.Attr
+}
+
+// start opens a stage; the returned func closes it.
+func (t stageTrace) start(name string) func() {
+	if t.tr == nil && t.reg == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	var sp obs.Span
+	if t.tr != nil {
+		sp = t.tr.StartSpan("flow."+name, t.base...)
+	}
+	return func() {
+		if sp != nil {
+			sp.End()
+		}
+		t.reg.Histogram("flow.stage.seconds." + name).Observe(time.Since(begin).Seconds())
+	}
+}
+
+// skip emits a zero-length span marking a stage that did not run, so a
+// trace always carries the full stage taxonomy per variant.
+func (t stageTrace) skip(name string) {
+	if t.tr == nil {
+		return
+	}
+	attrs := append(append([]obs.Attr(nil), t.base...), obs.Bool("skipped", true))
+	t.tr.StartSpan("flow."+name, attrs...).End()
+}
+
+// checkCtx converts a cancelled context into the flow's error contract.
+func checkCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("flow: %w: %w", errs.ErrCanceled, err)
+	}
+	return nil
+}
+
+// resolve builds run settings with an explicit context override (the
+// context-first entry points win over a WithContext option).
+func resolve(ctx context.Context, opts []exec.Option) *exec.Settings {
+	st := exec.Resolve(opts...)
+	if ctx != nil {
+		st.Ctx = ctx
+		if st.Tracer == nil {
+			st.Tracer = obs.TracerFrom(ctx)
+		}
+		if st.Metrics == nil {
+			st.Metrics = obs.MetricsFrom(ctx)
+		}
+	}
+	return st
+}
+
+// Run executes the full flow for one SoC spec. It is RunContext over
+// context.Background(); cancellation can still be supplied via
+// exec.WithContext.
+func Run(p *tech.PDK, spec SoCSpec, opts ...exec.Option) (*Result, error) {
+	st := exec.Resolve(opts...)
+	return runWith(st.Ctx, st, p, spec)
+}
+
+// RunContext executes the full flow for one SoC spec under ctx: the run
+// is abandoned between stages once ctx is cancelled (error matches
+// errs.ErrCanceled), and any tracer/metrics attached to ctx (or passed
+// as options) instrument the stages.
+func RunContext(ctx context.Context, p *tech.PDK, spec SoCSpec, opts ...exec.Option) (*Result, error) {
+	st := resolve(ctx, opts)
+	return runWith(st.Ctx, st, p, spec)
+}
+
+// runWith is the flow body. Sinks come from the settings (options)
+// merged over the spec's deprecated writer fields; the spec used for all
+// computation is pure.
+func runWith(ctx context.Context, st *exec.Settings, p *tech.PDK, spec SoCSpec) (*Result, error) {
 	spec = spec.withDefaults()
+	sinks := Sinks{GDS: spec.WriteGDS, Verilog: spec.WriteVerilog, DEF: spec.WriteDEF}.tee(sinksOf(st))
+	spec = spec.pure()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("flow: invalid PDK: %w", err)
 	}
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
+
+	tr := stageTrace{tr: st.Tracer, reg: st.Metrics, base: []obs.Attr{
+		obs.String("style", spec.Style.String()),
+		obs.Int("cs", spec.NumCS),
+		obs.String("tier", tech.TierSiCMOS.String()),
+	}}
+	var root obs.Span
+	if st.Tracer != nil {
+		root = st.Tracer.StartSpan("flow.run", tr.base...)
+		defer root.End()
+	}
+
 	siLib, err := cell.NewLibrary(p, tech.TierSiCMOS)
 	if err != nil {
 		return nil, err
 	}
 
-	// 1. Synthesis.
+	// 1. Synthesis (plus the optional logic folding: tier assignment and
+	// CNFET re-mapping are part of netlist construction).
+	endSynth := tr.start("synth")
 	parts, err := buildSoC(p, siLib, spec)
 	if err != nil {
+		endSynth()
 		return nil, err
 	}
 	nl := parts.nl
 
-	// 1b. Optional logic folding (tier assignment + CNFET re-mapping).
 	var cnLib *cell.Library
 	if spec.FoldLogic {
 		cnLib, err = cell.NewLibrary(p, tech.TierCNFET)
 		if err != nil {
+			endSynth()
 			return nil, err
 		}
 		var total int64
@@ -186,6 +534,7 @@ func Run(p *tech.PDK, spec SoCSpec) (*Result, error) {
 			tech.TierCNFET:  total * 6 / 10,
 		}
 		if _, err := place.AssignTiers(nl, p, place.PartitionOptions{CapNM2: caps, Seed: spec.Seed}); err != nil {
+			endSynth()
 			return nil, fmt.Errorf("flow: tier assignment: %w", err)
 		}
 		for _, c := range nl.MovableCells() {
@@ -194,28 +543,34 @@ func Run(p *tech.PDK, spec SoCSpec) (*Result, error) {
 			}
 		}
 	}
+	endSynth()
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
 
-	// 2+3. Floorplan and placement. An auto-sized die is grown and retried
-	// when shelf-packing fragmentation or blockage-constrained placement
-	// overflows it; a caller-forced die (iso-footprint comparisons) fails
-	// hard instead.
+	// 2. Floorplan: die sizing plus the pack/global-place retry loop. An
+	// auto-sized die is grown and retried when shelf-packing fragmentation
+	// or blockage-constrained placement overflows it; a caller-forced die
+	// (iso-footprint comparisons) fails hard instead.
+	endFloorplan := tr.start("floorplan")
 	die := spec.Die
 	forced := !die.Empty()
 	if !forced {
 		die, err = floorplan.SizeDie(p, nl, 0.55, 1.0)
 		if err != nil {
+			endFloorplan()
 			return nil, err
 		}
 		if spec.FoldLogic {
 			// Folding splits the logic over two tiers (~50% logic footprint
 			// reduction, refs [3-4]) but hard macros keep their area: size
 			// the die for half the cell area plus the macros.
-			st := nl.ComputeStats(p)
+			stc := nl.ComputeStats(p)
 			var cellArea int64
-			for _, a := range st.CellAreaNM2 {
+			for _, a := range stc.CellAreaNM2 {
 				cellArea += a
 			}
-			total := float64(cellArea)/2/0.55 + float64(st.MacroAreaNM2)*1.15
+			total := float64(cellArea)/2/0.55 + float64(stc.MacroAreaNM2)*1.15
 			side := int64(math.Sqrt(total))
 			side = (side/p.RowHeight + 1) * p.RowHeight
 			die = geom.R(0, 0, side, side)
@@ -227,8 +582,13 @@ func Run(p *tech.PDK, spec SoCSpec) (*Result, error) {
 	}
 	var fp *floorplan.Floorplan
 	for try := 0; ; try++ {
+		if err := checkCtx(ctx); err != nil {
+			endFloorplan()
+			return nil, err
+		}
 		fp, err = floorplan.New(p, die)
 		if err != nil {
+			endFloorplan()
 			return nil, err
 		}
 		if err = fp.PackMacros3D(nl.MacroInstances()); err == nil {
@@ -242,44 +602,67 @@ func Run(p *tech.PDK, spec SoCSpec) (*Result, error) {
 			}
 		}
 		if forced || try >= 6 {
+			endFloorplan()
 			return nil, fmt.Errorf("flow: floorplan/place on die %v: %w", die, err)
 		}
 		die = geom.R(die.Lo.X, die.Lo.Y, die.Lo.X+die.W()*115/100, die.Lo.Y+die.H()*115/100)
 	}
-	// Detailed-placement refinement (annealed same-footprint swaps).
+	endFloorplan()
+
+	// 3. Detailed-placement refinement (annealed same-footprint swaps)
+	// and legality sign-off.
+	endPlace := tr.start("place")
 	for _, tier := range tiers {
 		if _, err := place.Refine(fp, nl, tier, place.RefineOptions{Seed: spec.Seed}); err != nil {
+			endPlace()
 			return nil, fmt.Errorf("flow: refine: %w", err)
 		}
 	}
 	for _, tier := range tiers {
 		if err := place.CheckLegal(fp, nl, tier); err != nil {
+			endPlace()
 			return nil, fmt.Errorf("flow: placement not legal: %w", err)
 		}
+	}
+	endPlace()
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
 	}
 
 	// 3b. Optional clock tree synthesis + re-legalization of the inserted
 	// buffers.
 	var ctsRep *cts.Report
 	if spec.RunCTS {
+		endCTS := tr.start("cts")
 		ctsRep, err = cts.Synthesize(p, nl, siLib, cts.Options{})
 		if err != nil {
+			endCTS()
 			return nil, fmt.Errorf("flow: cts: %w", err)
 		}
 		for _, tier := range tiers {
 			if err := place.Legalize(fp, nl, tier); err != nil {
+				endCTS()
 				return nil, fmt.Errorf("flow: post-CTS legalize: %w", err)
 			}
 		}
+		endCTS()
+	} else {
+		tr.skip("cts")
 	}
 
 	// 4. Global routing.
+	endRoute := tr.start("route")
 	routes, err := route.Route(fp, nl, route.Options{IncludeClock: spec.RunCTS})
+	endRoute()
 	if err != nil {
 		return nil, fmt.Errorf("flow: route: %w", err)
 	}
+	if err := checkCtx(ctx); err != nil {
+		return nil, err
+	}
 
 	// 5. Post-route optimization + STA.
+	endSTA := tr.start("sta")
 	wm := sta.NewWireModel(p, routes)
 	libs := map[tech.Tier]*cell.Library{tech.TierSiCMOS: siLib}
 	if cnLib != nil {
@@ -287,21 +670,42 @@ func Run(p *tech.PDK, spec SoCSpec) (*Result, error) {
 	}
 	opt, err := sta.OptimizeDrives(p, nl, wm, libs, 1/spec.TargetClockHz, 4)
 	if err != nil {
+		endSTA()
 		return nil, fmt.Errorf("flow: sta: %w", err)
 	}
 	hold, err := sta.AnalyzeHold(p, nl, wm)
+	endSTA()
 	if err != nil {
 		return nil, fmt.Errorf("flow: hold: %w", err)
 	}
 
 	// 6. Power analysis at the achieved frequency.
+	endPower := tr.start("power")
 	clock := spec.TargetClockHz
 	if !opt.Final.Met() && opt.Final.FmaxHz > 0 {
 		clock = opt.Final.FmaxHz
 	}
 	pw, err := power.Analyze(p, nl, wm, die, power.Options{ClockHz: clock})
+	endPower()
 	if err != nil {
 		return nil, fmt.Errorf("flow: power: %w", err)
+	}
+
+	// 6b. Optional Eq. 17 thermal sign-off: lower tier is the Si CMOS
+	// logic, the BEOL memory/CNFET tiers stack above it.
+	if v, ok := st.Value(thermalKey{}).(float64); ok {
+		budget := v
+		if budget <= 0 {
+			budget = p.MaxTempRiseK
+		}
+		stack := thermal.NewStack(p, []float64{
+			pw.ByTier[tech.TierSiCMOS],
+			pw.ByTier[tech.TierRRAM] + pw.ByTier[tech.TierCNFET],
+		})
+		if rise := stack.TempRiseK(); rise > budget {
+			return nil, fmt.Errorf("flow: temperature rise %.1f K exceeds %.1f K budget: %w",
+				rise, budget, errs.ErrThermalLimit)
+		}
 	}
 
 	// 7. Area decomposition for the analytical framework.
@@ -317,12 +721,12 @@ func Run(p *tech.PDK, spec SoCSpec) (*Result, error) {
 		FreeSiNM2: fp.FreeAreaNM2(tech.TierSiCMOS),
 	}
 
-	st := nl.ComputeStats(p)
+	stats := nl.ComputeStats(p)
 	res := &Result{
 		Spec:          spec,
 		Die:           die,
-		Cells:         st.Cells,
-		Macros:        st.Macros,
+		Cells:         stats.Cells,
+		Macros:        stats.Macros,
 		HPWL:          nl.TotalHPWL(),
 		RoutedWL:      routes.TotalWLdbu,
 		WLByLayer:     routes.WLByLayer,
@@ -337,16 +741,20 @@ func Run(p *tech.PDK, spec SoCSpec) (*Result, error) {
 		CTS:           ctsRep,
 		Power:         pw,
 		Area:          area,
+		pdk:           p,
+		nl:            nl,
+		routes:        routes,
 	}
 
-	// 6b. Power-grid IR drop at the operating point.
+	// 7b. Power-grid IR drop and full-chip DRC sign-off.
+	endSignoff := tr.start("signoff")
 	ir, err := irdrop.Analyze(p, die, pw.Density, irdrop.Options{})
 	if err != nil {
+		endSignoff()
 		return nil, fmt.Errorf("flow: irdrop: %w", err)
 	}
-
-	// 7b. Full-chip sign-off audit.
 	audit, err := drc.Audit(fp, nl, routes)
+	endSignoff()
 	if err != nil {
 		return nil, fmt.Errorf("flow: drc: %w", err)
 	}
@@ -354,23 +762,14 @@ func Run(p *tech.PDK, spec SoCSpec) (*Result, error) {
 	res.IRDrop = ir
 
 	// 8. Interchange exports.
-	if spec.WriteVerilog != nil {
-		if err := verilog.Write(spec.WriteVerilog, nl); err != nil {
-			return nil, fmt.Errorf("flow: verilog: %w", err)
-		}
-	}
-	if spec.WriteDEF != nil {
-		if err := def.Write(spec.WriteDEF, nl, die); err != nil {
-			return nil, fmt.Errorf("flow: def: %w", err)
-		}
-	}
-	if spec.WriteGDS != nil {
-		lib, err := gds.FromDesign(p, nl, die, routes)
+	if sinks.empty() {
+		tr.skip("gds")
+	} else {
+		endGDS := tr.start("gds")
+		err := res.export(sinks)
+		endGDS()
 		if err != nil {
-			return nil, fmt.Errorf("flow: gds: %w", err)
-		}
-		if err := lib.Encode(spec.WriteGDS); err != nil {
-			return nil, fmt.Errorf("flow: gds encode: %w", err)
+			return nil, err
 		}
 	}
 	return res, nil
@@ -379,15 +778,19 @@ func Run(p *tech.PDK, spec SoCSpec) (*Result, error) {
 // CaseStudy runs the paper's Sec. II comparison at the given scale: the 2D
 // baseline (1 CS, 2D-style banks) sized automatically, then the M3D design
 // (numCS CSs, M3D-style banks, numCS× banks) on the identical die —
-// iso-footprint, iso-on-chip-memory-capacity by construction.
-func CaseStudy(p *tech.PDK, scale SoCSpec, numCS int) (twoD, m3d *Result, err error) {
-	scale = scale.withDefaults()
+// iso-footprint, iso-on-chip-memory-capacity by construction. Options
+// (context, tracer, metrics) apply to both runs; export sinks are not
+// forwarded.
+func CaseStudy(p *tech.PDK, scale SoCSpec, numCS int, opts ...exec.Option) (twoD, m3d *Result, err error) {
+	st := exec.Resolve(opts...)
+	st.SetValue(sinksKey{}, Sinks{}) // sinks are per-run, not per-pair
+	scale = scale.withDefaults().pure()
 
 	spec2 := scale
 	spec2.Style = macro.Style2D
 	spec2.NumCS = 1
 	spec2.Banks = 1
-	twoD, err = Run(p, spec2)
+	twoD, err = runWith(st.Ctx, st, p, spec2)
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: 2D baseline: %w", err)
 	}
@@ -397,7 +800,7 @@ func CaseStudy(p *tech.PDK, scale SoCSpec, numCS int) (twoD, m3d *Result, err er
 	spec3.NumCS = numCS
 	spec3.Banks = numCS
 	spec3.Die = twoD.Die // iso-footprint
-	m3d, err = Run(p, spec3)
+	m3d, err = runWith(st.Ctx, st, p, spec3)
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: M3D design: %w", err)
 	}

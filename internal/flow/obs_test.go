@@ -1,0 +1,187 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"m3d/internal/errs"
+	"m3d/internal/exec"
+	"m3d/internal/obs"
+	"m3d/internal/tech"
+)
+
+// flowStageNames is the span taxonomy in End order: every stage of the
+// Fig. 4b flow, then the enclosing root span.
+var flowStageNames = []string{
+	"flow.synth", "flow.floorplan", "flow.place", "flow.cts", "flow.route",
+	"flow.sta", "flow.power", "flow.signoff", "flow.gds", "flow.run",
+}
+
+// TestRunFlowStageSpans asserts the tentpole's span contract: one span
+// per flow stage per run, in stage order, carrying the style/CS
+// attributes, with skipped stages present as zero-length spans — via the
+// context-first API with context-attached sinks.
+func TestRunFlowStageSpans(t *testing.T) {
+	p := tech.Default130()
+	rec := obs.NewRecorder()
+	reg := obs.NewRegistry()
+	ctx := obs.ContextWithTracer(context.Background(), rec)
+	ctx = obs.ContextWithMetrics(ctx, reg)
+
+	if _, err := RunContext(ctx, p, runManySpecs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Names(); !reflect.DeepEqual(got, flowStageNames) {
+		t.Fatalf("span sequence = %v\nwant %v", got, flowStageNames)
+	}
+	root := rec.Find("flow.run")[0]
+	if root.Attr("style") != "2D" || root.Attr("cs") != "1" {
+		t.Errorf("root attrs = %v", root.Attrs)
+	}
+	// No CTS and no export sinks in this spec: both stages must still
+	// appear, flagged skipped, with no work inside (sub-millisecond span).
+	for _, name := range []string{"flow.cts", "flow.gds"} {
+		sp := rec.Find(name)[0]
+		if sp.Attr("skipped") != "true" || sp.Dur() >= time.Millisecond {
+			t.Errorf("%s: skipped=%q dur=%v, want flagged near-zero span", name, sp.Attr("skipped"), sp.Dur())
+		}
+	}
+	// Executed stages feed their wall-time histograms.
+	for _, stage := range []string{"synth", "floorplan", "place", "route", "sta", "power", "signoff"} {
+		if n := reg.Histogram("flow.stage.seconds." + stage).Count(); n != 1 {
+			t.Errorf("flow.stage.seconds.%s count = %d, want 1", stage, n)
+		}
+	}
+	if n := reg.Histogram("flow.stage.seconds.cts").Count(); n != 0 {
+		t.Errorf("skipped cts recorded %d histogram samples", n)
+	}
+}
+
+// TestRunManyMemoCounters asserts the memo accounting contract at pool
+// widths 1, 2 and 8: misses == distinct specs and hits == duplicates,
+// independent of scheduling (the interner counts the miss; single-flight
+// waiters count hits).
+func TestRunManyMemoCounters(t *testing.T) {
+	p := tech.Default130()
+	a := runManySpecs()[0]
+	b := a
+	b.Seed = 7
+	specs := []SoCSpec{a, a, b, a} // 2 distinct, 2 duplicates
+
+	for _, width := range []int{1, 2, 8} {
+		reg := obs.NewRegistry()
+		if _, err := RunMany(p, specs, exec.WithWorkers(width), exec.WithMetrics(reg)); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		snap := reg.Snapshot()
+		if got := snap.Counters["flow.memo.misses"]; got != 2 {
+			t.Errorf("width %d: misses = %d, want 2", width, got)
+		}
+		if got := snap.Counters["flow.memo.hits"]; got != 2 {
+			t.Errorf("width %d: hits = %d, want 2", width, got)
+		}
+		if got := snap.Counters["exec.tasks"]; got != int64(len(specs)) {
+			t.Errorf("width %d: exec.tasks = %d, want %d", width, got, len(specs))
+		}
+		want := int64(width)
+		if width > len(specs) {
+			want = int64(len(specs))
+		}
+		if got := snap.Gauges["exec.pool.width"]; got != want {
+			t.Errorf("width %d: exec.pool.width = %d, want %d", width, got, want)
+		}
+	}
+}
+
+// TestRunManyTaskSpans: each batched run gets one labeled per-task span.
+func TestRunManyTaskSpans(t *testing.T) {
+	p := tech.Default130()
+	rec := obs.NewRecorder()
+	specs := runManySpecs()[:2]
+	if _, err := RunMany(p, specs, exec.WithWorkers(2), exec.WithTracer(rec)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Find("flow.runmany")); got != len(specs) {
+		t.Errorf("%d flow.runmany task spans, want %d", got, len(specs))
+	}
+	if got := len(rec.Find("flow.run")); got != len(specs) {
+		t.Errorf("%d flow.run root spans, want %d", got, len(specs))
+	}
+}
+
+// TestRunContextCanceled: a canceled context surfaces as an error
+// matching both the m3d sentinel and the stdlib sentinel.
+func TestRunContextCanceled(t *testing.T) {
+	p := tech.Default130()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, p, runManySpecs()[0])
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if !errors.Is(err, errs.ErrCanceled) {
+		t.Errorf("error %v does not match errs.ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not match context.Canceled", err)
+	}
+
+	if _, err := RunManyContext(ctx, p, runManySpecs()); !errors.Is(err, errs.ErrCanceled) {
+		t.Errorf("RunManyContext error %v does not match errs.ErrCanceled", err)
+	}
+}
+
+// TestRunBadSpec: validation failures match ErrBadSpec.
+func TestRunBadSpec(t *testing.T) {
+	p := tech.Default130()
+	bad := runManySpecs()[0]
+	bad.ArrayRows = -1
+	_, err := Run(p, bad)
+	if !errors.Is(err, errs.ErrBadSpec) {
+		t.Errorf("error %v does not match errs.ErrBadSpec", err)
+	}
+}
+
+// TestWithThermalCheck: the opt-in Eq. 17 sign-off fails a run whose
+// stack exceeds the budget (and passes an unbounded one).
+func TestWithThermalCheck(t *testing.T) {
+	p := tech.Default130()
+	spec := runManySpecs()[0]
+	_, err := Run(p, spec, WithThermalCheck(1e-9))
+	if !errors.Is(err, errs.ErrThermalLimit) {
+		t.Fatalf("error %v does not match errs.ErrThermalLimit", err)
+	}
+	if _, err := Run(p, spec, WithThermalCheck(1e9)); err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+}
+
+// BenchmarkRunFlow is the overhead baseline: no observability attached.
+func BenchmarkRunFlow(b *testing.B) {
+	p := tech.Default130()
+	spec := runManySpecs()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFlowNopTracer measures the tracing fast path: a live (but
+// no-op) tracer plus a registry on every stage. The budget is <2% over
+// BenchmarkRunFlow (see EXPERIMENTS.md).
+func BenchmarkRunFlowNopTracer(b *testing.B) {
+	p := tech.Default130()
+	spec := runManySpecs()[0]
+	reg := obs.NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, spec, exec.WithTracer(obs.Nop()), exec.WithMetrics(reg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

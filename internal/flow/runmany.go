@@ -7,27 +7,71 @@ import (
 	"m3d/internal/tech"
 )
 
-// RunMany executes Run for every spec on the exec worker pool and returns
-// the results in spec order (pool width and cancellation via exec.Option;
-// default width is exec.DefaultWorkers). Each run is independent: the
-// shared PDK is read-only throughout the flow, and all randomized stages
-// (tier partitioning, global placement, annealed refinement) draw from
-// per-run generators seeded by the spec's Seed, so batches are
-// race-detector clean and each spec's result is identical to a serial
-// Run of the same spec.
+// RunMany executes the flow for every spec on the exec worker pool and
+// returns the results in spec order (pool width, cancellation, tracing
+// and metrics via the shared exec.Option surface; default width is
+// exec.DefaultWorkers). Each run is independent: the shared PDK is
+// read-only throughout the flow, and all randomized stages (tier
+// partitioning, global placement, annealed refinement) draw from per-run
+// generators seeded by the spec's Seed, so batches are race-detector
+// clean and each spec's result is identical to a serial Run of the same
+// spec.
 //
-// Identical specs without writer sinks are evaluated once behind a
-// single-flight memo cache and share one *Result, so design-space sweeps
-// that revisit a configuration (e.g. a baseline appearing in several
-// comparisons) pay for it once. Specs that stream GDS/Verilog/DEF bypass
-// the cache: their writers are side effects that must happen per spec.
+// Identical specs are evaluated once behind a single-flight memo cache
+// and share one *Result; the registry's flow.memo.hits / flow.memo.misses
+// counters account for the cache. Export sinks — WithSinksAt(i, ...)
+// options or the deprecated writer fields on the specs — no longer
+// defeat the cache: specs are memoized by their pure value, and the
+// requested exports are replayed from the shared results afterwards
+// (deterministically, in spec order).
 func RunMany(p *tech.PDK, specs []SoCSpec, opts ...exec.Option) ([]*Result, error) {
+	return runMany(exec.Resolve(opts...), p, specs)
+}
+
+// RunManyContext is RunMany under an explicit context: cancellation stops
+// dispatch (error matches errs.ErrCanceled) and a tracer/registry on the
+// context instruments the runs.
+func RunManyContext(ctx context.Context, p *tech.PDK, specs []SoCSpec, opts ...exec.Option) ([]*Result, error) {
+	return runMany(resolve(ctx, opts), p, specs)
+}
+
+func runMany(st *exec.Settings, p *tech.PDK, specs []SoCSpec) ([]*Result, error) {
 	cache := &exec.Cache[SoCSpec, *Result]{}
-	return exec.Map(specs, func(_ context.Context, _ int, spec SoCSpec) (*Result, error) {
-		spec = spec.withDefaults()
-		if spec.WriteGDS != nil || spec.WriteVerilog != nil || spec.WriteDEF != nil {
-			return Run(p, spec)
+	hits := st.Metrics.Counter("flow.memo.hits")
+	misses := st.Metrics.Counter("flow.memo.misses")
+	// Capture the batch's sink options, then strip them from the compute
+	// settings (the values map is shared by the shallow copy): the
+	// memoized runs are pure, exports are replayed below. WithSinks (no
+	// index) addresses the primary variant, spec 0.
+	single := sinksOf(st)
+	perIdx := sinksAt(st)
+	inner := *st
+	inner.Label = "flow.runmany"
+	inner.SetValue(sinksKey{}, Sinks{})
+	results, err := exec.MapWith(&inner, specs, func(ctx context.Context, _ int, spec SoCSpec) (*Result, error) {
+		key := spec.withDefaults().pure()
+		return cache.DoMetered(key, hits, misses, func() (*Result, error) {
+			return runWith(ctx, &inner, p, key)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		sinks := Sinks{
+			GDS:     specs[i].WriteGDS,
+			Verilog: specs[i].WriteVerilog,
+			DEF:     specs[i].WriteDEF,
+		}.tee(perIdx[i])
+		if i == 0 {
+			sinks = sinks.tee(single)
 		}
-		return cache.Do(spec, func() (*Result, error) { return Run(p, spec) })
-	}, opts...)
+		if sinks.empty() {
+			continue
+		}
+		if err := res.export(sinks); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }

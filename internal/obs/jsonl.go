@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one JSON-lines trace record. The schema is part of the public
+// CLI contract (m3dflow/m3ddse/m3dreport -trace) and is locked by a
+// golden test:
+//
+//	{"type":"span","name":"flow.route","attrs":{"cs":"8","style":"3D"},"t_us":1234,"dur_us":56}
+//	{"type":"metrics","metrics":{"counters":{...},"gauges":{...},"histograms":{...}}}
+//
+// t_us is the span start in microseconds since the tracer was created;
+// dur_us is the span wall time in microseconds.
+type Event struct {
+	Type    string            `json:"type"`
+	Name    string            `json:"name,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+	StartUS int64             `json:"t_us,omitempty"`
+	DurUS   int64             `json:"dur_us,omitempty"`
+	Metrics *Snapshot         `json:"metrics,omitempty"`
+}
+
+// JSONL is a Tracer that appends one JSON object per finished span to an
+// io.Writer (a trace file, a pipe, io.Discard). Writes are serialized by
+// an internal mutex; span timing itself is lock-free until End.
+type JSONL struct {
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+
+	mu    sync.Mutex
+	enc   *json.Encoder
+	epoch time.Time
+	err   error
+}
+
+// NewJSONL returns a JSON-lines tracer writing to w. Span timestamps are
+// relative to this call.
+func NewJSONL(w io.Writer) *JSONL {
+	t := &JSONL{enc: json.NewEncoder(w)}
+	t.epoch = t.clock()
+	return t
+}
+
+func (t *JSONL) clock() time.Time {
+	if t.Now != nil {
+		return t.Now()
+	}
+	return now()
+}
+
+// Err returns the first write/encode error, if any. Tracing never fails
+// the traced computation; callers that care (the CLIs) check Err at exit.
+func (t *JSONL) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *JSONL) emit(e Event) {
+	t.mu.Lock()
+	if err := t.enc.Encode(e); err != nil && t.err == nil {
+		t.err = err
+	}
+	t.mu.Unlock()
+}
+
+// StartSpan implements Tracer.
+func (t *JSONL) StartSpan(name string, attrs ...Attr) Span {
+	return &jsonlSpan{t: t, name: name, attrs: append([]Attr(nil), attrs...), start: t.clock()}
+}
+
+// EmitMetrics appends a metrics event holding the registry's snapshot.
+// A nil registry emits an empty snapshot.
+func (t *JSONL) EmitMetrics(r *Registry) {
+	snap := r.Snapshot()
+	t.emit(Event{Type: "metrics", Metrics: &snap})
+}
+
+type jsonlSpan struct {
+	t     *JSONL
+	name  string
+	mu    sync.Mutex
+	attrs []Attr
+	start time.Time
+	done  bool
+}
+
+func (s *jsonlSpan) SetAttr(attrs ...Attr) {
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+func (s *jsonlSpan) End() {
+	end := s.t.clock()
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	var attrs map[string]string
+	if len(s.attrs) > 0 {
+		attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			attrs[a.Key] = a.Value
+		}
+	}
+	e := Event{
+		Type:    "span",
+		Name:    s.name,
+		Attrs:   attrs,
+		StartUS: s.start.Sub(s.t.epoch).Microseconds(),
+		DurUS:   end.Sub(s.start).Microseconds(),
+	}
+	s.mu.Unlock()
+	s.t.emit(e)
+}

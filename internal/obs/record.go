@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span as captured by the in-memory Recorder.
+type SpanRecord struct {
+	Name       string
+	Attrs      []Attr
+	Start, End time.Time
+}
+
+// Dur returns the span's wall time.
+func (s SpanRecord) Dur() time.Duration { return s.End.Sub(s.Start) }
+
+// Attr returns the value of the named attribute ("" when absent).
+func (s SpanRecord) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Recorder is an in-memory Tracer for tests: it appends a SpanRecord at
+// every span End, in End order (for strictly sequential stages this is
+// also start order). Safe for concurrent use.
+type Recorder struct {
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) clock() time.Time {
+	if r.Now != nil {
+		return r.Now()
+	}
+	return now()
+}
+
+// StartSpan implements Tracer.
+func (r *Recorder) StartSpan(name string, attrs ...Attr) Span {
+	return &recSpan{rec: r, name: name, attrs: append([]Attr(nil), attrs...), start: r.clock()}
+}
+
+// Spans returns a copy of the finished spans in End order.
+func (r *Recorder) Spans() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord(nil), r.spans...)
+}
+
+// Names returns the finished span names in End order.
+func (r *Recorder) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.spans))
+	for i, s := range r.spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Find returns the finished spans with the given name, in End order.
+func (r *Recorder) Find(name string) []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []SpanRecord
+	for _, s := range r.spans {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Reset drops every recorded span.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.spans = nil
+	r.mu.Unlock()
+}
+
+type recSpan struct {
+	rec   *Recorder
+	name  string
+	mu    sync.Mutex
+	attrs []Attr
+	start time.Time
+	done  bool
+}
+
+func (s *recSpan) SetAttr(attrs ...Attr) {
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+func (s *recSpan) End() {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	rec := SpanRecord{Name: s.name, Attrs: s.attrs, Start: s.start, End: s.rec.clock()}
+	s.mu.Unlock()
+	s.rec.mu.Lock()
+	s.rec.spans = append(s.rec.spans, rec)
+	s.rec.mu.Unlock()
+}

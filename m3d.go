@@ -14,15 +14,42 @@
 package m3d
 
 import (
+	"context"
+
 	"m3d/internal/analytic"
 	"m3d/internal/arch"
 	"m3d/internal/core"
+	"m3d/internal/errs"
 	"m3d/internal/exec"
 	"m3d/internal/flow"
 	"m3d/internal/macro"
+	"m3d/internal/obs"
 	"m3d/internal/tech"
 	"m3d/internal/thermal"
 	"m3d/internal/workload"
+)
+
+// Error contract. Every public entry point reports failures from one of
+// three families, matchable with errors.Is:
+//
+//   - ErrBadSpec: the inputs were invalid (malformed SoCSpec, empty load
+//     list, non-positive sweep axis values). The wrapped message names the
+//     offending field.
+//   - ErrCanceled: the run was stopped by its context. The error also
+//     matches the underlying context error (context.Canceled or
+//     context.DeadlineExceeded).
+//   - ErrThermalLimit: an opt-in WithThermalCheck sign-off found the
+//     Eq. 17 stack temperature rise above budget.
+//
+// Anything else is an internal stage failure (synthesis, routing, DRC,
+// ...) whose message names the stage.
+var (
+	// ErrCanceled matches run failures caused by context cancellation.
+	ErrCanceled = errs.ErrCanceled
+	// ErrBadSpec matches validation failures of specs, loads and axes.
+	ErrBadSpec = errs.ErrBadSpec
+	// ErrThermalLimit matches Eq. 17 thermal sign-off failures.
+	ErrThermalLimit = errs.ErrThermalLimit
 )
 
 // Technology modeling (the foundry M3D PDK substitute).
@@ -151,23 +178,101 @@ const (
 	Style3D = macro.Style3D
 )
 
-// RunFlow executes the RTL-to-GDS flow for one SoC spec.
-func RunFlow(p *PDK, spec SoCSpec) (*FlowResult, error) { return flow.Run(p, spec) }
+// RunFlow executes the RTL-to-GDS flow for one SoC spec. Options control
+// pool width, cancellation, observability and export sinks (WithWorkers,
+// WithContext, WithTracer, WithMetrics, WithGDS, WithThermalCheck, ...).
+func RunFlow(p *PDK, spec SoCSpec, opts ...Option) (*FlowResult, error) {
+	return flow.Run(p, spec, opts...)
+}
 
-// Sweep execution engine (worker pool with deterministic ordering).
+// RunFlowContext is RunFlow under an explicit context: cancellation stops
+// the run between stages (error matches ErrCanceled), and a tracer or
+// metrics registry attached to ctx (ContextWithTracer/ContextWithMetrics)
+// instruments it.
+func RunFlowContext(ctx context.Context, p *PDK, spec SoCSpec, opts ...Option) (*FlowResult, error) {
+	return flow.RunContext(ctx, p, spec, opts...)
+}
+
+// Shared run-option surface. Every fan-out entry point — RunFlow,
+// RunFlowMany, SweepBandwidthCS, the experiment functions — accepts the
+// same Option set.
 type (
-	// ExecOption configures a parallel sweep call (pool width, context).
+	// Option configures one run: pool width, cancellation, tracing,
+	// metrics, export sinks.
+	Option = exec.Option
+	// ExecOption is the former name of Option.
+	//
+	// Deprecated: use Option.
 	ExecOption = exec.Option
 )
 
 var (
-	// WithWorkers bounds a sweep's worker pool (0 or less = default).
+	// WithWorkers bounds the run's worker pool (0 or less = default).
 	WithWorkers = exec.WithWorkers
-	// WithContext attaches a cancellation context to a sweep.
+	// WithContext attaches a cancellation context to the run.
 	WithContext = exec.WithContext
+	// WithTracer attaches a span sink (NewTraceRecorder, NewJSONLTracer).
+	WithTracer = exec.WithTracer
+	// WithMetrics attaches a metrics registry (NewMetrics).
+	WithMetrics = exec.WithMetrics
 	// DefaultWorkers reports the default pool width (GOMAXPROCS or the
 	// M3D_WORKERS environment override).
 	DefaultWorkers = exec.DefaultWorkers
+)
+
+// Export sinks (replacing the deprecated SoCSpec writer fields).
+type (
+	// Sinks bundles the optional GDS/Verilog/DEF export writers of a run.
+	Sinks = flow.Sinks
+)
+
+var (
+	// WithGDS streams the run's GDSII to w.
+	WithGDS = flow.WithGDS
+	// WithVerilog streams the run's structural Verilog to w.
+	WithVerilog = flow.WithVerilog
+	// WithDEF streams the run's placement DEF to w.
+	WithDEF = flow.WithDEF
+	// WithSinks attaches a full sink bundle (primary variant).
+	WithSinks = flow.WithSinks
+	// WithSinksAt attaches a sink bundle to batch spec i (RunFlowMany).
+	WithSinksAt = flow.WithSinksAt
+	// WithThermalCheck enables the Eq. 17 thermal sign-off stage
+	// (maxRiseK ≤ 0 uses the PDK budget); failures match ErrThermalLimit.
+	WithThermalCheck = flow.WithThermalCheck
+)
+
+// Observability (spans + metrics; see DESIGN.md §8 for the taxonomy).
+type (
+	// Tracer receives one span per flow stage / pool task / experiment.
+	Tracer = obs.Tracer
+	// TraceSpan is one in-flight span.
+	TraceSpan = obs.Span
+	// TraceAttr is one span attribute.
+	TraceAttr = obs.Attr
+	// TraceRecorder is an in-memory Tracer for tests and tooling.
+	TraceRecorder = obs.Recorder
+	// SpanRecord is one finished span captured by a TraceRecorder.
+	SpanRecord = obs.SpanRecord
+	// JSONLTracer streams spans (and metric snapshots) as JSON lines.
+	JSONLTracer = obs.JSONL
+	// Metrics is an atomic registry of counters, gauges and histograms.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = obs.Snapshot
+)
+
+var (
+	// NewTraceRecorder returns an in-memory span recorder.
+	NewTraceRecorder = obs.NewRecorder
+	// NewJSONLTracer returns a tracer streaming JSON lines to w.
+	NewJSONLTracer = obs.NewJSONL
+	// NewMetrics returns an empty metrics registry.
+	NewMetrics = obs.NewRegistry
+	// ContextWithTracer / ContextWithMetrics attach observability sinks to
+	// a context for the context-first entry points.
+	ContextWithTracer  = obs.ContextWithTracer
+	ContextWithMetrics = obs.ContextWithMetrics
 )
 
 // SweepBandwidthCS evaluates the Fig. 8 (CS count × bandwidth) grid on
@@ -177,15 +282,23 @@ func SweepBandwidthCS(p Params, w Load, csCounts []int, bwScales []float64, opts
 }
 
 // RunFlowMany executes the RTL-to-GDS flow for every spec on the worker
-// pool, returning results in spec order; identical specs without writer
-// sinks are evaluated once and shared.
-func RunFlowMany(p *PDK, specs []SoCSpec, opts ...ExecOption) ([]*FlowResult, error) {
+// pool, returning results in spec order. Identical specs are evaluated
+// once and share a *FlowResult regardless of export sinks: specs are
+// memoized by pure value and exports (WithSinksAt) are replayed from the
+// shared results afterwards.
+func RunFlowMany(p *PDK, specs []SoCSpec, opts ...Option) ([]*FlowResult, error) {
 	return flow.RunMany(p, specs, opts...)
 }
 
+// RunFlowManyContext is RunFlowMany under an explicit context (see
+// RunFlowContext).
+func RunFlowManyContext(ctx context.Context, p *PDK, specs []SoCSpec, opts ...Option) ([]*FlowResult, error) {
+	return flow.RunManyContext(ctx, p, specs, opts...)
+}
+
 // RunFlowCaseStudy runs the 2D baseline and the iso-footprint M3D design.
-func RunFlowCaseStudy(p *PDK, scale SoCSpec, numCS int) (*FlowResult, *FlowResult, error) {
-	return flow.CaseStudy(p, scale, numCS)
+func RunFlowCaseStudy(p *PDK, scale SoCSpec, numCS int, opts ...Option) (*FlowResult, *FlowResult, error) {
+	return flow.CaseStudy(p, scale, numCS, opts...)
 }
 
 // Thermal modeling (Eq. 17).

@@ -17,6 +17,17 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== obs golden + trace schema =="
+go test ./internal/obs/ ./internal/report/ ./cmd/m3dreport/
+
+echo "== m3dflow trace smoke =="
+# A real (small) flow batch with tracing on: must exit 0 and emit a
+# parseable JSONL trace (one object per line, span + metrics events).
+TRACE_TMP="$(mktemp)"
+go run ./cmd/m3dflow -side 2 -cs 2,4 -trace "$TRACE_TMP" >/dev/null
+go run ./scripts/tracecheck "$TRACE_TMP"
+rm -f "$TRACE_TMP"
+
 echo "== fuzz smoke (${FUZZTIME}/target) =="
 for pkg in verilog def lef liberty; do
     echo "-- internal/$pkg"

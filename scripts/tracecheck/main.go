@@ -1,0 +1,57 @@
+// Command tracecheck validates a -trace JSONL file: every line must be a
+// well-formed obs.Event, there must be at least one span and exactly one
+// trailing metrics snapshot. Used by scripts/check.sh as the CLI trace
+// smoke test.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"m3d/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	if len(os.Args) != 2 {
+		log.Fatal("usage: tracecheck <trace.jsonl>")
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	var spans, metrics, runs int
+	dec := json.NewDecoder(f)
+	for dec.More() {
+		var e obs.Event
+		if err := dec.Decode(&e); err != nil {
+			log.Fatalf("malformed event: %v", err)
+		}
+		switch e.Type {
+		case "span":
+			spans++
+			if e.Name == "flow.run" {
+				runs++
+			}
+		case "metrics":
+			metrics++
+			if e.Metrics == nil {
+				log.Fatal("metrics event without snapshot")
+			}
+		default:
+			log.Fatalf("unknown event type %q", e.Type)
+		}
+	}
+	if spans == 0 || runs == 0 {
+		log.Fatalf("no flow spans recorded (%d spans, %d runs)", spans, runs)
+	}
+	if metrics != 1 {
+		log.Fatalf("%d metrics events, want exactly 1", metrics)
+	}
+	fmt.Printf("trace ok: %d spans (%d flow runs), 1 metrics snapshot\n", spans, runs)
+}
