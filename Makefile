@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench report
+.PHONY: check vet build test race fuzz bench report serve serve-smoke
 
 check:
 	FUZZTIME=$(FUZZTIME) ./scripts/check.sh
@@ -25,6 +25,14 @@ fuzz:
 	for pkg in verilog def lef liberty; do \
 		$(GO) test -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/$$pkg/ || exit 1; \
 	done
+	$(GO) test -fuzz=FuzzSweepRequest -fuzztime=$(FUZZTIME) ./internal/serve/
+
+# Run the HTTP evaluation service on localhost:8080 (see README).
+serve:
+	$(GO) run ./cmd/m3dserve
+
+serve-smoke:
+	$(GO) run ./scripts/servesmoke
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchtime 2s ./internal/analytic/

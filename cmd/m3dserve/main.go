@@ -1,0 +1,95 @@
+// Command m3dserve serves the m3d evaluation library over HTTP: the
+// Sec. III analytical sweeps (POST /v1/sweep), the RTL-to-GDS flow
+// (POST /v1/flow), a liveness probe (GET /healthz), and the metrics
+// registry (GET /metrics). See DESIGN.md §9 for the request pipeline
+// (admission → coalesce → pool → response) and README for curl examples.
+//
+// The server sheds load with 429 once the admission queue is full,
+// applies a per-request deadline, and drains gracefully on SIGINT/
+// SIGTERM: in-flight requests complete (up to -drain), new requests are
+// refused with 503, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"m3d/internal/cliutil"
+	"m3d/internal/exec"
+	"m3d/internal/serve"
+	"m3d/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("m3dserve: ")
+	addr := flag.String("addr", "localhost:8080", "listen address (host:0 picks an ephemeral port)")
+	workers := flag.Int("workers", 0, "evaluation pool width (0 = GOMAXPROCS / M3D_WORKERS)")
+	inflight := flag.Int("inflight", 64, "max concurrently admitted requests")
+	queue := flag.Int("queue", 0, "max requests waiting for admission (0 = same as -inflight, negative = none)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline (negative = none)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
+	obsFlags := cliutil.Register()
+	flag.Parse()
+
+	obsOpts := obsFlags.Setup()
+	defer obsFlags.Close()
+	// The server always carries a registry (GET /metrics); share the
+	// -trace/-metrics one when present so both views agree.
+	st := exec.Resolve(obsOpts...)
+	reg := obsFlags.Registry()
+
+	srv := serve.New(serve.Config{
+		PDK:            tech.Default130(),
+		Workers:        *workers,
+		MaxInFlight:    *inflight,
+		MaxQueue:       *queue,
+		RequestTimeout: *timeout,
+		Tracer:         st.Tracer,
+		Metrics:        reg,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Announce the bound address on stdout: scripts (the serve-smoke
+	// check) parse this line to find an ephemeral port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("draining (deadline %s)...", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("drained")
+}

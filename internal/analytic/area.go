@@ -3,6 +3,8 @@ package analytic
 import (
 	"fmt"
 	"math"
+
+	"m3d/internal/errs"
 )
 
 // AreaModel carries the 2D baseline chip's area decomposition (Fig. 6a):
@@ -63,7 +65,7 @@ func (a AreaModel) Case1(delta float64) (Case1Result, error) {
 		return Case1Result{}, err
 	}
 	if delta < 1 {
-		return Case1Result{}, fmt.Errorf("analytic: δ=%g must be ≥ 1", delta)
+		return Case1Result{}, fmt.Errorf("analytic: δ=%g must be ≥ 1: %w", delta, errs.ErrBadSpec)
 	}
 	a2d := a.Total2D()
 	cells3D := delta * a.ACells
@@ -94,10 +96,10 @@ func (a AreaModel) Case1(delta float64) (Case1Result, error) {
 // pitch are in consistent units; m is vias per cell.
 func Case2Delta(beta float64, viasPerCell int, pitch, cellArea2D float64) (float64, error) {
 	if beta < 1 {
-		return 0, fmt.Errorf("analytic: β=%g must be ≥ 1", beta)
+		return 0, fmt.Errorf("analytic: β=%g must be ≥ 1: %w", beta, errs.ErrBadSpec)
 	}
 	if viasPerCell <= 0 || pitch <= 0 || cellArea2D <= 0 {
-		return 0, fmt.Errorf("analytic: Case 2 needs positive via count, pitch, and cell area")
+		return 0, fmt.Errorf("analytic: Case 2 needs positive via count, pitch, and cell area: %w", errs.ErrBadSpec)
 	}
 	viaLimited := float64(viasPerCell) * (beta * pitch) * (beta * pitch)
 	if viaLimited <= cellArea2D {
@@ -111,7 +113,7 @@ func Case2Delta(beta float64, viasPerCell int, pitch, cellArea2D float64) (float
 // N = Y·⌊1 + γ_cells + γ_perif⌋.
 func (a AreaModel) Case3N(y int) (int, error) {
 	if y < 1 {
-		return 0, fmt.Errorf("analytic: Y=%d must be ≥ 1", y)
+		return 0, fmt.Errorf("analytic: Y=%d must be ≥ 1: %w", y, errs.ErrBadSpec)
 	}
 	per := int(math.Floor(1 + a.GammaCells() + a.GammaPerif()))
 	if per < 1 {

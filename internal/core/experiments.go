@@ -7,6 +7,7 @@ import (
 
 	"m3d/internal/analytic"
 	"m3d/internal/arch"
+	"m3d/internal/errs"
 	"m3d/internal/exec"
 	"m3d/internal/mapper"
 	"m3d/internal/obs"
@@ -187,7 +188,7 @@ func Fig9(p *tech.PDK, capacitiesMB []int, opts ...exec.Option) ([]Fig9Row, erro
 	}
 	for _, mb := range capacitiesMB {
 		if mb <= 0 {
-			return nil, fmt.Errorf("core: capacity %d MB must be positive", mb)
+			return nil, fmt.Errorf("core: capacity %d MB must be positive: %w", mb, errs.ErrBadSpec)
 		}
 	}
 	m := workload.ResNet18()

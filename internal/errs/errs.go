@@ -27,4 +27,8 @@ var (
 	ErrBadSpec = errors.New("m3d: bad spec")
 	// ErrThermalLimit marks an Eq. 17 temperature-rise budget violation.
 	ErrThermalLimit = errors.New("m3d: thermal limit exceeded")
+	// ErrOverloaded marks work refused by an admission gate because the
+	// in-flight limit and its waiting queue are both full (load shedding;
+	// the HTTP service maps it to 429 Too Many Requests).
+	ErrOverloaded = errors.New("m3d: overloaded")
 )

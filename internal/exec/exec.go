@@ -359,6 +359,18 @@ func (c *Cache[K, V]) DoMetered(key K, hits, misses *obs.Counter, fn func() (V, 
 	return e.val, e.err
 }
 
+// Forget drops the entry for key, so the next Do re-computes it. A
+// server coalescing requests through the cache calls this when a
+// computation fails with a non-deterministic error (cancellation, an
+// overload) so one canceled caller does not poison the key for every
+// later request; concurrent single-flight waiters already attached to
+// the old entry still share its result.
+func (c *Cache[K, V]) Forget(key K) {
+	c.mu.Lock()
+	delete(c.m, key)
+	c.mu.Unlock()
+}
+
 // Len reports how many keys have been interned (including in-flight
 // computations).
 func (c *Cache[K, V]) Len() int {

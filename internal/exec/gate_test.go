@@ -1,0 +1,172 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"m3d/internal/errs"
+)
+
+func TestGateAdmitAndShed(t *testing.T) {
+	g := NewGate(2, 0)
+	ctx := context.Background()
+	if err := g.Enter(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Enter(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	// Slots full, queue zero: third caller is shed immediately.
+	err := g.Enter(ctx)
+	if !errors.Is(err, errs.ErrOverloaded) {
+		t.Fatalf("shed error = %v, want ErrOverloaded", err)
+	}
+	g.Leave()
+	if err := g.Enter(ctx); err != nil {
+		t.Fatalf("after Leave: %v", err)
+	}
+	g.Leave()
+	g.Leave()
+	g.Leave() // unbalanced Leave must not block or panic
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("drained InFlight = %d, want 0", got)
+	}
+}
+
+func TestGateQueueAdmitsWhenSlotFrees(t *testing.T) {
+	g := NewGate(1, 1)
+	ctx := context.Background()
+	if err := g.Enter(ctx); err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan error, 1)
+	go func() { entered <- g.Enter(ctx) }()
+	// Wait for the second caller to be queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second caller never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Queue full now: a third caller is shed while the queued one is not.
+	if err := g.Enter(ctx); !errors.Is(err, errs.ErrOverloaded) {
+		t.Fatalf("third caller error = %v, want ErrOverloaded", err)
+	}
+	g.Leave()
+	if err := <-entered; err != nil {
+		t.Fatalf("queued caller error = %v, want admission", err)
+	}
+	g.Leave()
+}
+
+func TestGateEnterCanceledWhileQueued(t *testing.T) {
+	g := NewGate(1, 4)
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	entered := make(chan error, 1)
+	go func() { entered <- g.Enter(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("caller never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	err := <-entered
+	if !errors.Is(err, errs.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want ErrCanceled matching context.Canceled", err)
+	}
+	if got := g.Waiting(); got != 0 {
+		t.Fatalf("Waiting after cancel = %d, want 0", got)
+	}
+	g.Leave()
+}
+
+// TestGateConcurrent hammers the gate from many goroutines: admitted
+// holders never exceed capacity and every admitted holder leaves.
+func TestGateConcurrent(t *testing.T) {
+	const capacity, callers = 3, 64
+	g := NewGate(capacity, callers)
+	ctx := context.Background()
+	var inFlight, peak, admitted atomicMax
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Enter(ctx); err != nil {
+				t.Errorf("Enter: %v", err)
+				return
+			}
+			peak.observe(inFlight.add(1))
+			admitted.add(1)
+			inFlight.add(-1)
+			g.Leave()
+		}()
+	}
+	wg.Wait()
+	if got := peak.load(); got > capacity {
+		t.Fatalf("peak in-flight %d exceeded capacity %d", got, capacity)
+	}
+	if got := admitted.load(); got != callers {
+		t.Fatalf("admitted %d, want %d", got, callers)
+	}
+	if g.InFlight() != 0 || g.Waiting() != 0 {
+		t.Fatalf("gate not drained: inflight=%d waiting=%d", g.InFlight(), g.Waiting())
+	}
+}
+
+type atomicMax struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomicMax) add(d int64) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.v += d
+	return a.v
+}
+
+func (a *atomicMax) observe(v int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if v > a.v {
+		a.v = v
+	}
+}
+
+func (a *atomicMax) load() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+func TestCacheForget(t *testing.T) {
+	var c Cache[string, int]
+	calls := 0
+	compute := func() (int, error) { calls++; return calls, nil }
+	if v, _ := c.Do("k", compute); v != 1 {
+		t.Fatalf("first Do = %d, want 1", v)
+	}
+	if v, _ := c.Do("k", compute); v != 1 {
+		t.Fatalf("memoized Do = %d, want 1", v)
+	}
+	c.Forget("k")
+	if v, _ := c.Do("k", compute); v != 2 {
+		t.Fatalf("Do after Forget = %d, want 2 (recomputed)", v)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}

@@ -2,7 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -240,4 +243,44 @@ func (r *Registry) Snapshot() Snapshot {
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(r.Snapshot())
+}
+
+// WriteText writes the registry as a line-oriented text dump — the
+// GET /metrics wire format of cmd/m3dserve, locked by a golden test.
+// Every instrument is one line, and lines are sorted by metric name
+// (ties broken by instrument type), so the dump is deterministic for a
+// fixed set of values regardless of registration order:
+//
+//	counter serve.requests 42
+//	gauge serve.inflight 3
+//	histogram serve.request.seconds count=42 sum=0.125
+//
+// Histogram sums are formatted with strconv.FormatFloat 'g' -1 (shortest
+// round-trip form). Safe on a nil registry (writes nothing).
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	type line struct{ name, text string }
+	lines := make([]line, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name, v := range s.Counters {
+		lines = append(lines, line{name, fmt.Sprintf("counter %s %d", name, v)})
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, line{name, fmt.Sprintf("gauge %s %d", name, v)})
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines, line{name, fmt.Sprintf("histogram %s count=%d sum=%s",
+			name, h.Count, strconv.FormatFloat(h.Sum, 'g', -1, 64))})
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].name != lines[j].name {
+			return lines[i].name < lines[j].name
+		}
+		return lines[i].text < lines[j].text
+	})
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l.text+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -246,3 +247,66 @@ func TestJSONLErrPropagation(t *testing.T) {
 type failWriter struct{}
 
 func (failWriter) Write([]byte) (int, error) { return 0, os.ErrClosed }
+
+// TestWriteTextGolden locks the GET /metrics text dump: sorted by metric
+// name, one line per instrument, against testdata/metrics.golden.txt —
+// the metrics counterpart of the trace.golden.jsonl schema lock.
+func TestWriteTextGolden(t *testing.T) {
+	reg := NewRegistry()
+	// Registration order is deliberately unsorted: the dump must not
+	// depend on it.
+	reg.Gauge("serve.inflight").Set(3)
+	reg.Counter("serve.requests").Add(42)
+	reg.Histogram("serve.request.seconds", 0.1, 1).Observe(0.125)
+	reg.Counter("exec.tasks").Add(7)
+	reg.Counter("serve.memo.hits").Add(5)
+	reg.Gauge("exec.pool.width").Set(8)
+	reg.Histogram("flow.stage.seconds.route").Observe(0.25)
+	reg.Histogram("flow.stage.seconds.route").Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("metrics text dump drifted from golden\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// The dump must be sorted by name and repeatable.
+	var names []string
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		fields := bytes.Fields(line)
+		if len(fields) < 3 {
+			t.Fatalf("malformed line %q", line)
+		}
+		names = append(names, string(fields[1]))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("metric names not sorted: %v", names)
+	}
+	var again bytes.Buffer
+	if err := reg.WriteText(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("WriteText not deterministic across calls")
+	}
+}
+
+func TestWriteTextNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry: err=%v len=%d", err, buf.Len())
+	}
+}

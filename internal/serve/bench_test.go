@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchPost drives one POST /v1/sweep and requires a 200.
+func benchPost(b *testing.B, url, body string) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkSweepCached measures requests/sec for a repeated identical
+// sweep: after the first evaluation every request is a coalescing-cache
+// hit, so this is the HTTP + JSON + admission overhead of the service.
+func BenchmarkSweepCached(b *testing.B) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	body := `{"kind":"delta","deltas":[1.0,1.5,2.0]}`
+	benchPost(b, ts.URL+"/v1/sweep", body) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL+"/v1/sweep", body)
+	}
+}
+
+// BenchmarkSweepUncached measures requests/sec when every request is a
+// distinct sweep (unique δ axis per request), so each one runs a real
+// evaluation on the pool.
+func BenchmarkSweepUncached(b *testing.B) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"kind":"delta","deltas":[1.0,1.5,%g]}`, 2.0+float64(i)/1e6)
+		benchPost(b, ts.URL+"/v1/sweep", body)
+	}
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"m3d/internal/flow"
+	"m3d/internal/macro"
+)
+
+// FlowRequest is the POST /v1/flow body: one RTL-to-GDS run, evaluated
+// through flow.RunContext (m3d.RunFlowContext) under the request
+// deadline. Zero fields take the SoCSpec defaults (paper scale — pass
+// small arrays for interactive latency).
+type FlowRequest struct {
+	// Style is "2D" (Si access FETs) or "M3D" (CNFET access FETs over
+	// logic); empty selects "2D".
+	Style          string  `json:"style,omitempty"`
+	NumCS          int     `json:"num_cs,omitempty"`
+	ArrayRows      int     `json:"array_rows,omitempty"`
+	ArrayCols      int     `json:"array_cols,omitempty"`
+	RRAMCapMB      int     `json:"rram_cap_mb,omitempty"`
+	Banks          int     `json:"banks,omitempty"`
+	GlobalSRAMBits int64   `json:"global_sram_bits,omitempty"`
+	TargetClockHz  float64 `json:"target_clock_hz,omitempty"`
+	Seed           int64   `json:"seed,omitempty"`
+	FoldLogic      bool    `json:"fold_logic,omitempty"`
+	RunCTS         bool    `json:"run_cts,omitempty"`
+	// ThermalCheck enables the Eq. 17 sign-off stage; violations fail
+	// with 422 (errs.ErrThermalLimit). MaxTempRiseK ≤ 0 uses the PDK
+	// budget.
+	ThermalCheck bool    `json:"thermal_check,omitempty"`
+	MaxTempRiseK float64 `json:"max_temp_rise_k,omitempty"`
+}
+
+// FlowResponse is the POST /v1/flow reply: the post-route report's
+// headline numbers.
+type FlowResponse struct {
+	Style         string  `json:"style"`
+	NumCS         int     `json:"num_cs"`
+	Cells         int     `json:"cells"`
+	Macros        int     `json:"macros"`
+	HPWLNM        int64   `json:"hpwl_nm"`
+	RoutedWLNM    int64   `json:"routed_wl_nm"`
+	Vias          int     `json:"vias"`
+	ILVs          int     `json:"ilvs"`
+	FmaxHz        float64 `json:"fmax_hz"`
+	TimingMet     bool    `json:"timing_met"`
+	FootprintMM2  float64 `json:"footprint_mm2"`
+	TotalPowerW   float64 `json:"total_power_w"`
+	LeakagePowerW float64 `json:"leakage_power_w"`
+}
+
+func (q *FlowRequest) spec() (flow.SoCSpec, error) {
+	spec := flow.SoCSpec{
+		NumCS:          q.NumCS,
+		ArrayRows:      q.ArrayRows,
+		ArrayCols:      q.ArrayCols,
+		RRAMCapBits:    int64(q.RRAMCapMB) << 23,
+		Banks:          q.Banks,
+		GlobalSRAMBits: q.GlobalSRAMBits,
+		TargetClockHz:  q.TargetClockHz,
+		Seed:           q.Seed,
+		FoldLogic:      q.FoldLogic,
+		RunCTS:         q.RunCTS,
+	}
+	switch q.Style {
+	case "", macro.Style2D.String():
+		spec.Style = macro.Style2D
+	case macro.Style3D.String():
+		spec.Style = macro.Style3D
+	default:
+		return spec, badSpec("unknown style %q (want %q or %q)",
+			q.Style, macro.Style2D, macro.Style3D)
+	}
+	if q.RRAMCapMB < 0 {
+		return spec, badSpec("rram_cap_mb %d must be ≥ 0", q.RRAMCapMB)
+	}
+	if !q.ThermalCheck && q.MaxTempRiseK != 0 {
+		return spec, badSpec("max_temp_rise_k needs thermal_check")
+	}
+	return spec, nil
+}
+
+// key is the coalescing identity of a flow request (canonical JSON).
+func (q *FlowRequest) key() string {
+	b, err := json.Marshal(q)
+	if err != nil {
+		return fmt.Sprintf("unkeyable:%p", q)
+	}
+	return "flow:" + string(b)
+}
+
+func (s *Server) handleFlow(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req FlowRequest
+	if err := decode(r.Body, &req); err != nil {
+		return err
+	}
+	spec, err := req.spec()
+	if err != nil {
+		return err
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	hits := s.reg.Counter("serve.memo.hits")
+	misses := s.reg.Counter("serve.memo.misses")
+	key := req.key()
+	resp, err := s.flows.DoMetered(key, hits, misses, func() (*FlowResponse, error) {
+		s.reg.Counter("serve.flow.evals").Add(1)
+		if s.evalStarted != nil {
+			s.evalStarted()
+		}
+		if s.evalBlock != nil {
+			s.evalBlock(ctx)
+		}
+		opts := s.evalOptions(ctx)
+		if req.ThermalCheck {
+			opts = append(opts, flow.WithThermalCheck(req.MaxTempRiseK))
+		}
+		res, err := flow.RunContext(ctx, s.pdk, spec, opts...)
+		if err != nil {
+			return nil, err
+		}
+		out := &FlowResponse{
+			Style:        res.Spec.Style.String(),
+			NumCS:        res.Spec.NumCS,
+			Cells:        res.Cells,
+			Macros:       res.Macros,
+			HPWLNM:       res.HPWL,
+			RoutedWLNM:   res.RoutedWL,
+			Vias:         res.Vias,
+			ILVs:         res.ILVs,
+			FmaxHz:       res.FmaxHz,
+			TimingMet:    res.TimingMet,
+			FootprintMM2: res.FootprintMM2(),
+		}
+		if res.Power != nil {
+			out.TotalPowerW = res.Power.TotalW
+			out.LeakagePowerW = res.Power.LeakageW
+		}
+		return out, nil
+	})
+	if err != nil {
+		s.flows.Forget(key)
+		return err
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}

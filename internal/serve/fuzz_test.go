@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"m3d/internal/errs"
+)
+
+// FuzzSweepRequest hammers the POST /v1/sweep request decoder and
+// validator with arbitrary bodies. The contract under fuzzing: decode +
+// validate never panic, and every rejection is an errs.ErrBadSpec (the
+// 400 family) — a malformed body must never surface as a 5xx. Bodies
+// that decode and validate cleanly must round-trip through key()
+// without falling into the unkeyable branch.
+//
+// Seeds live in testdata/fuzz/FuzzSweepRequest (checked in), covering
+// each sweep kind, the empty default, and known-hostile shapes:
+// truncated JSON, trailing garbage, unknown fields, foreign axes and
+// overflow-baiting capacities.
+func FuzzSweepRequest(f *testing.F) {
+	for _, tc := range sweepRequests {
+		f.Add(tc.body)
+	}
+	f.Add(``)
+	f.Add(`{}`)
+	f.Add(`{"kind":`)
+	f.Add(`{"kind":"bandwidth_cs"}{"kind":"beta"}`)
+	f.Add(`{"kind":"warp"}`)
+	f.Add(`{"kind":"delta","betas":[1.5]}`)
+	f.Add(`{"kind":"rram_capacity","capacities_mb":[9007199254740993]}`)
+	f.Add(`{"kind":"beta","unknown_field":1}`)
+	f.Add(`{"kind":"delta","deltas":[0.5]}`)
+	f.Add("\x00\xff")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		var req SweepRequest
+		err := decode(strings.NewReader(body), &req)
+		if err == nil {
+			err = req.validate()
+		}
+		if err != nil {
+			if !errors.Is(err, errs.ErrBadSpec) {
+				t.Fatalf("rejection is not ErrBadSpec: %v", err)
+			}
+			if got := statusOf(err); got != http.StatusBadRequest {
+				t.Fatalf("statusOf(%v) = %d, want 400", err, got)
+			}
+			return
+		}
+		if strings.HasPrefix(req.key(), "unkeyable:") {
+			t.Fatalf("accepted request is unkeyable: %q", body)
+		}
+	})
+}

@@ -1,0 +1,354 @@
+// Package serve is the HTTP evaluation service over the m3d library: a
+// stdlib-only JSON API exposing the Sec. III analytical framework
+// (POST /v1/sweep), the RTL-to-GDS flow (POST /v1/flow), a liveness probe
+// (GET /healthz), and the metrics registry (GET /metrics, the sorted text
+// dump of obs.Registry.WriteText). cmd/m3dserve is the binary.
+//
+// Request path (DESIGN.md §9): admission → coalesce → pool → response.
+//
+//   - Admission: every /v1 request passes an exec.Gate bounding in-flight
+//     evaluations plus a waiting queue; beyond both it is shed with
+//     429 Too Many Requests and a Retry-After header (errs.ErrOverloaded).
+//   - Coalescing: identical in-flight requests (canonical JSON key) are
+//     deduplicated through the single-flight exec.Cache — concurrent
+//     duplicates share one evaluation, counted by the serve.memo.hits /
+//     serve.memo.misses registry counters. Failed evaluations are
+//     forgotten so a canceled request never poisons its key.
+//   - Pool: evaluations run on the exec worker pool at the server's
+//     configured width, under a per-request context deadline
+//     (Config.RequestTimeout) derived from the client's context — client
+//     disconnect or deadline expiry cancels the evaluation (the pool
+//     observes errs.ErrCanceled and releases its admission slot).
+//
+// Error contract → status codes: errs.ErrBadSpec → 400,
+// errs.ErrThermalLimit → 422, errs.ErrCanceled → 408 (the nearest
+// standard code to nginx's 499), errs.ErrOverloaded → 429, draining →
+// 503; anything else is a 500. Error bodies are {"error": "..."}.
+//
+// Every request emits a "serve.<route>" span (when a tracer is attached)
+// and maintains serve.requests / serve.request.errors /
+// serve.request.seconds / serve.inflight / serve.queue.depth /
+// serve.shed / serve.canceled in the registry.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"m3d/internal/errs"
+	"m3d/internal/exec"
+	"m3d/internal/obs"
+	"m3d/internal/tech"
+)
+
+// maxBodyBytes bounds request bodies; larger bodies fail with 400.
+const maxBodyBytes = 1 << 20
+
+// Config configures a Server. The zero value is usable: default PDK,
+// default pool width, 64 in-flight requests with an equal waiting queue,
+// a 30 s request deadline, no tracer, and a fresh metrics registry.
+type Config struct {
+	// PDK is the process model evaluations run against (nil =
+	// tech.Default130()).
+	PDK *tech.PDK
+	// Workers is the exec pool width for each evaluation (≤ 0 =
+	// exec.DefaultWorkers()).
+	Workers int
+	// MaxInFlight bounds concurrently admitted /v1 requests (≤ 0 = 64).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for admission beyond MaxInFlight:
+	// 0 selects MaxInFlight, negative disables waiting entirely (shed as
+	// soon as the in-flight limit is reached).
+	MaxQueue int
+	// RequestTimeout is the per-request evaluation deadline, derived from
+	// the client's context: 0 selects 30 s, negative disables the
+	// deadline.
+	RequestTimeout time.Duration
+	// Tracer receives one span per request and the evaluation's inner
+	// spans; nil disables tracing.
+	Tracer obs.Tracer
+	// Metrics is the registry served by GET /metrics and fed by the
+	// request counters (nil = a fresh registry).
+	Metrics *obs.Registry
+	// Now overrides the clock used for request-duration metrics (tests);
+	// nil means time.Now.
+	Now func() time.Time
+}
+
+// Server is the HTTP evaluation service. Build with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	pdk     *tech.PDK
+	workers int
+	timeout time.Duration
+	tracer  obs.Tracer
+	reg     *obs.Registry
+	now     func() time.Time
+	gate    *exec.Gate
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	idle     chan struct{}
+	idleOnce sync.Once
+
+	sweeps exec.Cache[string, *SweepResponse]
+	flows  exec.Cache[string, *FlowResponse]
+
+	// Test hooks (nil outside tests): evalStarted fires when an
+	// evaluation body begins; evalBlock then blocks it, typically until
+	// the request context ends.
+	evalStarted func()
+	evalBlock   func(ctx context.Context)
+}
+
+// New builds a Server from cfg (see Config for defaults).
+func New(cfg Config) *Server {
+	s := &Server{
+		pdk:     cfg.PDK,
+		workers: cfg.Workers,
+		timeout: cfg.RequestTimeout,
+		tracer:  cfg.Tracer,
+		reg:     cfg.Metrics,
+		now:     cfg.Now,
+		idle:    make(chan struct{}),
+	}
+	if s.pdk == nil {
+		s.pdk = tech.Default130()
+	}
+	if s.workers <= 0 {
+		s.workers = exec.DefaultWorkers()
+	}
+	if s.timeout == 0 {
+		s.timeout = 30 * time.Second
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 64
+	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = maxInFlight
+	}
+	s.gate = exec.NewGate(maxInFlight, maxQueue)
+
+	s.mux = http.NewServeMux()
+	s.mux.Handle("GET /healthz", s.handler("healthz", false, s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.handler("metrics", false, s.handleMetrics))
+	s.mux.Handle("POST /v1/sweep", s.handler("sweep", true, s.handleSweep))
+	s.mux.Handle("POST /v1/flow", s.handler("flow", true, s.handleFlow))
+	return s
+}
+
+// Metrics returns the server's registry (never nil after New).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// InFlight reports the number of admitted evaluation requests.
+func (s *Server) InFlight() int { return s.gate.InFlight() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// enter registers one request against the drain barrier; it reports
+// false when the server is draining (the request must be refused).
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+// leave is enter's inverse; the last request out signals Drain.
+func (s *Server) leave() {
+	s.mu.Lock()
+	s.inflight--
+	if s.draining && s.inflight == 0 {
+		s.idleOnce.Do(func() { close(s.idle) })
+	}
+	s.mu.Unlock()
+}
+
+// Drain puts the server into drain mode — every new request is refused
+// with 503 — and waits for in-flight requests to complete. It returns
+// nil once the server is idle, or an error matching errs.ErrCanceled
+// (and ctx.Err()) when ctx ends first. Drain is idempotent; the server
+// stays refusing after it returns.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.inflight == 0 {
+		s.idleOnce.Do(func() { close(s.idle) })
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with %d request(s) in flight: %w: %w",
+			s.requestsInFlight(), errs.ErrCanceled, ctx.Err())
+	}
+}
+
+func (s *Server) requestsInFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// handler wraps an endpoint body with the request pipeline: drain
+// refusal, the admission gate (admit endpoints only), the request
+// deadline, the request span, and the request metrics.
+func (s *Server) handler(route string, admit bool, h func(ctx context.Context, w http.ResponseWriter, r *http.Request) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.enter() {
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, errors.New("serve: draining"), http.StatusServiceUnavailable)
+			return
+		}
+		defer s.leave()
+
+		start := s.now()
+		s.reg.Counter("serve.requests").Add(1)
+		var sp obs.Span
+		if s.tracer != nil {
+			sp = s.tracer.StartSpan("serve."+route, obs.String("method", r.Method))
+		}
+		status := http.StatusOK
+		defer func() {
+			s.reg.Histogram("serve.request.seconds").Observe(s.now().Sub(start).Seconds())
+			if sp != nil {
+				sp.SetAttr(obs.Int("status", status))
+				sp.End()
+			}
+		}()
+
+		ctx := r.Context()
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+
+		if admit {
+			err := s.gate.Enter(ctx)
+			s.reg.Gauge("serve.queue.depth").Set(int64(s.gate.Waiting()))
+			if err != nil {
+				status = statusOf(err)
+				if errors.Is(err, errs.ErrOverloaded) {
+					s.reg.Counter("serve.shed").Add(1)
+					w.Header().Set("Retry-After", "1")
+				}
+				s.fail(w, err, status)
+				return
+			}
+			s.reg.Gauge("serve.inflight").Set(int64(s.gate.InFlight()))
+			defer func() {
+				s.gate.Leave()
+				s.reg.Gauge("serve.inflight").Set(int64(s.gate.InFlight()))
+			}()
+		}
+
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		if err := h(ctx, w, r); err != nil {
+			status = statusOf(err)
+			s.fail(w, err, status)
+		}
+	})
+}
+
+// statusOf maps the library's sentinel errors to HTTP status codes.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, errs.ErrOverloaded):
+		return http.StatusTooManyRequests // 429
+	case errors.Is(err, errs.ErrBadSpec):
+		return http.StatusBadRequest // 400
+	case errors.Is(err, errs.ErrThermalLimit):
+		return http.StatusUnprocessableEntity // 422
+	case errors.Is(err, errs.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout // 408 (499-style client abort)
+	default:
+		return http.StatusInternalServerError // 500
+	}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error, status int) {
+	s.reg.Counter("serve.request.errors").Add(1)
+	if status == http.StatusRequestTimeout {
+		s.reg.Counter("serve.canceled").Add(1)
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	return enc.Encode(v)
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+func (s *Server) handleHealthz(_ context.Context, w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleMetrics(_ context.Context, w http.ResponseWriter, _ *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	return s.reg.WriteText(w)
+}
+
+// decode parses one JSON request body strictly: unknown fields, trailing
+// garbage, and oversized bodies all fail with errs.ErrBadSpec.
+func decode(body io.Reader, v any) error {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: decoding request: %v: %w", err, errs.ErrBadSpec)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return fmt.Errorf("serve: trailing data after request body: %w", errs.ErrBadSpec)
+	}
+	return nil
+}
+
+// evalOptions are the exec options every evaluation runs under: the
+// request context (deadline + client cancellation), the server's pool
+// width, and its observability sinks.
+func (s *Server) evalOptions(ctx context.Context) []exec.Option {
+	return []exec.Option{
+		exec.WithContext(ctx),
+		exec.WithWorkers(s.workers),
+		exec.WithTracer(s.tracer),
+		exec.WithMetrics(s.reg),
+	}
+}

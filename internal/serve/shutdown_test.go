@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"m3d/internal/errs"
+)
+
+// TestGracefulDrain walks the full drain choreography: an in-flight
+// request completes, a request arriving mid-drain is refused with 503,
+// and Drain returns once the server is idle.
+func TestGracefulDrain(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s := New(Config{Workers: 1})
+	s.evalStarted = func() { started <- struct{}{} }
+	s.evalBlock = func(ctx context.Context) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	inFlight := make(chan int, 1)
+	go func() {
+		status, _, _ := post(t, ts.URL+"/v1/sweep", `{"kind":"bandwidth_cs","cs_counts":[1],"bw_scales":[1]}`)
+		inFlight <- status
+	}()
+	<-started
+
+	drained := make(chan error, 1)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelDrain()
+	go func() { drained <- s.Drain(drainCtx) }()
+
+	// Once draining, every new request — evaluation or probe — is
+	// refused with 503 + Retry-After while the in-flight one lives on.
+	waitFor(t, "drain mode", func() bool {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusServiceUnavailable
+	})
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mid-drain request status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After")
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with a request in flight", err)
+	default:
+	}
+
+	// The in-flight request completes normally and Drain comes home.
+	close(release)
+	if status := <-inFlight; status != http.StatusOK {
+		t.Fatalf("in-flight request status = %d, want 200", status)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain = %v, want nil", err)
+	}
+
+	// Drain is idempotent and the server stays refusing.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain = %v", err)
+	}
+	status, _, _ := post(t, ts.URL+"/v1/sweep", `{"kind":"bandwidth_cs","cs_counts":[1],"bw_scales":[1]}`)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status = %d, want 503", status)
+	}
+}
+
+// TestDrainDeadline: a drain whose context is already expired reports
+// the in-flight request via an error matching both errs.ErrCanceled and
+// the context sentinel (no real clock involved — the deadline is the
+// injected context's).
+func TestDrainDeadline(t *testing.T) {
+	started := make(chan struct{}, 8)
+	s := New(Config{Workers: 1})
+	s.evalStarted = func() { started <- struct{}{} }
+	s.evalBlock = func(ctx context.Context) { <-ctx.Done() }
+	ts := httptest.NewServer(s)
+
+	reqCtx, cancelReq := context.WithCancel(context.Background())
+	reqDone := make(chan struct{})
+	go func() {
+		defer close(reqDone)
+		req, err := http.NewRequestWithContext(reqCtx, "POST", ts.URL+"/v1/sweep",
+			strings.NewReader(`{"kind":"bandwidth_cs","cs_counts":[1],"bw_scales":[1]}`))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	err := s.Drain(expired)
+	if !errors.Is(err, errs.ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain = %v, want ErrCanceled matching DeadlineExceeded", err)
+	}
+
+	// Cancel the stuck request; the drain then completes.
+	cancelReq()
+	<-reqDone
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after release = %v", err)
+	}
+	ts.Close()
+}
+
+// TestDrainIdle: draining an idle server returns immediately.
+func TestDrainIdle(t *testing.T) {
+	s := New(Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain idle = %v", err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"m3d/internal/flow"
 	"m3d/internal/macro"
 	"m3d/internal/obs"
+	"m3d/internal/serve"
 	"m3d/internal/tech"
 	"m3d/internal/thermal"
 	"m3d/internal/workload"
@@ -50,6 +51,9 @@ var (
 	ErrBadSpec = errs.ErrBadSpec
 	// ErrThermalLimit matches Eq. 17 thermal sign-off failures.
 	ErrThermalLimit = errs.ErrThermalLimit
+	// ErrOverloaded matches admission failures: the service's in-flight
+	// and queue capacity are both exhausted (HTTP 429 in the service).
+	ErrOverloaded = errs.ErrOverloaded
 )
 
 // Technology modeling (the foundry M3D PDK substitute).
@@ -300,6 +304,32 @@ func RunFlowManyContext(ctx context.Context, p *PDK, specs []SoCSpec, opts ...Op
 func RunFlowCaseStudy(p *PDK, scale SoCSpec, numCS int, opts ...Option) (*FlowResult, *FlowResult, error) {
 	return flow.CaseStudy(p, scale, numCS, opts...)
 }
+
+// HTTP evaluation service (cmd/m3dserve; see DESIGN.md §9). The service
+// layers production plumbing over the same entry points re-exported
+// above: bounded admission with load shedding (ErrOverloaded → 429),
+// single-flight coalescing of identical requests, per-request deadlines
+// into the pool, sentinel→status error mapping and graceful drain.
+type (
+	// Service is the evaluation HTTP handler (an http.Handler serving
+	// /healthz, /metrics, /v1/sweep, /v1/flow).
+	Service = serve.Server
+	// ServiceConfig configures a Service (PDK, pool width, admission
+	// capacity, per-request deadline, observability sinks).
+	ServiceConfig = serve.Config
+	// ServiceSweepRequest / ServiceSweepResponse are the /v1/sweep body
+	// and reply shapes.
+	ServiceSweepRequest  = serve.SweepRequest
+	ServiceSweepResponse = serve.SweepResponse
+	// ServiceFlowRequest / ServiceFlowResponse are the /v1/flow body and
+	// reply shapes.
+	ServiceFlowRequest  = serve.FlowRequest
+	ServiceFlowResponse = serve.FlowResponse
+)
+
+// NewService returns an evaluation HTTP handler; mount it on any
+// http.Server and call Drain on shutdown.
+func NewService(cfg ServiceConfig) *Service { return serve.New(cfg) }
 
 // Thermal modeling (Eq. 17).
 type (

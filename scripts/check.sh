@@ -28,10 +28,17 @@ go run ./cmd/m3dflow -side 2 -cs 2,4 -trace "$TRACE_TMP" >/dev/null
 go run ./scripts/tracecheck "$TRACE_TMP"
 rm -f "$TRACE_TMP"
 
+echo "== serve smoke =="
+# Boot cmd/m3dserve on an ephemeral port, replay the sweep_default
+# golden over real HTTP, then SIGTERM and require a graceful drain.
+go run ./scripts/servesmoke
+
 echo "== fuzz smoke (${FUZZTIME}/target) =="
 for pkg in verilog def lef liberty; do
     echo "-- internal/$pkg"
     go test -fuzz=FuzzRead -fuzztime="$FUZZTIME" "./internal/$pkg/"
 done
+echo "-- internal/serve"
+go test -fuzz=FuzzSweepRequest -fuzztime="$FUZZTIME" ./internal/serve/
 
 echo "OK: all checks passed"

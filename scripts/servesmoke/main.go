@@ -1,0 +1,194 @@
+// Command servesmoke is the check.sh gate for cmd/m3dserve: it builds
+// the server binary, boots it on an ephemeral port, replays the
+// sweep_default golden over real HTTP, scrapes /metrics, then SIGTERMs
+// the process and insists on a clean graceful drain. It exercises the
+// same request path the serve package's httptest suite covers, but
+// end-to-end through the compiled binary, a TCP socket and POSIX
+// signals.
+//
+// Run from the repo root (check.sh does):
+//
+//	go run ./scripts/servesmoke
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const (
+	startDeadline = 30 * time.Second
+	drainDeadline = 20 * time.Second
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("servesmoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("serve smoke ok: healthz + sweep golden + metrics + graceful drain")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	// Build a real binary rather than `go run`: signals must reach the
+	// server process itself, not a go-run parent.
+	bin := filepath.Join(tmp, "m3dserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/m3dserve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build m3dserve: %w", err)
+	}
+
+	srv := exec.Command(bin, "-addr", "localhost:0", "-drain", "10s")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	var stderr bytes.Buffer
+	srv.Stderr = &stderr
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	// Past this point the server is live: every early return must still
+	// reap the process.
+	defer func() {
+		if srv.ProcessState == nil {
+			srv.Process.Kill()
+			srv.Wait()
+		}
+	}()
+
+	addr, err := listenAddr(stdout)
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	if err := expectBody(base+"/healthz", "", `"status":"ok"`); err != nil {
+		return err
+	}
+
+	// The default sweep must match the serve package's checked-in golden
+	// byte for byte — one source of truth for the Fig. 8 grid JSON.
+	golden, err := os.ReadFile(filepath.Join("internal", "serve", "testdata", "sweep_default.golden.json"))
+	if err != nil {
+		return fmt.Errorf("read golden (run from repo root): %w", err)
+	}
+	body, err := fetch(base+"/v1/sweep", `{"kind":"bandwidth_cs"}`)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(body, golden) {
+		return fmt.Errorf("sweep response drifted from sweep_default.golden.json\ngot:\n%s", body)
+	}
+
+	if err := expectBody(base+"/metrics", "", "serve.requests"); err != nil {
+		return err
+	}
+
+	// SIGTERM → graceful drain → exit 0 with the drain log lines.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("server exit after SIGTERM: %w\nstderr:\n%s", err, stderr.Bytes())
+		}
+	case <-time.After(drainDeadline):
+		srv.Process.Kill()
+		return fmt.Errorf("server did not drain within %s\nstderr:\n%s", drainDeadline, stderr.Bytes())
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		return fmt.Errorf("no drain confirmation in server log:\n%s", stderr.Bytes())
+	}
+	return nil
+}
+
+// listenAddr reads the server's "listening on <addr>" banner.
+func listenAddr(stdout io.Reader) (string, error) {
+	type line struct {
+		text string
+		err  error
+	}
+	ch := make(chan line, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			ch <- line{text: sc.Text()}
+			// Keep draining so the server never blocks on a full pipe.
+			for sc.Scan() {
+			}
+			return
+		}
+		ch <- line{err: fmt.Errorf("server stdout closed before banner: %v", sc.Err())}
+	}()
+	select {
+	case l := <-ch:
+		if l.err != nil {
+			return "", l.err
+		}
+		addr, ok := strings.CutPrefix(l.text, "listening on ")
+		if !ok {
+			return "", fmt.Errorf("unexpected banner %q", l.text)
+		}
+		return addr, nil
+	case <-time.After(startDeadline):
+		return "", fmt.Errorf("server did not announce a listen address within %s", startDeadline)
+	}
+}
+
+// fetch GETs url (empty body) or POSTs body as JSON, requiring 200.
+func fetch(url, body string) ([]byte, error) {
+	var (
+		resp *http.Response
+		err  error
+	)
+	if body == "" {
+		resp, err = http.Get(url)
+	} else {
+		resp, err = http.Post(url, "application/json", strings.NewReader(body))
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return b, nil
+}
+
+func expectBody(url, body, want string) error {
+	b, err := fetch(url, body)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(b), want) {
+		return fmt.Errorf("%s: response missing %q:\n%s", url, want, b)
+	}
+	return nil
+}
