@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench report serve serve-smoke
+.PHONY: check vet build test race fuzz bench benchdiff invariants report serve serve-smoke
 
 check:
 	FUZZTIME=$(FUZZTIME) ./scripts/check.sh
@@ -26,6 +26,18 @@ fuzz:
 		$(GO) test -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/$$pkg/ || exit 1; \
 	done
 	$(GO) test -fuzz=FuzzSweepRequest -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzBatchRequest -fuzztime=$(FUZZTIME) ./internal/serve/
+
+# The property-based invariant suite (speedup ≤ N, EDP/bandwidth and
+# thermal monotonicity, degenerate-to-2D) plus the headline-band tests.
+invariants:
+	$(GO) test -run 'TestInvariant' -count=1 -v ./internal/analytic/
+	$(GO) test -run 'TestHeadline' -count=1 ./internal/core/
+
+# Benchmark regression gate: fails on >25% ns/op regression vs the
+# committed bench/BENCH_0.json baseline (see EXPERIMENTS.md).
+benchdiff:
+	./scripts/benchdiff.sh
 
 # Run the HTTP evaluation service on localhost:8080 (see README).
 serve:

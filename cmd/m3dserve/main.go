@@ -4,10 +4,17 @@
 // registry (GET /metrics). See DESIGN.md §9 for the request pipeline
 // (admission → coalesce → pool → response) and README for curl examples.
 //
+// Command m3dserve also serves heterogeneous evaluation batches
+// (POST /v1/batch): an array of sweep/flow items under one admission
+// slot, streamed back as a chunked JSON array with per-item status
+// isolation (DESIGN.md §10).
+//
 // The server sheds load with 429 once the admission queue is full,
-// applies a per-request deadline, and drains gracefully on SIGINT/
-// SIGTERM: in-flight requests complete (up to -drain), new requests are
-// refused with 503, then the listener closes.
+// applies a per-request deadline, bounds its coalescing caches with
+// -cachecap / M3D_CACHE_CAP (LRU eviction keeps memory flat under
+// varied traffic), and drains gracefully on SIGINT/SIGTERM: in-flight
+// requests complete (up to -drain), new requests are refused with 503,
+// then the listener closes.
 package main
 
 import (
@@ -38,6 +45,7 @@ func main() {
 	queue := flag.Int("queue", 0, "max requests waiting for admission (0 = same as -inflight, negative = none)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline (negative = none)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
+	cachecap := flag.Int("cachecap", 0, "memoized responses kept per coalescing cache, LRU-evicted beyond (0 = M3D_CACHE_CAP env, negative = unbounded)")
 	obsFlags := cliutil.Register()
 	flag.Parse()
 
@@ -54,6 +62,7 @@ func main() {
 		MaxInFlight:    *inflight,
 		MaxQueue:       *queue,
 		RequestTimeout: *timeout,
+		CacheCap:       *cachecap,
 		Tracer:         st.Tracer,
 		Metrics:        reg,
 	})

@@ -161,8 +161,17 @@ type sweepKey struct {
 
 // sweepCache memoizes repeated (Params, Load, n, b) evaluations across
 // sweeps. SweepPoint is a pure function of the key, so a process-wide
-// cache is deterministic and safe under concurrency.
+// cache is deterministic and safe under concurrency — eviction merely
+// costs a recomputation, never changes a result. Long-lived processes
+// bound it with M3D_CACHE_CAP (entries); unset keeps the seed's
+// unbounded behaviour.
 var sweepCache exec.Cache[sweepKey, SweepPoint]
+
+func init() {
+	if cap := exec.CacheCapFromEnv(); cap > 0 {
+		sweepCache.Bound(cap, nil)
+	}
+}
 
 // SweepBandwidthCS evaluates the Fig. 8 grid: EDP benefit as a function of
 // parallel CS count and total-bandwidth scale, for a workload with the

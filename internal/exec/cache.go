@@ -1,0 +1,278 @@
+package exec
+
+import (
+	"os"
+	"strconv"
+	"sync"
+
+	"m3d/internal/obs"
+)
+
+// CacheCapEnv is the environment variable that sets the entry budget of
+// the process-wide memo caches (the analytic sweep cache, the serve
+// coalescing caches) for deployments that opt into bounded memory. Unset,
+// empty, or non-positive leaves them unbounded (the seed behaviour).
+const CacheCapEnv = "M3D_CACHE_CAP"
+
+// CacheCapFromEnv returns the M3D_CACHE_CAP budget, or 0 when the
+// variable is unset or not a positive integer (meaning: stay unbounded).
+func CacheCapFromEnv() int64 {
+	if s := os.Getenv(CacheCapEnv); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// Cache is a concurrency-safe memoization table with single-flight
+// semantics: for each key the compute function runs exactly once, even
+// under concurrent Do calls; later (and concurrent) callers share the
+// stored value and error. The zero value is ready to use and unbounded.
+// Results must be treated as shared/immutable by callers.
+//
+// A Cache can opt into a size-aware LRU eviction policy with Bound: each
+// completed entry carries a cost (1 by default, or a caller-supplied
+// function of the value) and the least-recently-used completed entries
+// are evicted once the total cost exceeds the budget. In-flight
+// computations are charged a provisional cost of 1 and are never evicted
+// — evicting them would admit a second concurrent computation of the
+// same key, breaking the single-flight contract — so the entry count can
+// transiently exceed the budget only while more than the budget's worth
+// of distinct keys are computing simultaneously. Do/DoMetered callers
+// always receive the value they waited for, evicted or not.
+//
+// Instrument attaches the policy's accounting to an obs.Registry
+// (cache.evictions counter, cache.entries gauge). Both Bound and
+// Instrument must be called before the cache is shared across
+// goroutines.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*cacheEntry[K, V]
+
+	// LRU policy (zero = unbounded). head is the most recently used
+	// completed entry; tail the least. total counts provisional +
+	// completed costs.
+	maxCost int64
+	costFn  func(V) int64
+	head    *cacheEntry[K, V]
+	tail    *cacheEntry[K, V]
+	total   int64
+
+	// Accounting sinks (nil-safe, see obs).
+	evictions *obs.Counter
+	entries   *obs.Gauge
+}
+
+type cacheEntry[K comparable, V any] struct {
+	key  K
+	once sync.Once
+	val  V
+	err  error
+
+	// Guarded by Cache.mu.
+	cost       int64
+	linked     bool
+	prev, next *cacheEntry[K, V]
+}
+
+// NewLRU returns a cache bounded at maxCost total cost with the given
+// per-entry cost function (nil charges 1 per entry, making maxCost a
+// plain entry-count capacity).
+func NewLRU[K comparable, V any](maxCost int64, cost func(V) int64) *Cache[K, V] {
+	c := &Cache[K, V]{}
+	c.Bound(maxCost, cost)
+	return c
+}
+
+// Bound sets the cache's size-aware LRU policy: evict least-recently-used
+// completed entries once the summed entry costs exceed maxCost. cost
+// computes one entry's cost from its value (called once, when the
+// computation completes); nil — or a non-positive result — charges 1.
+// maxCost ≤ 0 removes the bound (the zero-value behaviour). Set the
+// policy before the cache is shared across goroutines.
+func (c *Cache[K, V]) Bound(maxCost int64, cost func(V) int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if maxCost < 0 {
+		maxCost = 0
+	}
+	c.maxCost = maxCost
+	c.costFn = cost
+	c.evictLocked()
+}
+
+// Instrument routes the cache's accounting into r: evictions increment
+// the cache.evictions counter and the live entry count moves the
+// cache.entries gauge (by deltas, so several caches sharing one registry
+// sum naturally). A nil registry detaches both.
+func (c *Cache[K, V]) Instrument(r *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictions = r.Counter("cache.evictions")
+	c.entries = r.Gauge("cache.entries")
+}
+
+// Do returns the memoized value for key, computing it with fn on first
+// use. Errors are memoized too: a failed computation is not retried.
+func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	return c.DoMetered(key, nil, nil, fn)
+}
+
+// DoMetered is Do with hit/miss counters (nil counters are no-ops). The
+// caller that interns the key counts one miss; every other caller —
+// concurrent single-flight waiters included — counts one hit, so at any
+// pool width misses equals the number of distinct keys computed
+// (re-computations after eviction or Forget count as new misses).
+func (c *Cache[K, V]) DoMetered(key K, hits, misses *obs.Counter, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*cacheEntry[K, V])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry[K, V]{key: key, cost: 1}
+		c.m[key] = e
+		c.entries.Add(1)
+		c.total++
+		c.evictLocked()
+	} else if e.linked {
+		c.moveToFrontLocked(e)
+	}
+	c.mu.Unlock()
+	if ok {
+		hits.Add(1)
+	} else {
+		misses.Add(1)
+	}
+	e.once.Do(func() {
+		e.val, e.err = fn()
+		c.complete(e)
+	})
+	return e.val, e.err
+}
+
+// complete settles a finished computation under the policy: replace the
+// provisional cost with the real one, link the entry into the LRU list,
+// and evict down to budget. An entry Forgotten (or evicted is
+// impossible — in-flight entries are never linked) while computing is
+// left untouched: its cost was already released.
+func (c *Cache[K, V]) complete(e *cacheEntry[K, V]) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m[e.key] != e {
+		return
+	}
+	cost := int64(1)
+	if c.costFn != nil && e.err == nil {
+		if v := c.costFn(e.val); v > 0 {
+			cost = v
+		}
+	}
+	c.total += cost - e.cost
+	e.cost = cost
+	c.pushFrontLocked(e)
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// total cost fits the budget (or nothing evictable remains). Requires
+// c.mu held.
+func (c *Cache[K, V]) evictLocked() {
+	if c.maxCost <= 0 {
+		return
+	}
+	for c.total > c.maxCost && c.tail != nil {
+		e := c.tail
+		c.unlinkLocked(e)
+		delete(c.m, e.key)
+		c.total -= e.cost
+		c.evictions.Add(1)
+		c.entries.Add(-1)
+	}
+}
+
+func (c *Cache[K, V]) pushFrontLocked(e *cacheEntry[K, V]) {
+	e.linked = true
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache[K, V]) unlinkLocked(e *cacheEntry[K, V]) {
+	if !e.linked {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.linked = false
+}
+
+func (c *Cache[K, V]) moveToFrontLocked(e *cacheEntry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlinkLocked(e)
+	c.pushFrontLocked(e)
+}
+
+// Forget drops the entry for key, so the next Do re-computes it. A
+// server coalescing requests through the cache calls this when a
+// computation fails with a non-deterministic error (cancellation, an
+// overload) so one canceled caller does not poison the key for every
+// later request; concurrent single-flight waiters already attached to
+// the old entry still share its result.
+func (c *Cache[K, V]) Forget(key K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return
+	}
+	c.unlinkLocked(e)
+	delete(c.m, key)
+	c.total -= e.cost
+	c.entries.Add(-1)
+}
+
+// Len reports how many keys have been interned (including in-flight
+// computations).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Cost reports the summed cost of interned entries (in-flight
+// computations count 1 until they settle).
+func (c *Cache[K, V]) Cost() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Reset drops every memoized entry (in-flight computations finish but
+// are not re-interned).
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries.Add(-int64(len(c.m)))
+	c.m = nil
+	c.head, c.tail = nil, nil
+	c.total = 0
+}

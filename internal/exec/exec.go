@@ -3,7 +3,9 @@
 // in deterministic input order regardless of goroutine scheduling, plus a
 // concurrency-safe memoization Cache with single-flight semantics for
 // deduplicating repeated evaluations (identical flow specs, repeated
-// (Params, Load) points).
+// (Params, Load) points). The cache is unbounded by default and can opt
+// into a size-aware LRU eviction policy (Cache.Bound, M3D_CACHE_CAP) for
+// long-lived servers; see cache.go.
 //
 // It also owns the library's shared run-option surface: every public
 // entry point that fans out (flow.Run/RunMany, analytic.SweepBandwidthCS,
@@ -313,75 +315,3 @@ func GridWith[A, B, R any](st *Settings, as []A, bs []B, fn func(ctx context.Con
 	})
 }
 
-// Cache is a concurrency-safe memoization table with single-flight
-// semantics: for each key the compute function runs exactly once, even
-// under concurrent Do calls; later (and concurrent) callers share the
-// stored value and error. The zero value is ready to use. Results must be
-// treated as shared/immutable by callers.
-type Cache[K comparable, V any] struct {
-	mu sync.Mutex
-	m  map[K]*cacheEntry[V]
-}
-
-type cacheEntry[V any] struct {
-	once sync.Once
-	val  V
-	err  error
-}
-
-// Do returns the memoized value for key, computing it with fn on first
-// use. Errors are memoized too: a failed computation is not retried.
-func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
-	return c.DoMetered(key, nil, nil, fn)
-}
-
-// DoMetered is Do with hit/miss counters (nil counters are no-ops). The
-// caller that interns the key counts one miss; every other caller —
-// concurrent single-flight waiters included — counts one hit, so at any
-// pool width misses equals the number of distinct keys.
-func (c *Cache[K, V]) DoMetered(key K, hits, misses *obs.Counter, fn func() (V, error)) (V, error) {
-	c.mu.Lock()
-	if c.m == nil {
-		c.m = make(map[K]*cacheEntry[V])
-	}
-	e, ok := c.m[key]
-	if !ok {
-		e = &cacheEntry[V]{}
-		c.m[key] = e
-	}
-	c.mu.Unlock()
-	if ok {
-		hits.Add(1)
-	} else {
-		misses.Add(1)
-	}
-	e.once.Do(func() { e.val, e.err = fn() })
-	return e.val, e.err
-}
-
-// Forget drops the entry for key, so the next Do re-computes it. A
-// server coalescing requests through the cache calls this when a
-// computation fails with a non-deterministic error (cancellation, an
-// overload) so one canceled caller does not poison the key for every
-// later request; concurrent single-flight waiters already attached to
-// the old entry still share its result.
-func (c *Cache[K, V]) Forget(key K) {
-	c.mu.Lock()
-	delete(c.m, key)
-	c.mu.Unlock()
-}
-
-// Len reports how many keys have been interned (including in-flight
-// computations).
-func (c *Cache[K, V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
-}
-
-// Reset drops every memoized entry.
-func (c *Cache[K, V]) Reset() {
-	c.mu.Lock()
-	c.m = nil
-	c.mu.Unlock()
-}

@@ -98,17 +98,28 @@ func (s *Server) handleFlow(ctx context.Context, w http.ResponseWriter, r *http.
 	if err := decode(r.Body, &req); err != nil {
 		return err
 	}
-	spec, err := req.spec()
+	resp, err := s.flowCached(ctx, &req)
 	if err != nil {
 		return err
 	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// flowCached validates one decoded request and evaluates it through the
+// coalescing cache; /v1/flow bodies and /v1/batch flow items share this
+// path.
+func (s *Server) flowCached(ctx context.Context, req *FlowRequest) (*FlowResponse, error) {
+	spec, err := req.spec()
+	if err != nil {
+		return nil, err
+	}
 	if err := spec.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	hits := s.reg.Counter("serve.memo.hits")
 	misses := s.reg.Counter("serve.memo.misses")
 	key := req.key()
-	resp, err := s.flows.DoMetered(key, hits, misses, func() (*FlowResponse, error) {
+	cached, err := s.flows.DoMetered(key, hits, misses, func() (*FlowResponse, error) {
 		s.reg.Counter("serve.flow.evals").Add(1)
 		if s.evalStarted != nil {
 			s.evalStarted()
@@ -145,7 +156,7 @@ func (s *Server) handleFlow(ctx context.Context, w http.ResponseWriter, r *http.
 	})
 	if err != nil {
 		s.flows.Forget(key)
-		return err
+		return nil, err
 	}
-	return writeJSON(w, http.StatusOK, resp)
+	return cached, nil
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"net/http"
 	"strings"
@@ -52,6 +53,81 @@ func FuzzSweepRequest(f *testing.F) {
 		}
 		if strings.HasPrefix(req.key(), "unkeyable:") {
 			t.Fatalf("accepted request is unkeyable: %q", body)
+		}
+	})
+}
+
+// FuzzBatchRequest hammers the POST /v1/batch decode path: the lenient
+// top-level array decode, the strict per-item decode, the sweep/flow
+// one-of, and each item's spec validation. Contract: no panics; every
+// whole-request rejection and every item-level pre-evaluation rejection
+// is errs.ErrBadSpec (the 400 family); accepted items must be keyable
+// (coalescing identity never degrades to the unkeyable branch).
+//
+// Seeds live in testdata/fuzz/FuzzBatchRequest (checked in): the mixed
+// acceptance batch, single-item sweep and flow batches, and the hostile
+// shapes — non-array bodies, truncated arrays, both/neither one-ofs,
+// unknown item fields, and nested trailing garbage.
+func FuzzBatchRequest(f *testing.F) {
+	f.Add(batchMixedBody)
+	f.Add(`[{"sweep":{"kind":"delta","deltas":[1.0,1.5]}}]`)
+	f.Add(`[{"flow":{"style":"M3D","num_cs":2,"seed":1}}]`)
+	f.Add(`[]`)
+	f.Add(`[{}]`)
+	f.Add(`[{"sweep":{"kind":"delta"},"flow":{}}]`)
+	f.Add(`{"sweep":{"kind":"delta"}}`)
+	f.Add(`[{"sweep":`)
+	f.Add(`[{"sweep":{"kind":"delta"}}] extra`)
+	f.Add(`[{"sweep":{"kind":"delta"},"bogus":1}]`)
+	f.Add(`[{"flow":{"style":"4D"}},{"flow":{"rram_cap_mb":-1}}]`)
+	f.Add(`[null,0,"x"]`)
+	f.Add("\x00\xff")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		requireBadSpec := func(err error) {
+			t.Helper()
+			if !errors.Is(err, errs.ErrBadSpec) {
+				t.Fatalf("rejection is not ErrBadSpec: %v", err)
+			}
+			if got := statusOf(err); got != http.StatusBadRequest {
+				t.Fatalf("statusOf(%v) = %d, want 400", err, got)
+			}
+		}
+		var raws []json.RawMessage
+		if err := decode(strings.NewReader(body), &raws); err != nil {
+			requireBadSpec(err)
+			return
+		}
+		if len(raws) == 0 || len(raws) > maxBatchItems {
+			return // whole-request badSpec paths, trivially 400
+		}
+		for _, raw := range raws {
+			item, err := decodeBatchItem(raw)
+			if err != nil {
+				requireBadSpec(err)
+				continue
+			}
+			if item.Sweep != nil {
+				if err := item.Sweep.validate(); err != nil {
+					requireBadSpec(err)
+					continue
+				}
+				if strings.HasPrefix(item.Sweep.key(), "unkeyable:") {
+					t.Fatalf("accepted sweep item is unkeyable: %q", raw)
+				}
+				continue
+			}
+			spec, err := item.Flow.spec()
+			if err == nil {
+				err = spec.Validate()
+			}
+			if err != nil {
+				requireBadSpec(err)
+				continue
+			}
+			if strings.HasPrefix(item.Flow.key(), "unkeyable:") {
+				t.Fatalf("accepted flow item is unkeyable: %q", raw)
+			}
 		}
 	})
 }

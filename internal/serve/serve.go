@@ -1,19 +1,26 @@
 // Package serve is the HTTP evaluation service over the m3d library: a
 // stdlib-only JSON API exposing the Sec. III analytical framework
-// (POST /v1/sweep), the RTL-to-GDS flow (POST /v1/flow), a liveness probe
-// (GET /healthz), and the metrics registry (GET /metrics, the sorted text
-// dump of obs.Registry.WriteText). cmd/m3dserve is the binary.
+// (POST /v1/sweep), the RTL-to-GDS flow (POST /v1/flow), heterogeneous
+// batches of both with per-item isolation and streamed results
+// (POST /v1/batch), a liveness probe (GET /healthz), and the metrics
+// registry (GET /metrics, the sorted text dump of
+// obs.Registry.WriteText). cmd/m3dserve is the binary.
 //
-// Request path (DESIGN.md §9): admission → coalesce → pool → response.
+// Request path (DESIGN.md §9-10): admission → coalesce → pool → response.
 //
 //   - Admission: every /v1 request passes an exec.Gate bounding in-flight
 //     evaluations plus a waiting queue; beyond both it is shed with
 //     429 Too Many Requests and a Retry-After header (errs.ErrOverloaded).
+//     A batch occupies exactly one admission slot for all its items.
 //   - Coalescing: identical in-flight requests (canonical JSON key) are
 //     deduplicated through the single-flight exec.Cache — concurrent
 //     duplicates share one evaluation, counted by the serve.memo.hits /
 //     serve.memo.misses registry counters. Failed evaluations are
-//     forgotten so a canceled request never poisons its key.
+//     forgotten so a canceled request never poisons its key. With
+//     Config.CacheCap (or M3D_CACHE_CAP) set, the caches are bounded
+//     size-aware LRUs: memory stays flat under sustained varied traffic
+//     at the price of re-evaluating evicted keys (cache.entries gauge,
+//     cache.evictions counter).
 //   - Pool: evaluations run on the exec worker pool at the server's
 //     configured width, under a per-request context deadline
 //     (Config.RequestTimeout) derived from the client's context — client
@@ -70,6 +77,13 @@ type Config struct {
 	// the client's context: 0 selects 30 s, negative disables the
 	// deadline.
 	RequestTimeout time.Duration
+	// CacheCap bounds each coalescing cache (sweep and flow responses,
+	// shared with /v1/batch items) at this many memoized responses,
+	// evicting least-recently-used entries beyond it; the caches feed the
+	// registry's cache.entries gauge and cache.evictions counter. 0 reads
+	// the M3D_CACHE_CAP environment variable (unset = unbounded);
+	// negative forces unbounded.
+	CacheCap int
 	// Tracer receives one span per request and the evaluation's inner
 	// spans; nil disables tracing.
 	Tracer obs.Tracer
@@ -145,11 +159,23 @@ func New(cfg Config) *Server {
 	}
 	s.gate = exec.NewGate(maxInFlight, maxQueue)
 
+	cacheCap := int64(cfg.CacheCap)
+	if cfg.CacheCap == 0 {
+		cacheCap = exec.CacheCapFromEnv()
+	}
+	if cacheCap > 0 {
+		s.sweeps.Bound(cacheCap, nil)
+		s.flows.Bound(cacheCap, nil)
+	}
+	s.sweeps.Instrument(s.reg)
+	s.flows.Instrument(s.reg)
+
 	s.mux = http.NewServeMux()
 	s.mux.Handle("GET /healthz", s.handler("healthz", false, s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.handler("metrics", false, s.handleMetrics))
 	s.mux.Handle("POST /v1/sweep", s.handler("sweep", true, s.handleSweep))
 	s.mux.Handle("POST /v1/flow", s.handler("flow", true, s.handleFlow))
+	s.mux.Handle("POST /v1/batch", s.handler("batch", true, s.handleBatch))
 	return s
 }
 

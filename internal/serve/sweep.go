@@ -178,8 +178,19 @@ func (s *Server) handleSweep(ctx context.Context, w http.ResponseWriter, r *http
 	if err := decode(r.Body, &req); err != nil {
 		return err
 	}
-	if err := req.validate(); err != nil {
+	resp, err := s.sweepCached(ctx, &req)
+	if err != nil {
 		return err
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// sweepCached validates one decoded request and evaluates it through the
+// coalescing cache; /v1/sweep bodies and /v1/batch sweep items share this
+// path, so identical requests coalesce across both endpoints.
+func (s *Server) sweepCached(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
 	}
 	hits := s.reg.Counter("serve.memo.hits")
 	misses := s.reg.Counter("serve.memo.misses")
@@ -192,15 +203,15 @@ func (s *Server) handleSweep(ctx context.Context, w http.ResponseWriter, r *http
 		if s.evalBlock != nil {
 			s.evalBlock(ctx)
 		}
-		return s.evalSweep(ctx, &req)
+		return s.evalSweep(ctx, req)
 	})
 	if err != nil {
 		// Do not poison the key: a canceled or shed evaluation must not
 		// fail every later identical request.
 		s.sweeps.Forget(key)
-		return err
+		return nil, err
 	}
-	return writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // caseStudyMachine returns the Fig. 8 reference machine: the case-study

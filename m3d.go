@@ -325,11 +325,23 @@ type (
 	// reply shapes.
 	ServiceFlowRequest  = serve.FlowRequest
 	ServiceFlowResponse = serve.FlowResponse
+	// ServiceBatchItem / ServiceBatchItemResult are the /v1/batch array
+	// element and its streamed per-item reply (one of sweep/flow, with
+	// isolated per-item status and error).
+	ServiceBatchItem       = serve.BatchItem
+	ServiceBatchItemResult = serve.BatchItemResult
 )
 
 // NewService returns an evaluation HTTP handler; mount it on any
 // http.Server and call Drain on shutdown.
 func NewService(cfg ServiceConfig) *Service { return serve.New(cfg) }
+
+// CacheCapEnv is the environment variable (M3D_CACHE_CAP) that bounds
+// the process-wide memo caches — the analytic sweep cache and, unless
+// ServiceConfig.CacheCap overrides it, the service coalescing caches —
+// at that many entries with least-recently-used eviction. Unset or
+// non-positive keeps them unbounded.
+const CacheCapEnv = exec.CacheCapEnv
 
 // Thermal modeling (Eq. 17).
 type (

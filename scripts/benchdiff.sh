@@ -1,0 +1,117 @@
+#!/bin/sh
+# benchdiff.sh — the performance-regression gate. Runs the tracked
+# benchmarks (exec cache hot paths, analytic sweep engine, serve HTTP
+# cached path), writes the results as bench/BENCH_<n>.json, and fails
+# when any benchmark is more than THRESHOLD_PCT slower than the
+# committed baseline bench/BENCH_0.json.
+#
+#   ./scripts/benchdiff.sh                 # run + compare vs baseline
+#   THRESHOLD_PCT=40 ./scripts/benchdiff.sh
+#   BENCHTIME=1s COUNT=5 ./scripts/benchdiff.sh   # steadier numbers
+#
+# The first run on a machine without bench/BENCH_0.json records it and
+# exits 0 — commit that file to arm the gate. Each benchmark runs COUNT
+# times and the MINIMUM ns/op is kept (the min is the least noisy
+# estimator of the code's true cost under scheduler jitter; see
+# EXPERIMENTS.md "Benchmark regression gate").
+set -eu
+
+THRESHOLD_PCT="${THRESHOLD_PCT:-25}"
+BENCHTIME="${BENCHTIME:-0.5s}"
+COUNT="${COUNT:-3}"
+BENCHDIR="bench"
+
+mkdir -p "$BENCHDIR"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== bench: exec cache =="
+go test -run '^$' -bench 'BenchmarkCache' -benchtime "$BENCHTIME" -count "$COUNT" ./internal/exec/ | tee -a "$RAW"
+echo "== bench: analytic sweep =="
+go test -run '^$' -bench 'BenchmarkSweep(Serial|ParallelCached)$' -benchtime "$BENCHTIME" -count "$COUNT" ./internal/analytic/ | tee -a "$RAW"
+echo "== bench: serve cached path =="
+go test -run '^$' -bench 'BenchmarkSweepCached' -benchtime "$BENCHTIME" -count "$COUNT" ./internal/serve/ | tee -a "$RAW"
+
+# Fold the raw `go test -bench` lines (Name-CPUs  iters  ns/op) into
+# one JSON object mapping benchmark name -> min ns/op across COUNT runs.
+next_n=0
+while [ -e "$BENCHDIR/BENCH_${next_n}.json" ]; do
+    next_n=$((next_n + 1))
+done
+OUT="$BENCHDIR/BENCH_${next_n}.json"
+
+awk '
+    # go test -bench lines:  Name-<GOMAXPROCS>  iterations  ns  "ns/op" ...
+    /^Benchmark/ {
+        if (NF >= 4 && $4 == "ns/op") {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            ns = $3 + 0
+            if (!(name in best) || ns < best[name]) best[name] = ns
+        }
+    }
+    END {
+        n = 0
+        printf "{\n"
+        for (name in best) order[n++] = name
+        # insertion sort for stable, diff-friendly output
+        for (i = 1; i < n; i++) {
+            k = order[i]
+            for (j = i - 1; j >= 0 && order[j] > k; j--) order[j+1] = order[j]
+            order[j+1] = k
+        }
+        for (i = 0; i < n; i++) {
+            printf "  \"%s\": %.2f%s\n", order[i], best[order[i]], (i < n-1 ? "," : "")
+        }
+        printf "}\n"
+    }
+' "$RAW" > "$OUT"
+echo "wrote $OUT"
+
+BASE="$BENCHDIR/BENCH_0.json"
+if [ "$OUT" = "$BASE" ]; then
+    echo "recorded new baseline $BASE — commit it to arm the regression gate"
+    exit 0
+fi
+
+# Compare: every benchmark present in the baseline must still exist and
+# be no more than THRESHOLD_PCT slower. New benchmarks (absent from the
+# baseline) are reported but do not fail.
+awk -v threshold="$THRESHOLD_PCT" -v base="$BASE" -v out="$OUT" '
+    function parse(file, arr,    line, name, val) {
+        while ((getline line < file) > 0) {
+            if (line ~ /"Benchmark/) {
+                name = line; sub(/^[^"]*"/, "", name); sub(/".*$/, "", name)
+                val = line; sub(/^[^:]*:[ \t]*/, "", val); sub(/,.*$/, "", val)
+                arr[name] = val + 0
+            }
+        }
+        close(file)
+    }
+    BEGIN {
+        parse(base, old)
+        parse(out, new)
+        fail = 0
+        for (name in old) {
+            if (!(name in new)) {
+                printf "MISSING  %-40s baseline %.1f ns/op, no current result\n", name, old[name]
+                fail = 1
+                continue
+            }
+            pct = (new[name] - old[name]) / old[name] * 100
+            status = "ok"
+            if (pct > threshold) { status = "REGRESSED"; fail = 1 }
+            printf "%-9s %-40s %10.1f -> %10.1f ns/op  (%+6.1f%%)\n", status, name, old[name], new[name], pct
+        }
+        for (name in new) {
+            if (!(name in old)) {
+                printf "new      %-40s %10.1f ns/op (not in baseline)\n", name, new[name]
+            }
+        }
+        if (fail) {
+            printf "FAIL: regression beyond %s%% vs %s\n", threshold, base
+            exit 1
+        }
+        printf "OK: no benchmark regressed more than %s%% vs %s\n", threshold, base
+    }
+' /dev/null

@@ -33,6 +33,12 @@ echo "== serve smoke =="
 # golden over real HTTP, then SIGTERM and require a graceful drain.
 go run ./scripts/servesmoke
 
+echo "== invariant suite =="
+# Property-based guarantees of the Sec. III model (randomized seeded
+# draws) and the paper's headline EDP band, end to end.
+go test -run 'TestInvariant' -count=1 ./internal/analytic/
+go test -run 'TestHeadline' -count=1 ./internal/core/
+
 echo "== fuzz smoke (${FUZZTIME}/target) =="
 for pkg in verilog def lef liberty; do
     echo "-- internal/$pkg"
@@ -40,5 +46,11 @@ for pkg in verilog def lef liberty; do
 done
 echo "-- internal/serve"
 go test -fuzz=FuzzSweepRequest -fuzztime="$FUZZTIME" ./internal/serve/
+go test -fuzz=FuzzBatchRequest -fuzztime="$FUZZTIME" ./internal/serve/
+
+echo "== benchmark regression gate =="
+# >THRESHOLD_PCT (default 25%) ns/op regression vs bench/BENCH_0.json
+# fails the check; see scripts/benchdiff.sh and EXPERIMENTS.md.
+./scripts/benchdiff.sh
 
 echo "OK: all checks passed"
