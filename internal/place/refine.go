@@ -49,17 +49,21 @@ func Refine(f *floorplan.Floorplan, nl *netlist.Netlist, tier tech.Tier, opt Ref
 	rng := rand.New(rand.NewSource(opt.Seed))
 	p := f.PDK
 
-	// netCost: HPWL of all nets touching the given instances.
-	netCost := func(insts ...*netlist.Instance) int64 {
-		seen := map[*netlist.Net]bool{}
+	// netCost: HPWL of all nets touching the given instances. The
+	// dedup scratch is epoch-stamped and keyed by the dense Net.ID so the
+	// two-calls-per-move hot loop never allocates.
+	seen := make([]uint32, len(nl.Nets))
+	var epoch uint32
+	netCost := func(a, b *netlist.Instance) int64 {
+		epoch++
 		var c int64
-		for _, inst := range insts {
+		for _, inst := range [2]*netlist.Instance{a, b} {
 			for _, pin := range inst.Pins() {
 				n := pin.Net
-				if n == nil || n.Clock || seen[n] {
+				if n == nil || n.Clock || seen[n.ID] == epoch {
 					continue
 				}
-				seen[n] = true
+				seen[n.ID] = epoch
 				c += n.HPWL()
 			}
 		}
