@@ -661,19 +661,21 @@ func runWith(ctx context.Context, st *exec.Settings, p *tech.PDK, spec SoCSpec) 
 		return nil, err
 	}
 
-	// 5. Post-route optimization + STA.
+	// 5. Post-route optimization + STA. One sta.Timer serves the
+	// upsizing rounds and the hold pass: the timing graph is built once.
 	endSTA := tr.start("sta")
 	wm := sta.NewWireModel(p, routes)
 	libs := map[tech.Tier]*cell.Library{tech.TierSiCMOS: siLib}
 	if cnLib != nil {
 		libs[tech.TierCNFET] = cnLib
 	}
-	opt, err := sta.OptimizeDrives(p, nl, wm, libs, 1/spec.TargetClockHz, 4)
+	tm := sta.NewTimer(p, nl, wm)
+	opt, err := tm.OptimizeDrives(libs, 1/spec.TargetClockHz, 4)
 	if err != nil {
 		endSTA()
 		return nil, fmt.Errorf("flow: sta: %w", err)
 	}
-	hold, err := sta.AnalyzeHold(p, nl, wm)
+	hold, err := tm.AnalyzeHold()
 	endSTA()
 	if err != nil {
 		return nil, fmt.Errorf("flow: hold: %w", err)

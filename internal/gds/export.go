@@ -48,7 +48,14 @@ func FromDesign(p *tech.PDK, nl *netlist.Netlist, die geom.Rect, routes *route.R
 
 	if routes != nil {
 		metals := p.RoutingLayers()
-		for _, nr := range routes.Routes {
+		// Iterate nets in netlist order, not map order: the stream's
+		// element order (and therefore the GDS bytes) must be a pure
+		// function of the design.
+		for _, n := range nl.Nets {
+			nr, ok := routes.Routes[n]
+			if !ok {
+				continue
+			}
 			for _, s := range nr.Segs {
 				if s.A == s.B {
 					continue // via; omitted from stream for size

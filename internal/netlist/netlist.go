@@ -103,6 +103,10 @@ func (inst *Instance) Pins() []*Pin { return inst.pins }
 
 // Pin is one connection point of an instance.
 type Pin struct {
+	// ID is the pin's dense index in netlist creation order; slice-based
+	// stages (STA arrival arrays, router scratch) key on it instead of
+	// hashing pointers.
+	ID       int
 	Inst     *Instance
 	Name     string
 	IsOutput bool
@@ -148,13 +152,42 @@ func (n *Net) SinkCapF() float64 {
 }
 
 // HPWL returns the half-perimeter wirelength of the net's pin locations.
+// It is the placement hot loop's cost function, so the bounding box is
+// accumulated directly over driver and sinks without building point
+// slices (equivalent to geom.HPWL over Pins()).
 func (n *Net) HPWL() int64 {
-	pins := n.Pins()
-	pts := make([]geom.Point, len(pins))
-	for i, p := range pins {
-		pts[i] = p.Loc()
+	var lo, hi geom.Point
+	count := 0
+	grow := func(p *Pin) {
+		at := p.Loc()
+		if count == 0 {
+			lo, hi = at, at
+		} else {
+			if at.X < lo.X {
+				lo.X = at.X
+			}
+			if at.X > hi.X {
+				hi.X = at.X
+			}
+			if at.Y < lo.Y {
+				lo.Y = at.Y
+			}
+			if at.Y > hi.Y {
+				hi.Y = at.Y
+			}
+		}
+		count++
 	}
-	return geom.HPWL(pts)
+	if n.Driver != nil {
+		grow(n.Driver)
+	}
+	for _, s := range n.Sinks {
+		grow(s)
+	}
+	if count < 2 {
+		return 0
+	}
+	return (hi.X - lo.X) + (hi.Y - lo.Y)
 }
 
 // Netlist is the design database.
@@ -162,7 +195,17 @@ type Netlist struct {
 	Name      string
 	Instances []*Instance
 	Nets      []*Net
+
+	// pins holds every pin in creation order, indexed by Pin.ID.
+	pins []*Pin
 }
+
+// NumPins returns the total pin count; Pin.ID values are dense in
+// [0, NumPins).
+func (nl *Netlist) NumPins() int { return len(nl.pins) }
+
+// PinByID returns the pin with the given dense ID.
+func (nl *Netlist) PinByID(id int) *Pin { return nl.pins[id] }
 
 // New creates an empty netlist.
 func New(name string) *Netlist {
@@ -205,12 +248,14 @@ func (nl *Netlist) AddNet(name string, activity float64) *Net {
 // become the net driver (error if the net already has one).
 func (nl *Netlist) AddPin(inst *Instance, name string, isOutput bool, capF float64, net *Net) (*Pin, error) {
 	p := &Pin{
+		ID:       len(nl.pins),
 		Inst:     inst,
 		Name:     name,
 		IsOutput: isOutput,
 		CapF:     capF,
 		Net:      net,
 	}
+	nl.pins = append(nl.pins, p)
 	inst.pins = append(inst.pins, p)
 	if net == nil {
 		return p, nil
@@ -287,6 +332,9 @@ func (nl *Netlist) Check() error {
 		for _, p := range inst.pins {
 			if p.Inst != inst {
 				return fmt.Errorf("netlist: pin %s/%s back-pointer broken", inst.Name, p.Name)
+			}
+			if p.ID < 0 || p.ID >= len(nl.pins) || nl.pins[p.ID] != p {
+				return fmt.Errorf("netlist: pin %s/%s ID %d not dense", inst.Name, p.Name, p.ID)
 			}
 		}
 	}

@@ -82,19 +82,25 @@ func Global(f *floorplan.Floorplan, nl *netlist.Netlist, tier tech.Tier, opt Opt
 		alpha := 0.8 * (1 - float64(it)/float64(opt.Iterations+1))
 		for _, c := range cells {
 			sx, sy, n := int64(0), int64(0), 0
+			accum := func(other *netlist.Pin) {
+				if other.Inst == c {
+					return
+				}
+				loc := other.Loc()
+				sx += loc.X
+				sy += loc.Y
+				n++
+			}
 			for _, pin := range c.Pins() {
 				net := pin.Net
 				if net == nil || net.Clock || len(net.Sinks)+1 > maxFanoutForForces {
 					continue
 				}
-				for _, other := range net.Pins() {
-					if other.Inst == c {
-						continue
-					}
-					loc := other.Loc()
-					sx += loc.X
-					sy += loc.Y
-					n++
+				if net.Driver != nil {
+					accum(net.Driver)
+				}
+				for _, other := range net.Sinks {
+					accum(other)
 				}
 			}
 			if n == 0 {

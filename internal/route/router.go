@@ -13,6 +13,16 @@ import (
 type routedNet struct {
 	net   *netlist.Net
 	paths [][]int
+	// hpwl is the net's HPWL at route time, precomputed once so the
+	// work-list ordering does not recompute it O(n log n) times.
+	hpwl int64
+}
+
+// sinkRef pairs a sink pin with its precomputed driver distance for the
+// nearest-first ordering inside routeNet.
+type sinkRef struct {
+	pin  *netlist.Pin
+	dist int64
 }
 
 // Route globally routes all signal nets of the placed netlist. Clock nets
@@ -39,26 +49,34 @@ func Route(f *floorplan.Floorplan, nl *netlist.Netlist, opt Options) (*Result, e
 			res.SkippedNets++
 			continue
 		}
-		work = append(work, &routedNet{net: n})
+		work = append(work, &routedNet{net: n, hpwl: n.HPWL()})
 	}
 	// Short nets first: they lock in the cheap resources, long nets then
 	// negotiate around them.
 	sort.SliceStable(work, func(i, j int) bool {
-		return work[i].net.HPWL() < work[j].net.HPWL()
+		return work[i].hpwl < work[j].hpwl
 	})
 
+	// sinkScratch is reused across every routeNet call (including rip-up
+	// rounds) so per-net sink ordering allocates nothing once grown.
+	var sinkScratch []sinkRef
 	routeNet := func(rn *routedNet) {
 		n := rn.net
 		rn.paths = rn.paths[:0]
 		dx, dy := g.cellOf(n.Driver.Loc())
 		src := g.idx(g.pinLayer(n.Driver.Inst), dx, dy)
 		// Star topology from the driver, nearest sink first.
-		sinks := append([]*netlist.Pin(nil), n.Sinks...)
+		sinks := sinkScratch[:0]
 		dloc := n.Driver.Loc()
+		for _, s := range n.Sinks {
+			sinks = append(sinks, sinkRef{pin: s, dist: s.Loc().ManhattanDist(dloc)})
+		}
 		sort.SliceStable(sinks, func(i, j int) bool {
-			return sinks[i].Loc().ManhattanDist(dloc) < sinks[j].Loc().ManhattanDist(dloc)
+			return sinks[i].dist < sinks[j].dist
 		})
-		for _, s := range sinks {
+		sinkScratch = sinks
+		for _, sr := range sinks {
+			s := sr.pin
 			sx, sy := g.cellOf(s.Loc())
 			dst := g.idx(g.pinLayer(s.Inst), sx, sy)
 			if dst == src {

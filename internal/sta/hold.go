@@ -52,71 +52,64 @@ const holdTimeS = 15e-12
 // zero-skew clock, any positive path delay above holdTimeS passes). It
 // mirrors Analyze but propagates minimum arrivals.
 func AnalyzeHold(p *tech.PDK, nl *netlist.Netlist, wm *WireModel) (*HoldReport, error) {
-	if wm == nil {
-		wm = NewWireModel(p, nil)
-	}
-	arr := make(map[*netlist.Pin]float64)
-	cls := make(map[*netlist.Pin]launchClass)
+	return NewTimer(p, nl, wm).AnalyzeHold()
+}
 
-	netDelay := makeNetDelay(wm)
+// AnalyzeHold runs the Timer's min-arrival pass over the shared scratch.
+func (t *Timer) AnalyzeHold() (*HoldReport, error) {
+	t.reset()
+	nl := t.nl
+	arr, seen, cls, pending := t.arr, t.seen, t.cls, t.pending
+	netDelay := makeNetDelay(t.wm)
 
-	type node struct{ pending int }
-	nodes := make(map[*netlist.Instance]*node, len(nl.Instances))
-	var queue []*netlist.Instance
 	for _, inst := range nl.Instances {
-		nd := &node{}
-		for _, pin := range inst.Pins() {
-			if !pin.IsOutput && pin.Net != nil && !pin.Net.Clock {
-				nd.pending++
-			}
-		}
-		nodes[inst] = nd
-		if isLaunch(inst) || nd.pending == 0 {
-			t := 0.0
+		if isLaunch(inst) || pending[inst.ID] == 0 {
+			launchT := 0.0
 			class := launchConst
 			if !inst.IsMacro() && inst.Cell.Sequential {
-				t = inst.Cell.ClkQS
+				launchT = inst.Cell.ClkQS
 				class = launchReg
 			}
 			if inst.IsMacro() {
-				t = inst.Macro.AccessLatencyS
+				launchT = inst.Macro.AccessLatencyS
 				class = launchMacro
 			}
 			for _, pin := range inst.Pins() {
 				if pin.IsOutput {
-					arr[pin] = t
-					cls[pin] = class
+					arr[pin.ID] = launchT
+					seen[pin.ID] = true
+					cls[pin.ID] = class
 				}
 			}
-			queue = append(queue, inst)
-			nd.pending = -1
+			t.queue = append(t.queue, inst)
+			pending[inst.ID] = -1
 		}
 	}
-	for len(queue) > 0 {
-		inst := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(t.queue); qi++ {
+		inst := t.queue[qi]
 		for _, out := range inst.Pins() {
 			if !out.IsOutput || out.Net == nil || out.Net.Clock {
 				continue
 			}
-			tOut, ok := arr[out]
-			if !ok {
+			if !seen[out.ID] {
 				continue
 			}
+			tOut := arr[out.ID]
 			d := netDelay(out.Net)
 			for _, sink := range out.Net.Sinks {
 				tSink := tOut + d
-				if old, ok := arr[sink]; !ok || tSink < old {
-					arr[sink] = tSink
-					cls[sink] = cls[out]
+				if !seen[sink.ID] || tSink < arr[sink.ID] {
+					arr[sink.ID] = tSink
+					seen[sink.ID] = true
+					cls[sink.ID] = cls[out.ID]
 				}
-				snd := nodes[sink.Inst]
-				if snd.pending < 0 {
+				sid := sink.Inst.ID
+				if pending[sid] < 0 {
 					continue
 				}
-				snd.pending--
-				if snd.pending == 0 {
-					snd.pending = -1
+				pending[sid]--
+				if pending[sid] == 0 {
+					pending[sid] = -1
 					best := 0.0
 					bestCls := launchConst
 					first := true
@@ -124,19 +117,20 @@ func AnalyzeHold(p *tech.PDK, nl *netlist.Netlist, wm *WireModel) (*HoldReport, 
 						if in.IsOutput || in.Net == nil || in.Net.Clock {
 							continue
 						}
-						if t, ok := arr[in]; ok && (first || t < best) {
-							best = t
-							bestCls = cls[in]
+						if seen[in.ID] && (first || arr[in.ID] < best) {
+							best = arr[in.ID]
+							bestCls = cls[in.ID]
 							first = false
 						}
 					}
 					for _, op := range sink.Inst.Pins() {
 						if op.IsOutput {
-							arr[op] = best
-							cls[op] = bestCls
+							arr[op.ID] = best
+							seen[op.ID] = true
+							cls[op.ID] = bestCls
 						}
 					}
-					queue = append(queue, sink.Inst)
+					t.queue = append(t.queue, sink.Inst)
 				}
 			}
 		}
@@ -151,17 +145,16 @@ func AnalyzeHold(p *tech.PDK, nl *netlist.Netlist, wm *WireModel) (*HoldReport, 
 			if pin.IsOutput || pin.Net == nil || pin.Net.Clock {
 				continue
 			}
-			t, ok := arr[pin]
-			if !ok {
+			if !seen[pin.ID] {
 				continue
 			}
 			// Constant-launched paths (tie cells, input stubs) carry no
 			// clock-edge race and are not hold-checked.
-			if cls[pin] == launchConst {
+			if cls[pin.ID] == launchConst {
 				continue
 			}
 			rep.Endpoints++
-			slack := t - holdTimeS
+			slack := arr[pin.ID] - holdTimeS
 			if slack < rep.WorstSlackS {
 				rep.WorstSlackS = slack
 				rep.WorstEndpoint = inst.Name + "/" + pin.Name
@@ -228,10 +221,8 @@ func GroupEndpoints(p *tech.PDK, nl *netlist.Netlist, wm *WireModel, rep *Report
 			s.WorstEndpoint = name
 		}
 	}
-	arrivals, launches, err := arrivalsWithLaunchClass(p, nl, wm)
-	if err != nil {
-		return nil, err
-	}
+	tm := NewTimer(p, nl, wm)
+	tm.arrivalsWithLaunchClass()
 	for _, inst := range nl.Instances {
 		seq := !inst.IsMacro() && inst.Cell.Sequential
 		mac := inst.IsMacro()
@@ -242,22 +233,22 @@ func GroupEndpoints(p *tech.PDK, nl *netlist.Netlist, wm *WireModel, rep *Report
 			if pin.IsOutput || pin.Net == nil || pin.Net.Clock {
 				continue
 			}
-			t, ok := arrivals[pin]
-			if !ok {
+			if !tm.seen[pin.ID] {
 				continue
 			}
+			t := tm.arr[pin.ID]
 			if seq {
 				t += inst.Cell.SetupS
 			}
 			var g PathGroup
 			switch {
-			case mac && launches[pin] == launchMacro:
+			case mac && tm.cls[pin.ID] == launchMacro:
 				g = GroupRegToMacro // macro endpoint; launch class irrelevant label-wise
 			case mac:
 				g = GroupRegToMacro
-			case launches[pin] == launchMacro:
+			case tm.cls[pin.ID] == launchMacro:
 				g = GroupMacroToReg
-			case launches[pin] == launchConst:
+			case tm.cls[pin.ID] == launchConst:
 				g = GroupInToReg
 			default:
 				g = GroupRegToReg

@@ -2,8 +2,6 @@ package sta
 
 import (
 	"m3d/internal/cell"
-	"m3d/internal/netlist"
-	"m3d/internal/tech"
 )
 
 // launchClass labels where a timing path starts.
@@ -20,26 +18,15 @@ func isConstKind(c *cell.Cell) bool {
 }
 
 // arrivalsWithLaunchClass runs max-arrival propagation (like Analyze) but
-// also tracks the launch class of each pin's dominant path.
-func arrivalsWithLaunchClass(p *tech.PDK, nl *netlist.Netlist, wm *WireModel) (map[*netlist.Pin]float64, map[*netlist.Pin]launchClass, error) {
-	if wm == nil {
-		wm = NewWireModel(p, nil)
-	}
-	arr := make(map[*netlist.Pin]float64)
-	cls := make(map[*netlist.Pin]launchClass)
-	netDelay := makeNetDelay(wm)
+// also tracks the launch class of each pin's dominant path. Results are
+// left in the Timer's arr/seen/cls scratch, indexed by Pin.ID.
+func (t *Timer) arrivalsWithLaunchClass() {
+	t.reset()
+	nl := t.nl
+	arr, seen, cls, pending := t.arr, t.seen, t.cls, t.pending
+	netDelay := makeNetDelay(t.wm)
 
-	type node struct{ pending int }
-	nodes := make(map[*netlist.Instance]*node, len(nl.Instances))
-	var queue []*netlist.Instance
 	for _, inst := range nl.Instances {
-		nd := &node{}
-		for _, pin := range inst.Pins() {
-			if !pin.IsOutput && pin.Net != nil && !pin.Net.Clock {
-				nd.pending++
-			}
-		}
-		nodes[inst] = nd
 		launchT := -1.0
 		class := launchReg
 		switch {
@@ -51,67 +38,68 @@ func arrivalsWithLaunchClass(p *tech.PDK, nl *netlist.Netlist, wm *WireModel) (m
 		case isConstKind(inst.Cell):
 			launchT = 0
 			class = launchConst
-		case nd.pending == 0:
+		case pending[inst.ID] == 0:
 			launchT = 0
 			class = launchConst
 		}
 		if launchT >= 0 {
 			for _, pin := range inst.Pins() {
 				if pin.IsOutput {
-					arr[pin] = launchT
-					cls[pin] = class
+					arr[pin.ID] = launchT
+					seen[pin.ID] = true
+					cls[pin.ID] = class
 				}
 			}
-			queue = append(queue, inst)
-			nd.pending = -1
+			t.queue = append(t.queue, inst)
+			pending[inst.ID] = -1
 		}
 	}
-	for len(queue) > 0 {
-		inst := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(t.queue); qi++ {
+		inst := t.queue[qi]
 		for _, out := range inst.Pins() {
 			if !out.IsOutput || out.Net == nil || out.Net.Clock {
 				continue
 			}
-			tOut, ok := arr[out]
-			if !ok {
+			if !seen[out.ID] {
 				continue
 			}
+			tOut := arr[out.ID]
 			d := netDelay(out.Net)
 			for _, sink := range out.Net.Sinks {
 				tSink := tOut + d
-				if old, ok := arr[sink]; !ok || tSink > old {
-					arr[sink] = tSink
-					cls[sink] = cls[out]
+				if !seen[sink.ID] || tSink > arr[sink.ID] {
+					arr[sink.ID] = tSink
+					seen[sink.ID] = true
+					cls[sink.ID] = cls[out.ID]
 				}
-				snd := nodes[sink.Inst]
-				if snd.pending < 0 {
+				sid := sink.Inst.ID
+				if pending[sid] < 0 {
 					continue
 				}
-				snd.pending--
-				if snd.pending == 0 {
-					snd.pending = -1
+				pending[sid]--
+				if pending[sid] == 0 {
+					pending[sid] = -1
 					worst := 0.0
 					worstCls := launchConst
 					for _, in := range sink.Inst.Pins() {
 						if in.IsOutput || in.Net == nil || in.Net.Clock {
 							continue
 						}
-						if t, ok := arr[in]; ok && t >= worst {
-							worst = t
-							worstCls = cls[in]
+						if seen[in.ID] && arr[in.ID] >= worst {
+							worst = arr[in.ID]
+							worstCls = cls[in.ID]
 						}
 					}
 					for _, op := range sink.Inst.Pins() {
 						if op.IsOutput {
-							arr[op] = worst
-							cls[op] = worstCls
+							arr[op.ID] = worst
+							seen[op.ID] = true
+							cls[op.ID] = worstCls
 						}
 					}
-					queue = append(queue, sink.Inst)
+					t.queue = append(t.queue, sink.Inst)
 				}
 			}
 		}
 	}
-	return arr, cls, nil
 }

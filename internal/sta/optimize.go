@@ -25,16 +25,22 @@ type OptimizeResult struct {
 // tier to the library used for cells on that tier.
 func OptimizeDrives(p *tech.PDK, nl *netlist.Netlist, wm *WireModel,
 	libs map[tech.Tier]*cell.Library, targetPeriodS float64, maxRounds int) (*OptimizeResult, error) {
+	return NewTimer(p, nl, wm).OptimizeDrives(libs, targetPeriodS, maxRounds)
+}
+
+// OptimizeDrives runs the upsizing loop on the Timer: the timing graph
+// is built once and only the per-pass scratch resets between the
+// analyze rounds.
+func (tm *Timer) OptimizeDrives(libs map[tech.Tier]*cell.Library,
+	targetPeriodS float64, maxRounds int) (*OptimizeResult, error) {
 
 	if maxRounds <= 0 {
 		maxRounds = 4
 	}
-	if wm == nil {
-		wm = NewWireModel(p, nil)
-	}
+	nl, wm := tm.nl, tm.wm
 	res := &OptimizeResult{}
 	for round := 0; round < maxRounds; round++ {
-		rep, err := Analyze(p, nl, wm, targetPeriodS)
+		rep, err := tm.Analyze(targetPeriodS)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +81,7 @@ func OptimizeDrives(p *tech.PDK, nl *netlist.Netlist, wm *WireModel,
 			return res, nil
 		}
 	}
-	rep, err := Analyze(p, nl, wm, targetPeriodS)
+	rep, err := tm.Analyze(targetPeriodS)
 	if err != nil {
 		return nil, err
 	}

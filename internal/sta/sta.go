@@ -84,107 +84,138 @@ type Report struct {
 // Met reports whether the target period is met.
 func (r *Report) Met() bool { return r.WorstSlackS >= 0 }
 
-// Analyze runs STA at the given target clock period.
-func Analyze(p *tech.PDK, nl *netlist.Netlist, wm *WireModel, targetPeriodS float64) (*Report, error) {
+// Timer runs repeated timing passes over one netlist with slice-indexed
+// bookkeeping: arrival times, predecessor links, and launch classes are
+// arrays over the dense Pin.ID space, and the per-instance combinational
+// dependency counts (the levelization structure) are built once at
+// construction and restored by copy for every pass. This replaces the
+// map[*Pin]float64 / map[*Instance]*node bookkeeping that dominated STA
+// allocations, and lets OptimizeDrives rerun analysis each round without
+// rebuilding anything.
+//
+// A Timer is single-goroutine; the netlist topology (instances, pins,
+// nets) must not change between passes. Cell pointer swaps (drive
+// upsizing) are fine — cell-dependent delays are read during the pass.
+type Timer struct {
+	p  *tech.PDK
+	nl *netlist.Netlist
+	wm *WireModel
+
+	// pendingInit is the per-instance count of connected non-clock input
+	// pins, indexed by Instance.ID — the static levelization structure.
+	pendingInit []int32
+
+	// Per-pass scratch, reused across passes.
+	pending []int32       // per instance: remaining inputs; -1 = resolved
+	arr     []float64     // per pin: arrival time
+	seen    []bool        // per pin: arrival computed
+	from    []int32       // per pin: predecessor Pin.ID, -1 = launch
+	cls     []launchClass // per pin: dominant launch class
+	queue   []*netlist.Instance
+}
+
+// NewTimer builds a reusable timing engine for the netlist; wm may be
+// nil (pre-route estimates).
+func NewTimer(p *tech.PDK, nl *netlist.Netlist, wm *WireModel) *Timer {
 	if wm == nil {
 		wm = NewWireModel(p, nil)
 	}
+	t := &Timer{
+		p: p, nl: nl, wm: wm,
+		pendingInit: make([]int32, len(nl.Instances)),
+		pending:     make([]int32, len(nl.Instances)),
+		arr:         make([]float64, nl.NumPins()),
+		seen:        make([]bool, nl.NumPins()),
+		from:        make([]int32, nl.NumPins()),
+		cls:         make([]launchClass, nl.NumPins()),
+	}
+	for _, inst := range nl.Instances {
+		var n int32
+		for _, pin := range inst.Pins() {
+			if !pin.IsOutput && pin.Net != nil && !pin.Net.Clock {
+				n++
+			}
+		}
+		t.pendingInit[inst.ID] = n
+	}
+	return t
+}
+
+// reset restores the per-pass scratch for a fresh propagation.
+func (t *Timer) reset() {
+	copy(t.pending, t.pendingInit)
+	for i := range t.seen {
+		t.seen[i] = false
+		t.from[i] = -1
+	}
+	t.queue = t.queue[:0]
+}
+
+// Analyze runs STA at the given target clock period.
+func Analyze(p *tech.PDK, nl *netlist.Netlist, wm *WireModel, targetPeriodS float64) (*Report, error) {
+	return NewTimer(p, nl, wm).Analyze(targetPeriodS)
+}
+
+// Analyze runs max-arrival STA at the given target clock period, reusing
+// the Timer's graph and scratch.
+func (t *Timer) Analyze(targetPeriodS float64) (*Report, error) {
 	if targetPeriodS <= 0 {
 		return nil, fmt.Errorf("sta: target period must be positive, got %g", targetPeriodS)
 	}
-
-	// Arrival time per pin; -1 = not yet computed.
-	arr := make(map[*netlist.Pin]float64)
-	from := make(map[*netlist.Pin]*netlist.Pin)
-
-	// Net delay from driver to one sink: Elmore with lumped wire RC.
-	netDelay := func(n *netlist.Net) float64 {
-		rw, cw := wm.NetRC(n)
-		cTotal := cw + n.SinkCapF()
-		var rd float64
-		var intrinsic float64
-		if n.Driver != nil && !n.Driver.Inst.IsMacro() {
-			k := n.Driver.Inst.Cell.Kind
-			if k == cell.TieHi || k == cell.TieLo {
-				// Constant nets do not propagate transitions.
-				return 0
-			}
-			rd = n.Driver.Inst.Cell.DriveResOhm
-			intrinsic = n.Driver.Inst.Cell.IntrinsicDelayS
-		} else if n.Driver != nil {
-			rd = 200 // macro output driver
-		}
-		return intrinsic + 0.69*(rd*cTotal+rw*(cw/2+n.SinkCapF()))
-	}
-
-	// Build a combinational dependency count per instance: outputs wait on
-	// all inputs (sequential and macro outputs are launch points).
-	type node struct {
-		inst    *netlist.Instance
-		pending int
-	}
-	nodes := make(map[*netlist.Instance]*node, len(nl.Instances))
-	var queue []*netlist.Instance
-
-	launch := func(pin *netlist.Pin, t float64) {
-		arr[pin] = t
-	}
+	t.reset()
+	nl := t.nl
+	arr, seen, from, pending := t.arr, t.seen, t.from, t.pending
+	netDelay := makeNetDelay(t.wm)
 
 	for _, inst := range nl.Instances {
-		nd := &node{inst: inst}
-		for _, pin := range inst.Pins() {
-			if !pin.IsOutput && pin.Net != nil && !pin.Net.Clock {
-				nd.pending++
-			}
-		}
-		nodes[inst] = nd
 		seq := !inst.IsMacro() && inst.Cell.Sequential
 		mac := inst.IsMacro()
 		tie := !mac && (inst.Cell.Kind == cell.TieHi || inst.Cell.Kind == cell.TieLo)
-		if seq || mac || tie || nd.pending == 0 {
+		if seq || mac || tie || pending[inst.ID] == 0 {
 			// Launch point: outputs available at fixed time.
-			t := 0.0
+			launchT := 0.0
 			if seq {
-				t = inst.Cell.ClkQS
+				launchT = inst.Cell.ClkQS
 			}
 			if mac {
-				t = inst.Macro.AccessLatencyS
+				launchT = inst.Macro.AccessLatencyS
 			}
 			for _, pin := range inst.Pins() {
 				if pin.IsOutput {
-					launch(pin, t)
+					arr[pin.ID] = launchT
+					seen[pin.ID] = true
 				}
 			}
-			queue = append(queue, inst)
-			nd.pending = -1 // mark done
+			t.queue = append(t.queue, inst)
+			pending[inst.ID] = -1 // mark done
 		}
 	}
 
-	for len(queue) > 0 {
-		inst := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(t.queue); qi++ {
+		inst := t.queue[qi]
 		for _, out := range inst.Pins() {
 			if !out.IsOutput || out.Net == nil || out.Net.Clock {
 				continue
 			}
-			tOut, ok := arr[out]
-			if !ok {
+			if !seen[out.ID] {
 				continue
 			}
+			tOut := arr[out.ID]
 			d := netDelay(out.Net)
 			for _, sink := range out.Net.Sinks {
 				tSink := tOut + d
-				if old, ok := arr[sink]; !ok || tSink > old {
-					arr[sink] = tSink
-					from[sink] = out
+				if !seen[sink.ID] || tSink > arr[sink.ID] {
+					arr[sink.ID] = tSink
+					seen[sink.ID] = true
+					from[sink.ID] = int32(out.ID)
 				}
-				snd := nodes[sink.Inst]
-				if snd.pending < 0 {
+				sid := sink.Inst.ID
+				if pending[sid] < 0 {
 					continue // launch point; D pins are endpoints only
 				}
-				snd.pending--
-				if snd.pending == 0 {
-					snd.pending = -1
+				pending[sid]--
+				if pending[sid] == 0 {
+					pending[sid] = -1
 					// Compute output arrivals: max input arrival + cell delay.
 					worstIn := 0.0
 					var worstPin *netlist.Pin
@@ -192,8 +223,8 @@ func Analyze(p *tech.PDK, nl *netlist.Netlist, wm *WireModel, targetPeriodS floa
 						if in.IsOutput || in.Net == nil || in.Net.Clock {
 							continue
 						}
-						if t, ok := arr[in]; ok && t >= worstIn {
-							worstIn = t
+						if seen[in.ID] && arr[in.ID] >= worstIn {
+							worstIn = arr[in.ID]
 							worstPin = in
 						}
 					}
@@ -202,13 +233,14 @@ func Analyze(p *tech.PDK, nl *netlist.Netlist, wm *WireModel, targetPeriodS floa
 					// at the worst input arrival.
 					for _, op := range sink.Inst.Pins() {
 						if op.IsOutput {
-							arr[op] = worstIn
+							arr[op.ID] = worstIn
+							seen[op.ID] = true
 							if worstPin != nil {
-								from[op] = worstPin
+								from[op.ID] = int32(worstPin.ID)
 							}
 						}
 					}
-					queue = append(queue, sink.Inst)
+					t.queue = append(t.queue, sink.Inst)
 				}
 			}
 		}
@@ -228,16 +260,16 @@ func Analyze(p *tech.PDK, nl *netlist.Netlist, wm *WireModel, targetPeriodS floa
 			if pin.IsOutput || pin.Net == nil || pin.Net.Clock {
 				continue
 			}
-			t, ok := arr[pin]
-			if !ok {
+			if !seen[pin.ID] {
 				continue
 			}
+			tEnd := arr[pin.ID]
 			if seq {
-				t += inst.Cell.SetupS
+				tEnd += inst.Cell.SetupS
 			}
 			rep.Endpoints++
-			if t > worst {
-				worst = t
+			if tEnd > worst {
+				worst = tEnd
 				worstPin = pin
 			}
 		}
@@ -252,12 +284,15 @@ func Analyze(p *tech.PDK, nl *netlist.Netlist, wm *WireModel, targetPeriodS floa
 	rep.WorstSlackS = targetPeriodS - worst
 
 	// Trace the critical path.
-	for pin := worstPin; pin != nil; pin = from[pin] {
-		rep.CriticalPath = append(rep.CriticalPath, PathPoint{
-			Inst: pin.Inst.Name, Pin: pin.Name, Arrival: arr[pin],
-		})
-		if len(rep.CriticalPath) > 10000 {
-			break
+	if worstPin != nil {
+		for id := int32(worstPin.ID); id >= 0; id = from[id] {
+			pin := nl.PinByID(int(id))
+			rep.CriticalPath = append(rep.CriticalPath, PathPoint{
+				Inst: pin.Inst.Name, Pin: pin.Name, Arrival: arr[id],
+			})
+			if len(rep.CriticalPath) > 10000 {
+				break
+			}
 		}
 	}
 	// Reverse to launch-to-capture order.
