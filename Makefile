@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench benchdiff invariants report serve serve-smoke
+.PHONY: check vet build test race fuzz bench benchdiff invariants report serve serve-smoke profile profilecheck
 
 check:
 	FUZZTIME=$(FUZZTIME) ./scripts/check.sh
@@ -34,10 +34,27 @@ invariants:
 	$(GO) test -run 'TestInvariant' -count=1 -v ./internal/analytic/
 	$(GO) test -run 'TestHeadline' -count=1 ./internal/core/
 
-# Benchmark regression gate: fails on >25% ns/op regression vs the
-# committed bench/BENCH_0.json baseline (see EXPERIMENTS.md).
+# Benchmark regression gate: fails on >25% ns/op or >25% allocs/op
+# regression vs the committed bench/BENCH_0.json baseline (see
+# EXPERIMENTS.md).
 benchdiff:
 	./scripts/benchdiff.sh
+
+# CPU + heap profile of the reduced flow pipeline. Writes prof/cpu.out,
+# prof/mem.out and prints the top entries; dig deeper with
+#   go tool pprof prof/flow.test prof/cpu.out
+#   go tool pprof -sample_index=alloc_objects prof/flow.test prof/mem.out
+profile:
+	mkdir -p prof
+	$(GO) test -run '^$$' -bench 'BenchmarkRunFlowReduced$$' -benchtime 3x -benchmem \
+		-cpuprofile prof/cpu.out -memprofile prof/mem.out \
+		-o prof/flow.test ./internal/flow/
+	$(GO) tool pprof -top -nodecount 15 prof/flow.test prof/cpu.out
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_objects prof/flow.test prof/mem.out
+
+# Smoke the profiling harness (part of `make check`).
+profilecheck:
+	./scripts/profilecheck.sh
 
 # Run the HTTP evaluation service on localhost:8080 (see README).
 serve:

@@ -1,0 +1,84 @@
+package flow
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"m3d/internal/exec"
+	"m3d/internal/tech"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// equivReport renders the fields of each result that the perf work must
+// not perturb — counts, wirelength, timing, hold — in a fixed format, so
+// the golden pins the flow's numeric output bit-for-bit.
+func equivReport(results []*Result) []byte {
+	var b bytes.Buffer
+	for i, r := range results {
+		fmt.Fprintf(&b,
+			"spec %d: cells=%d macros=%d hpwl=%d routedwl=%d vias=%d ilvs=%d overflow=%d upsized=%d fmax=%.9e critical=%.9e met=%v",
+			i, r.Cells, r.Macros, r.HPWL, r.RoutedWL, r.Vias, r.ILVs,
+			r.OverflowEdges, r.Upsized, r.FmaxHz, r.CriticalPathS, r.TimingMet)
+		if r.Hold != nil {
+			fmt.Fprintf(&b, " hold=%.9e/%d", r.Hold.WorstSlackS, r.Hold.Violations)
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// TestFlowEquivalenceGoldensAcrossWidths asserts the optimized
+// place/route/sta path produces byte-identical DEF and report output vs
+// the checked-in goldens at pool widths 1, 2, and 8. Run with -update to
+// rewrite the goldens (recorded at width 1).
+func TestFlowEquivalenceGoldensAcrossWidths(t *testing.T) {
+	p := tech.Default130()
+	specs := benchSpecs()[:2]
+	defGolden := filepath.Join("testdata", "equiv_def.golden")
+	repGolden := filepath.Join("testdata", "equiv_report.golden")
+
+	for _, width := range []int{1, 2, 8} {
+		results, err := RunMany(p, specs, exec.WithWorkers(width))
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		var def bytes.Buffer
+		if err := results[0].WriteDEF(&def); err != nil {
+			t.Fatalf("width %d: DEF export: %v", width, err)
+		}
+		rep := equivReport(results)
+
+		if *update && width == 1 {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(defGolden, def.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(repGolden, rep, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wantDef, err := os.ReadFile(defGolden)
+		if err != nil {
+			t.Fatalf("missing golden (regenerate with go test ./internal/flow -run Equivalence -update): %v", err)
+		}
+		if !bytes.Equal(def.Bytes(), wantDef) {
+			t.Errorf("width %d: DEF output differs from golden (%d vs %d bytes)",
+				width, def.Len(), len(wantDef))
+		}
+		wantRep, err := os.ReadFile(repGolden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rep, wantRep) {
+			t.Errorf("width %d: report differs from golden\n got: %s\nwant: %s",
+				width, rep, wantRep)
+		}
+	}
+}

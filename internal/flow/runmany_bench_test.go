@@ -25,6 +25,20 @@ func benchSpecs() []SoCSpec {
 	return specs
 }
 
+// BenchmarkRunFlowReduced runs one reduced spec through the full
+// synthesize→place→route→sign-off pipeline — the perf pass's headline
+// number. Tracked by scripts/benchdiff.sh for both ns/op and allocs/op.
+func BenchmarkRunFlowReduced(b *testing.B) {
+	p := tech.Default130()
+	spec := benchSpecs()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(p, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunManySerial runs the batch through sequential Run calls —
 // the pre-engine behaviour.
 func BenchmarkRunManySerial(b *testing.B) {

@@ -10,8 +10,47 @@ import (
 	"m3d/internal/cell"
 	"m3d/internal/geom"
 	"m3d/internal/netlist"
+	"m3d/internal/route"
 	"m3d/internal/tech"
 )
+
+// TestFromDesignRouteStreamDeterministic pins the route-stream ordering:
+// the Routes table is a Go map, so the export must iterate nets in
+// netlist order for the GDS bytes to be a pure function of the design.
+// With map-order iteration this fails with overwhelming probability at
+// 24 nets.
+func TestFromDesignRouteStreamDeterministic(t *testing.T) {
+	p := tech.Default130()
+	nl := netlist.New("chip")
+	metals := len(p.RoutingLayers())
+	res := &route.Result{Routes: map[*netlist.Net]*route.NetRoute{}}
+	for i := 0; i < 24; i++ {
+		n := nl.AddNet("n", 0.1)
+		res.Routes[n] = &route.NetRoute{Net: n, Segs: []route.Seg{{
+			LayerIdx: i % metals,
+			A:        geom.Pt(int64(i)*1000, 0),
+			B:        geom.Pt(int64(i)*1000, 5000),
+		}}}
+	}
+	die := geom.R(0, 0, 500_000, 500_000)
+	encode := func() []byte {
+		g, err := FromDesign(p, nl, die, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := g.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := encode()
+	for i := 0; i < 5; i++ {
+		if !bytes.Equal(encode(), first) {
+			t.Fatal("GDS route stream not byte-deterministic across exports")
+		}
+	}
+}
 
 func TestGDSRealRoundTrip(t *testing.T) {
 	vals := []float64{0, 1, -1, 0.001, 1e-9, 123456.789, -0.0625, 1e-3}

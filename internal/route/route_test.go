@@ -21,7 +21,7 @@ type fixture struct {
 	fp *floorplan.Floorplan
 }
 
-func placedFixture(t *testing.T, rows, cols int) *fixture {
+func placedFixture(t testing.TB, rows, cols int) *fixture {
 	t.Helper()
 	p := tech.Default130()
 	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)

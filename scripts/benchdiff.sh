@@ -1,9 +1,10 @@
 #!/bin/sh
 # benchdiff.sh — the performance-regression gate. Runs the tracked
 # benchmarks (exec cache hot paths, analytic sweep engine, serve HTTP
-# cached path), writes the results as bench/BENCH_<n>.json, and fails
-# when any benchmark is more than THRESHOLD_PCT slower than the
-# committed baseline bench/BENCH_0.json.
+# cached path, and the flow/route/sta perf-critical paths), writes the
+# results as bench/BENCH_<n>.json, and fails when any benchmark is more
+# than THRESHOLD_PCT slower — or allocates more than ALLOC_THRESHOLD_PCT
+# more objects per op — than the committed baseline bench/BENCH_0.json.
 #
 #   ./scripts/benchdiff.sh                 # run + compare vs baseline
 #   THRESHOLD_PCT=40 ./scripts/benchdiff.sh
@@ -11,12 +12,14 @@
 #
 # The first run on a machine without bench/BENCH_0.json records it and
 # exits 0 — commit that file to arm the gate. Each benchmark runs COUNT
-# times and the MINIMUM ns/op is kept (the min is the least noisy
-# estimator of the code's true cost under scheduler jitter; see
-# EXPERIMENTS.md "Benchmark regression gate").
+# times and the MINIMUM ns/op and allocs/op are kept (the min is the
+# least noisy estimator of the code's true cost under scheduler jitter;
+# see EXPERIMENTS.md "Benchmark regression gate"). Schema per entry:
+#   "BenchmarkName": {"ns_per_op": <float>, "allocs_per_op": <float>}
 set -eu
 
 THRESHOLD_PCT="${THRESHOLD_PCT:-25}"
+ALLOC_THRESHOLD_PCT="${ALLOC_THRESHOLD_PCT:-25}"
 BENCHTIME="${BENCHTIME:-0.5s}"
 COUNT="${COUNT:-3}"
 BENCHDIR="bench"
@@ -26,14 +29,20 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 echo "== bench: exec cache =="
-go test -run '^$' -bench 'BenchmarkCache' -benchtime "$BENCHTIME" -count "$COUNT" ./internal/exec/ | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkCache' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/exec/ | tee -a "$RAW"
 echo "== bench: analytic sweep =="
-go test -run '^$' -bench 'BenchmarkSweep(Serial|ParallelCached)$' -benchtime "$BENCHTIME" -count "$COUNT" ./internal/analytic/ | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkSweep(Serial|ParallelCached)$' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/analytic/ | tee -a "$RAW"
 echo "== bench: serve cached path =="
-go test -run '^$' -bench 'BenchmarkSweepCached' -benchtime "$BENCHTIME" -count "$COUNT" ./internal/serve/ | tee -a "$RAW"
+go test -run '^$' -bench 'BenchmarkSweepCached' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/serve/ | tee -a "$RAW"
+echo "== bench: flow pipeline (reduced) =="
+go test -run '^$' -bench 'BenchmarkRunFlowReduced$' -benchmem -benchtime 1x -count "$COUNT" ./internal/flow/ | tee -a "$RAW"
+echo "== bench: router =="
+go test -run '^$' -bench 'BenchmarkRouteNets$' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/route/ | tee -a "$RAW"
+echo "== bench: sta full timing =="
+go test -run '^$' -bench 'BenchmarkSTAFullTiming$' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/sta/ | tee -a "$RAW"
 
-# Fold the raw `go test -bench` lines (Name-CPUs  iters  ns/op) into
-# one JSON object mapping benchmark name -> min ns/op across COUNT runs.
+# Fold the raw `go test -bench -benchmem` lines into one JSON object
+# mapping benchmark name -> {min ns/op, min allocs/op} across COUNT runs.
 next_n=0
 while [ -e "$BENCHDIR/BENCH_${next_n}.json" ]; do
     next_n=$((next_n + 1))
@@ -41,27 +50,35 @@ done
 OUT="$BENCHDIR/BENCH_${next_n}.json"
 
 awk '
-    # go test -bench lines:  Name-<GOMAXPROCS>  iterations  ns  "ns/op" ...
+    # go test -bench lines:
+    #   Name-<GOMAXPROCS>  iters  <ns> ns/op  <B> B/op  <allocs> allocs/op
     /^Benchmark/ {
-        if (NF >= 4 && $4 == "ns/op") {
-            name = $1
-            sub(/-[0-9]+$/, "", name)
-            ns = $3 + 0
-            if (!(name in best) || ns < best[name]) best[name] = ns
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        ns = -1; al = -1
+        for (i = 2; i < NF; i++) {
+            if ($(i+1) == "ns/op") ns = $i + 0
+            if ($(i+1) == "allocs/op") al = $i + 0
         }
+        if (ns < 0) next
+        if (!(name in bestNs) || ns < bestNs[name]) bestNs[name] = ns
+        if (al >= 0 && (!(name in bestAl) || al < bestAl[name])) bestAl[name] = al
     }
     END {
         n = 0
-        printf "{\n"
-        for (name in best) order[n++] = name
+        for (name in bestNs) order[n++] = name
         # insertion sort for stable, diff-friendly output
         for (i = 1; i < n; i++) {
             k = order[i]
             for (j = i - 1; j >= 0 && order[j] > k; j--) order[j+1] = order[j]
             order[j+1] = k
         }
+        printf "{\n"
         for (i = 0; i < n; i++) {
-            printf "  \"%s\": %.2f%s\n", order[i], best[order[i]], (i < n-1 ? "," : "")
+            name = order[i]
+            al = (name in bestAl) ? bestAl[name] : 0
+            printf "  \"%s\": {\"ns_per_op\": %.2f, \"allocs_per_op\": %.0f}%s\n", \
+                name, bestNs[name], al, (i < n-1 ? "," : "")
         }
         printf "}\n"
     }
@@ -74,44 +91,67 @@ if [ "$OUT" = "$BASE" ]; then
     exit 0
 fi
 
-# Compare: every benchmark present in the baseline must still exist and
-# be no more than THRESHOLD_PCT slower. New benchmarks (absent from the
+# Compare: every benchmark present in the baseline must still exist, be no
+# more than THRESHOLD_PCT slower, and allocate no more than
+# ALLOC_THRESHOLD_PCT more per op. New benchmarks (absent from the
 # baseline) are reported but do not fail.
-awk -v threshold="$THRESHOLD_PCT" -v base="$BASE" -v out="$OUT" '
-    function parse(file, arr,    line, name, val) {
+awk -v threshold="$THRESHOLD_PCT" -v allocThreshold="$ALLOC_THRESHOLD_PCT" \
+    -v base="$BASE" -v out="$OUT" '
+    function parse(file, ns, al,    line, name, rest, v) {
         while ((getline line < file) > 0) {
-            if (line ~ /"Benchmark/) {
-                name = line; sub(/^[^"]*"/, "", name); sub(/".*$/, "", name)
-                val = line; sub(/^[^:]*:[ \t]*/, "", val); sub(/,.*$/, "", val)
-                arr[name] = val + 0
+            if (line !~ /"Benchmark/) continue
+            name = line; sub(/^[^"]*"/, "", name); sub(/".*$/, "", name)
+            rest = line; sub(/^[^:]*:[ \t]*/, "", rest)
+            if (rest ~ /"ns_per_op"/) {
+                v = rest; sub(/^.*"ns_per_op"[ \t]*:[ \t]*/, "", v); sub(/[,}].*$/, "", v)
+                ns[name] = v + 0
+                v = rest; sub(/^.*"allocs_per_op"[ \t]*:[ \t]*/, "", v); sub(/[,}].*$/, "", v)
+                al[name] = v + 0
+            } else {
+                # legacy flat schema: "Name": <ns>
+                sub(/,.*$/, "", rest)
+                ns[name] = rest + 0
+                al[name] = -1
             }
         }
         close(file)
     }
+    function pct(old, new) { return (new - old) / (old > 0 ? old : 1) * 100 }
     BEGIN {
-        parse(base, old)
-        parse(out, new)
+        parse(base, oldNs, oldAl)
+        parse(out, newNs, newAl)
         fail = 0
-        for (name in old) {
-            if (!(name in new)) {
-                printf "MISSING  %-40s baseline %.1f ns/op, no current result\n", name, old[name]
+        for (name in oldNs) {
+            if (!(name in newNs)) {
+                printf "MISSING  %-40s baseline %.1f ns/op, no current result\n", name, oldNs[name]
                 fail = 1
                 continue
             }
-            pct = (new[name] - old[name]) / old[name] * 100
+            p = pct(oldNs[name], newNs[name])
             status = "ok"
-            if (pct > threshold) { status = "REGRESSED"; fail = 1 }
-            printf "%-9s %-40s %10.1f -> %10.1f ns/op  (%+6.1f%%)\n", status, name, old[name], new[name], pct
+            if (p > threshold) { status = "REGRESSED"; fail = 1 }
+            printf "%-9s %-40s %10.1f -> %10.1f ns/op      (%+6.1f%%)\n", \
+                status, name, oldNs[name], newNs[name], p
+            if (oldAl[name] >= 0 && newAl[name] >= 0) {
+                pa = pct(oldAl[name], newAl[name])
+                status = "ok"
+                if (pa > allocThreshold) { status = "REGRESSED"; fail = 1 }
+                printf "%-9s %-40s %10.0f -> %10.0f allocs/op  (%+6.1f%%)\n", \
+                    status, name, oldAl[name], newAl[name], pa
+            }
         }
-        for (name in new) {
-            if (!(name in old)) {
-                printf "new      %-40s %10.1f ns/op (not in baseline)\n", name, new[name]
+        for (name in newNs) {
+            if (!(name in oldNs)) {
+                printf "new      %-40s %10.1f ns/op, %.0f allocs/op (not in baseline)\n", \
+                    name, newNs[name], newAl[name]
             }
         }
         if (fail) {
-            printf "FAIL: regression beyond %s%% vs %s\n", threshold, base
+            printf "FAIL: regression beyond %s%% ns/op or %s%% allocs/op vs %s\n", \
+                threshold, allocThreshold, base
             exit 1
         }
-        printf "OK: no benchmark regressed more than %s%% vs %s\n", threshold, base
+        printf "OK: no benchmark regressed beyond %s%% ns/op / %s%% allocs/op vs %s\n", \
+            threshold, allocThreshold, base
     }
 ' /dev/null

@@ -48,9 +48,15 @@ echo "-- internal/serve"
 go test -fuzz=FuzzSweepRequest -fuzztime="$FUZZTIME" ./internal/serve/
 go test -fuzz=FuzzBatchRequest -fuzztime="$FUZZTIME" ./internal/serve/
 
+echo "== profile harness smoke =="
+# The `make profile` pipeline must keep producing parseable pprof
+# profiles of the reduced flow; see scripts/profilecheck.sh.
+./scripts/profilecheck.sh
+
 echo "== benchmark regression gate =="
-# >THRESHOLD_PCT (default 25%) ns/op regression vs bench/BENCH_0.json
-# fails the check; see scripts/benchdiff.sh and EXPERIMENTS.md.
+# >THRESHOLD_PCT (default 25%) ns/op — or >ALLOC_THRESHOLD_PCT
+# allocs/op — regression vs bench/BENCH_0.json fails the check; see
+# scripts/benchdiff.sh and EXPERIMENTS.md.
 ./scripts/benchdiff.sh
 
 echo "OK: all checks passed"

@@ -1,0 +1,34 @@
+#!/bin/sh
+# profilecheck.sh — smoke test for the profiling harness. Runs one
+# reduced-flow benchmark iteration under the CPU and heap profilers
+# (exactly what `make profile` does, at minimum duration) and asserts
+# both profiles are produced, non-empty, and parseable by `go tool
+# pprof`. Keeps the perf workflow from rotting silently: if the
+# benchmark is renamed or the profile flags break, `make check` fails.
+#
+#   ./scripts/profilecheck.sh                 # temp dir, cleaned up
+#   PROFILE_DIR=prof ./scripts/profilecheck.sh   # keep the profiles
+set -eu
+
+CLEANUP=""
+if [ -n "${PROFILE_DIR:-}" ]; then
+    DIR="$PROFILE_DIR"
+    mkdir -p "$DIR"
+else
+    DIR="$(mktemp -d)"
+    CLEANUP="$DIR"
+fi
+trap '[ -n "$CLEANUP" ] && rm -rf "$CLEANUP"' EXIT
+
+go test -run '^$' -bench 'BenchmarkRunFlowReduced$' -benchtime 1x \
+    -cpuprofile "$DIR/cpu.out" -memprofile "$DIR/mem.out" \
+    -o "$DIR/flow.test" ./internal/flow/ >/dev/null
+
+for f in cpu.out mem.out; do
+    if ! [ -s "$DIR/$f" ]; then
+        echo "profilecheck: $DIR/$f missing or empty" >&2
+        exit 1
+    fi
+    go tool pprof -top "$DIR/flow.test" "$DIR/$f" >/dev/null
+done
+echo "profilecheck: OK"
