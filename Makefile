@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race fuzz bench benchdiff invariants report serve serve-smoke profile profilecheck
+.PHONY: check vet build test race race-equiv fuzz bench benchdiff invariants report serve serve-smoke profile profilecheck
 
 check:
 	FUZZTIME=$(FUZZTIME) ./scripts/check.sh
@@ -20,6 +20,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The concurrency equivalence suite: differential oracles for the
+# speculative parallel router and the incremental STA, shuffled and
+# repeated under the race detector.
+# -timeout: the flow suite alone runs ~8 min under -race on one core,
+# so count=2 overruns go test's 10m default.
+race-equiv:
+	$(GO) test -race -shuffle=on -count=2 -timeout 45m ./internal/route/ ./internal/sta/ ./internal/flow/
 
 fuzz:
 	for pkg in verilog def lef liberty; do \

@@ -650,13 +650,22 @@ func runWith(ctx context.Context, st *exec.Settings, p *tech.PDK, spec SoCSpec) 
 		tr.skip("cts")
 	}
 
-	// 4. Global routing.
+	// 4. Global routing: speculative parallel at the pool width, with
+	// ordered commits keeping the result byte-identical to a serial route.
 	endRoute := tr.start("route")
-	routes, err := route.Route(fp, nl, route.Options{IncludeClock: spec.RunCTS})
+	var rst route.Stats
+	routes, err := route.Route(fp, nl, route.Options{
+		IncludeClock: spec.RunCTS,
+		Workers:      st.Workers,
+		Stats:        &rst,
+	})
 	endRoute()
 	if err != nil {
 		return nil, fmt.Errorf("flow: route: %w", err)
 	}
+	st.Metrics.Counter("flow.route.nets.committed").Add(int64(rst.SpecCommitted))
+	st.Metrics.Counter("flow.route.nets.rerouted").Add(int64(rst.SpecRerouted))
+	st.Metrics.Counter("flow.route.batches").Add(int64(rst.Batches))
 	if err := checkCtx(ctx); err != nil {
 		return nil, err
 	}
@@ -680,6 +689,11 @@ func runWith(ctx context.Context, st *exec.Settings, p *tech.PDK, spec SoCSpec) 
 	if err != nil {
 		return nil, fmt.Errorf("flow: hold: %w", err)
 	}
+	tst := tm.Stats()
+	st.Metrics.Counter("flow.sta.passes.full").Add(int64(tst.FullPasses))
+	st.Metrics.Counter("flow.sta.passes.incremental").Add(int64(tst.IncrementalPasses))
+	st.Metrics.Counter("flow.sta.insts.recomputed").Add(int64(tst.RecomputedInsts))
+	st.Metrics.Counter("flow.sta.insts.skipped").Add(int64(tst.SkippedInsts))
 
 	// 6. Power analysis at the achieved frequency.
 	endPower := tr.start("power")

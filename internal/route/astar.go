@@ -13,11 +13,14 @@ type pqItem struct {
 }
 
 // pq is a typed min-heap on f. It reimplements container/heap's exact
-// sift algorithm (same comparison and swap sequence, so the pop order —
-// ties included — is identical to the heap.Interface version it
-// replaces) without boxing every entry through interface{}: the boxed
-// Push/Pop pair accounted for ~94% of all allocations in a reduced
-// flow.Run before the change.
+// sift algorithm (same comparison sequence, so the pop order — ties
+// included — is identical to the heap.Interface version it replaces)
+// without boxing every entry through interface{}: the boxed Push/Pop
+// pair accounted for ~94% of all allocations in a reduced flow.Run
+// before the change. The sifts are hole-based: instead of swapping the
+// moving item pairwise they shift elements into the hole and place the
+// item once, which halves the stores per level while performing the
+// same comparisons on the same values — the final array is identical.
 type pq []pqItem
 
 func (q *pq) push(it pqItem) {
@@ -36,18 +39,21 @@ func (q *pq) pop() pqItem {
 }
 
 func (q pq) up(j int) {
+	it := q[j]
 	for j > 0 {
 		i := (j - 1) / 2 // parent
-		if q[j].f >= q[i].f {
+		if it.f >= q[i].f {
 			break
 		}
-		q[i], q[j] = q[j], q[i]
+		q[j] = q[i]
 		j = i
 	}
+	q[j] = it
 }
 
 func (q pq) down(i0, n int) {
 	i := i0
+	it := q[i]
 	for {
 		j1 := 2*i + 1
 		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
@@ -57,12 +63,13 @@ func (q pq) down(i0, n int) {
 		if j2 := j1 + 1; j2 < n && q[j2].f < q[j1].f {
 			j = j2 // right child
 		}
-		if q[j].f >= q[i].f {
+		if q[j].f >= it.f {
 			break
 		}
-		q[i], q[j] = q[j], q[i]
+		q[i] = q[j]
 		i = j
 	}
+	q[i] = it
 }
 
 // congestion cost multiplier: cost = base * (1 + penalty), penalty grows
@@ -71,11 +78,20 @@ func congPenalty(use, capacity int32, hist float64) float64 {
 	if capacity <= 0 {
 		return 1e6
 	}
+	// Below-3/4 utilization the penalty is the bare history term; the
+	// integer compare decides it without the division. It is exact:
+	// use*4 > cap*3 ⟺ use/cap > 0.75, and for int32 operands the float64
+	// quotient below cannot round across the 3/4 boundary (the gap to
+	// 0.75 is at least 1/(4·cap), far above one ulp), so this branch
+	// never changes the result.
+	if int64(use)*4 <= int64(capacity)*3 {
+		return hist
+	}
 	u := float64(use) / float64(capacity)
 	pen := hist
 	if u >= 1 {
 		pen += 20 * (u - 0.75)
-	} else if u > 0.75 {
+	} else {
 		pen += 4 * (u - 0.75)
 	}
 	return pen
@@ -97,38 +113,201 @@ const hWeight = 1.3
 // back to the full grid.
 const bboxMargin = 6
 
+// Edge families of the flat edge index space e = fam*nNodes + node:
+// horizontal track edges, vertical track edges, and via (up) edges.
+const (
+	famH = iota
+	famV
+	famUp
+)
+
+// edgeRead records one live usage word a speculative search observed:
+// the commit phase re-checks that the word still holds this value.
+type edgeRead struct {
+	e   int32
+	val int32
+}
+
+// searcher owns the per-goroutine routing state: the epoch-stamped A*
+// scratch, the open heap, and the sink-ordering scratch. In speculative
+// mode (parallel routing) it additionally carries a private usage
+// overlay — the net's own uncommitted path commits — and a read log of
+// every live usage word the search depended on, which is what lets the
+// ordered commit prove the speculative result identical to a serial
+// execution.
+type searcher struct {
+	g  *grid
+	nn int // nodes per edge family
+
+	// A* scratch, reused across searches (epoch-stamped).
+	gScore   []float64
+	from     []int32
+	epoch    []uint32
+	curEpoch uint32
+	open     pq
+
+	// sinkScratch is reused across routeNet calls so per-net sink
+	// ordering allocates nothing once grown.
+	sinkScratch []sinkRef
+
+	// Speculative mode. delta overlays the frozen live usage arrays with
+	// this net's own in-flight commits; readLog records each live word
+	// the first time the search reads it (logEp dedupes within a net).
+	spec    bool
+	delta   []int32
+	depoch  []uint32
+	dcur    uint32
+	logEp   []uint32
+	logCur  uint32
+	readLog []edgeRead
+}
+
+func newSearcher(g *grid, spec bool) *searcher {
+	s := &searcher{g: g, nn: g.nNodes(), spec: spec}
+	if spec {
+		s.delta = make([]int32, 3*s.nn)
+		s.depoch = make([]uint32, 3*s.nn)
+		s.logEp = make([]uint32, 3*s.nn)
+	}
+	return s
+}
+
+// beginNet opens a fresh speculative scope: an empty usage overlay and a
+// new read log owned by the net being routed.
+func (s *searcher) beginNet() {
+	s.readLog = nil
+	s.logCur++
+	if s.logCur == 0 { // wrapped: force full reset
+		for i := range s.logEp {
+			s.logEp[i] = 0
+		}
+		s.logCur = 1
+	}
+	s.dcur++
+	if s.dcur == 0 {
+		for i := range s.depoch {
+			s.depoch[i] = 0
+		}
+		s.dcur = 1
+	}
+}
+
+// specRead logs the live usage word for edge (fam, i) once per net and
+// returns it with this net's own overlay applied.
+func (s *searcher) specRead(fam, i int, live int32) int32 {
+	e := fam*s.nn + i
+	if s.logEp[e] != s.logCur {
+		s.logEp[e] = s.logCur
+		s.readLog = append(s.readLog, edgeRead{e: int32(e), val: live})
+	}
+	if s.depoch[e] == s.dcur {
+		live += s.delta[e]
+	}
+	return live
+}
+
+// rdH/rdV/rdUp return the usage value the search must observe for an
+// edge: the live value in serial mode; in speculative mode the frozen
+// live value (logged for commit-time validation) plus the overlay.
+func (s *searcher) rdH(i int) int32 {
+	u := s.g.useH[i]
+	if s.spec {
+		u = s.specRead(famH, i, u)
+	}
+	return u
+}
+
+func (s *searcher) rdV(i int) int32 {
+	u := s.g.useV[i]
+	if s.spec {
+		u = s.specRead(famV, i, u)
+	}
+	return u
+}
+
+func (s *searcher) rdUp(i int) int32 {
+	u := s.g.useUp[i]
+	if s.spec {
+		u = s.specRead(famUp, i, u)
+	}
+	return u
+}
+
+// overlayAdd accumulates a usage delta for edge (fam, i) in the private
+// overlay.
+func (s *searcher) overlayAdd(fam, i int, delta int32) {
+	e := fam*s.nn + i
+	if s.depoch[e] != s.dcur {
+		s.depoch[e] = s.dcur
+		s.delta[e] = 0
+	}
+	s.delta[e] += delta
+}
+
+// overlayPath mirrors grid.applyPath's usage walk into the overlay.
+func (s *searcher) overlayPath(path []int, delta int32) {
+	g := s.g
+	for i := 1; i < len(path); i++ {
+		a, b := path[i-1], path[i]
+		la, xya := g.split(a)
+		lb, xyb := g.split(b)
+		xa, ya := xya%g.nx, xya/g.nx
+		xb, yb := xyb%g.nx, xyb/g.nx
+		switch {
+		case la != lb:
+			lo := la
+			if lb < lo {
+				lo = lb
+			}
+			s.overlayAdd(famUp, g.idx(lo, xa, ya), delta)
+		case xa != xb:
+			lo := xa
+			if xb < lo {
+				lo = xb
+			}
+			s.overlayAdd(famH, g.idx(la, lo, ya), delta)
+		default:
+			lo := ya
+			if yb < lo {
+				lo = yb
+			}
+			s.overlayAdd(famV, g.idx(la, xa, lo), delta)
+		}
+	}
+}
+
 // astar finds the min-cost path from src to dst nodes; returns the node
 // path (src..dst) or nil.
-func (g *grid) astar(src, dst int) []int {
-	if path := g.astarBounded(src, dst, bboxMargin); path != nil {
+func (s *searcher) astar(src, dst int) []int {
+	if path := s.astarBounded(src, dst, bboxMargin); path != nil {
 		return path
 	}
-	return g.astarBounded(src, dst, 1<<30)
+	return s.astarBounded(src, dst, 1<<30)
 }
 
 // astarBounded searches within a window of margin gcells around the
 // terminals. Scratch arrays are reused across calls with an epoch counter,
 // so each search touches only the nodes it visits.
-func (g *grid) astarBounded(src, dst, margin int) []int {
-	nNodes := len(g.layers) * g.nx * g.ny
-	if len(g.gScore) != nNodes {
-		g.gScore = make([]float64, nNodes)
-		g.from = make([]int32, nNodes)
-		g.epoch = make([]uint32, nNodes)
+func (s *searcher) astarBounded(src, dst, margin int) []int {
+	g := s.g
+	nNodes := s.nn
+	if len(s.gScore) != nNodes {
+		s.gScore = make([]float64, nNodes)
+		s.from = make([]int32, nNodes)
+		s.epoch = make([]uint32, nNodes)
 	}
-	g.curEpoch++
-	if g.curEpoch == 0 { // wrapped: force full reset
-		for i := range g.epoch {
-			g.epoch[i] = 0
+	s.curEpoch++
+	if s.curEpoch == 0 { // wrapped: force full reset
+		for i := range s.epoch {
+			s.epoch[i] = 0
 		}
-		g.curEpoch = 1
+		s.curEpoch = 1
 	}
-	gScore := g.gScore
-	from := g.from
-	seen := func(n int) bool { return g.epoch[n] == g.curEpoch }
+	gScore := s.gScore
+	from := s.from
 	touch := func(n int) {
-		if !seen(n) {
-			g.epoch[n] = g.curEpoch
+		if s.epoch[n] != s.curEpoch {
+			s.epoch[n] = s.curEpoch
 			gScore[n] = math.Inf(1)
 			from[n] = -1
 		}
@@ -138,23 +317,24 @@ func (g *grid) astarBounded(src, dst, margin int) []int {
 
 	dl, dxy := g.split(dst)
 	dX, dY := dxy%g.nx, dxy/g.nx
-	_, sxy := g.split(src)
+	sl, sxy := g.split(src)
 	sX, sY := sxy%g.nx, sxy/g.nx
 
 	// Search window.
 	x0, x1 := minInt(sX, dX)-margin, maxInt(sX, dX)+margin
 	y0, y1 := minInt(sY, dY)-margin, maxInt(sY, dY)+margin
 
-	h := func(n int) float64 {
-		l, xy := g.split(n)
-		x, y := xy%g.nx, xy/g.nx
+	// The heuristic takes the neighbor's coordinates directly: the relax
+	// sites already know them, and recovering them via split() put a
+	// div/mod pair on the hottest path of the search.
+	hAt := func(l, x, y int) float64 {
 		dist := float64(absInt(x-dX) + absInt(y-dY))
 		return hWeight * (dist + viaCost*float64(absInt(l-dl)))
 	}
 
-	g.open = g.open[:0]
-	open := &g.open
-	open.push(pqItem{node: src, f: h(src)})
+	s.open = s.open[:0]
+	open := &s.open
+	open.push(pqItem{node: src, f: hAt(sl, sX, sY)})
 	gScore[src] = 0
 
 	for len(*open) > 0 {
@@ -188,13 +368,13 @@ func (g *grid) astarBounded(src, dst, margin int) []int {
 		x, y := xy%g.nx, xy/g.nx
 		L := g.layers[l]
 
-		relax := func(nn int, cost float64) {
+		relax := func(nn, nl, nx, ny int, cost float64) {
 			touch(nn)
 			ng := cur.g + cost
 			if ng < gScore[nn] {
 				gScore[nn] = ng
 				from[nn] = int32(cur.node)
-				open.push(pqItem{node: nn, f: ng + h(nn), g: ng})
+				open.push(pqItem{node: nn, f: ng + hAt(nl, nx, ny), g: ng})
 			}
 		}
 
@@ -203,20 +383,20 @@ func (g *grid) astarBounded(src, dst, margin int) []int {
 		if L.Dir == tech.DirHorizontal {
 			if x+1 < g.nx && x+1 <= x1 {
 				i := g.idx(l, x, y)
-				relax(g.idx(l, x+1, y), 1+congPenalty(g.useH[i], g.capH[i], g.histH[i]))
+				relax(g.idx(l, x+1, y), l, x+1, y, 1+congPenalty(s.rdH(i), g.capH[i], g.histH[i]))
 			}
 			if x > 0 && x-1 >= x0 {
 				i := g.idx(l, x-1, y)
-				relax(g.idx(l, x-1, y), 1+congPenalty(g.useH[i], g.capH[i], g.histH[i]))
+				relax(g.idx(l, x-1, y), l, x-1, y, 1+congPenalty(s.rdH(i), g.capH[i], g.histH[i]))
 			}
 		} else {
 			if y+1 < g.ny && y+1 <= y1 {
 				i := g.idx(l, x, y)
-				relax(g.idx(l, x, y+1), 1+congPenalty(g.useV[i], g.capV[i], g.histV[i]))
+				relax(g.idx(l, x, y+1), l, x, y+1, 1+congPenalty(s.rdV(i), g.capV[i], g.histV[i]))
 			}
 			if y > 0 && y-1 >= y0 {
 				i := g.idx(l, x, y-1)
-				relax(g.idx(l, x, y-1), 1+congPenalty(g.useV[i], g.capV[i], g.histV[i]))
+				relax(g.idx(l, x, y-1), l, x, y-1, 1+congPenalty(s.rdV(i), g.capV[i], g.histV[i]))
 			}
 		}
 		// Via moves. Zero-capacity cuts (ILVs consumed by an RRAM array
@@ -228,7 +408,7 @@ func (g *grid) astarBounded(src, dst, margin int) []int {
 				if l == g.boundary {
 					c += ilvCost
 				}
-				relax(g.idx(l+1, x, y), c+congPenalty(g.useUp[i], g.capUp[i], g.histUp[i]))
+				relax(g.idx(l+1, x, y), l+1, x, y, c+congPenalty(s.rdUp(i), g.capUp[i], g.histUp[i]))
 			}
 		}
 		if l > 0 {
@@ -238,7 +418,7 @@ func (g *grid) astarBounded(src, dst, margin int) []int {
 				if l-1 == g.boundary {
 					c += ilvCost
 				}
-				relax(g.idx(l-1, x, y), c+congPenalty(g.useUp[i], g.capUp[i], g.histUp[i]))
+				relax(g.idx(l-1, x, y), l-1, x, y, c+congPenalty(s.rdUp(i), g.capUp[i], g.histUp[i]))
 			}
 		}
 	}
@@ -297,8 +477,11 @@ func (g *grid) overflowCount(bumpHistory bool) int {
 	return n
 }
 
-// pathOverflows reports whether any edge of the path is over capacity.
-func (g *grid) pathOverflows(path []int) bool {
+// pathOverflows reports whether any edge of the path is over capacity,
+// reading usage through the searcher so a speculative check logs the
+// words its verdict depends on.
+func (s *searcher) pathOverflows(path []int) bool {
+	g := s.g
 	for i := 1; i < len(path); i++ {
 		a, b := path[i-1], path[i]
 		la, xya := g.split(a)
@@ -312,7 +495,7 @@ func (g *grid) pathOverflows(path []int) bool {
 				lo = lb
 			}
 			i := g.idx(lo, xa, ya)
-			if g.useUp[i] > g.capUp[i] {
+			if s.rdUp(i) > g.capUp[i] {
 				return true
 			}
 		case xa != xb:
@@ -321,7 +504,7 @@ func (g *grid) pathOverflows(path []int) bool {
 				lo = xb
 			}
 			i := g.idx(la, lo, ya)
-			if g.useH[i] > g.capH[i] {
+			if s.rdH(i) > g.capH[i] {
 				return true
 			}
 		default:
@@ -330,12 +513,10 @@ func (g *grid) pathOverflows(path []int) bool {
 				lo = yb
 			}
 			i := g.idx(la, xa, lo)
-			if g.useV[i] > g.capV[i] {
+			if s.rdV(i) > g.capV[i] {
 				return true
 			}
 		}
-		_ = xb
-		_ = yb
 	}
 	return false
 }

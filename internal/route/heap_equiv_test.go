@@ -28,6 +28,24 @@ func (q *refPQ) Pop() interface{} {
 	return it
 }
 
+// refCongPenalty is the pre-optimization congestion penalty: always one
+// float division. The production congPenalty short-circuits the ≤75%
+// utilization case with an integer compare; this oracle proves the two
+// agree bit-for-bit on every cost the search evaluates.
+func refCongPenalty(use, capacity int32, hist float64) float64 {
+	if capacity <= 0 {
+		return 1e6
+	}
+	u := float64(use) / float64(capacity)
+	pen := hist
+	if u >= 1 {
+		pen += 20 * (u - 0.75)
+	} else if u > 0.75 {
+		pen += 4 * (u - 0.75)
+	}
+	return pen
+}
+
 // TestTypedHeapMatchesContainerHeap drives the typed pq and the boxed
 // reference through identical randomized push/pop interleavings and
 // requires bit-identical pop sequences. The f values are drawn from a
@@ -68,30 +86,33 @@ func TestTypedHeapMatchesContainerHeap(t *testing.T) {
 	}
 }
 
-// astarBoundedRef is a byte-for-byte copy of astarBounded driven by
-// container/heap on the boxed refPQ instead of the typed pq. The two share
-// the grid's epoch-stamped scratch (each call bumps the epoch), so a
-// divergence can only come from the queue.
-func (g *grid) astarBoundedRef(src, dst, margin int) []int {
+// astarBoundedRef is a behavioral copy of the pre-optimization
+// astarBounded: driven by container/heap on the boxed refPQ instead of
+// the typed pq, with the float-division congestion penalty and the
+// split()-based heuristic. It shares the searcher's epoch-stamped
+// scratch (each call bumps the epoch), so a divergence can only come
+// from the optimized queue, penalty, or heuristic plumbing.
+func (s *searcher) astarBoundedRef(src, dst, margin int) []int {
+	g := s.g
 	nNodes := len(g.layers) * g.nx * g.ny
-	if len(g.gScore) != nNodes {
-		g.gScore = make([]float64, nNodes)
-		g.from = make([]int32, nNodes)
-		g.epoch = make([]uint32, nNodes)
+	if len(s.gScore) != nNodes {
+		s.gScore = make([]float64, nNodes)
+		s.from = make([]int32, nNodes)
+		s.epoch = make([]uint32, nNodes)
 	}
-	g.curEpoch++
-	if g.curEpoch == 0 {
-		for i := range g.epoch {
-			g.epoch[i] = 0
+	s.curEpoch++
+	if s.curEpoch == 0 {
+		for i := range s.epoch {
+			s.epoch[i] = 0
 		}
-		g.curEpoch = 1
+		s.curEpoch = 1
 	}
-	gScore := g.gScore
-	from := g.from
-	seen := func(n int) bool { return g.epoch[n] == g.curEpoch }
+	gScore := s.gScore
+	from := s.from
+	seen := func(n int) bool { return s.epoch[n] == s.curEpoch }
 	touch := func(n int) {
 		if !seen(n) {
-			g.epoch[n] = g.curEpoch
+			s.epoch[n] = s.curEpoch
 			gScore[n] = math.Inf(1)
 			from[n] = -1
 		}
@@ -161,20 +182,20 @@ func (g *grid) astarBoundedRef(src, dst, margin int) []int {
 		if L.Dir == tech.DirHorizontal {
 			if x+1 < g.nx && x+1 <= x1 {
 				i := g.idx(l, x, y)
-				relax(g.idx(l, x+1, y), 1+congPenalty(g.useH[i], g.capH[i], g.histH[i]))
+				relax(g.idx(l, x+1, y), 1+refCongPenalty(g.useH[i], g.capH[i], g.histH[i]))
 			}
 			if x > 0 && x-1 >= x0 {
 				i := g.idx(l, x-1, y)
-				relax(g.idx(l, x-1, y), 1+congPenalty(g.useH[i], g.capH[i], g.histH[i]))
+				relax(g.idx(l, x-1, y), 1+refCongPenalty(g.useH[i], g.capH[i], g.histH[i]))
 			}
 		} else {
 			if y+1 < g.ny && y+1 <= y1 {
 				i := g.idx(l, x, y)
-				relax(g.idx(l, x, y+1), 1+congPenalty(g.useV[i], g.capV[i], g.histV[i]))
+				relax(g.idx(l, x, y+1), 1+refCongPenalty(g.useV[i], g.capV[i], g.histV[i]))
 			}
 			if y > 0 && y-1 >= y0 {
 				i := g.idx(l, x, y-1)
-				relax(g.idx(l, x, y-1), 1+congPenalty(g.useV[i], g.capV[i], g.histV[i]))
+				relax(g.idx(l, x, y-1), 1+refCongPenalty(g.useV[i], g.capV[i], g.histV[i]))
 			}
 		}
 		if l+1 < len(g.layers) {
@@ -184,7 +205,7 @@ func (g *grid) astarBoundedRef(src, dst, margin int) []int {
 				if l == g.boundary {
 					c += ilvCost
 				}
-				relax(g.idx(l+1, x, y), c+congPenalty(g.useUp[i], g.capUp[i], g.histUp[i]))
+				relax(g.idx(l+1, x, y), c+refCongPenalty(g.useUp[i], g.capUp[i], g.histUp[i]))
 			}
 		}
 		if l > 0 {
@@ -194,7 +215,7 @@ func (g *grid) astarBoundedRef(src, dst, margin int) []int {
 				if l-1 == g.boundary {
 					c += ilvCost
 				}
-				relax(g.idx(l-1, x, y), c+congPenalty(g.useUp[i], g.capUp[i], g.histUp[i]))
+				relax(g.idx(l-1, x, y), c+refCongPenalty(g.useUp[i], g.capUp[i], g.histUp[i]))
 			}
 		}
 	}
@@ -239,12 +260,13 @@ func TestAstarPathEquivalenceRandomGrids(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		nx, ny := 5+rng.Intn(8), 5+rng.Intn(8)
 		g := randGrid(rng, nx, ny)
+		s := newSearcher(g, false)
 		nNodes := len(g.layers) * nx * ny
 		for trial := 0; trial < 40; trial++ {
 			src, dst := rng.Intn(nNodes), rng.Intn(nNodes)
 			for _, margin := range []int{bboxMargin, 1 << 30} {
-				got := g.astarBounded(src, dst, margin)
-				want := g.astarBoundedRef(src, dst, margin)
+				got := s.astarBounded(src, dst, margin)
+				want := s.astarBoundedRef(src, dst, margin)
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("seed %d trial %d margin %d: path %v, reference %v",
 						seed, trial, margin, got, want)

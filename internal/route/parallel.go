@@ -1,0 +1,200 @@
+package route
+
+import (
+	"context"
+
+	"m3d/internal/exec"
+)
+
+// The parallel router keeps the serial router's results bit-for-bit by
+// splitting every round into speculate/commit phases:
+//
+//   - Speculation: a batch of nets is routed concurrently against the
+//     *frozen* live usage arrays (no goroutine writes them during the
+//     phase). Each net routes on a private searcher whose overlay models
+//     the net's own intra-net commits, and the searcher logs the live
+//     value of every usage word the search reads.
+//   - Commit: the batch is walked in serial work-list order. A net whose
+//     logged reads all still match the live arrays would have read — and
+//     therefore computed — exactly the same thing under serial
+//     execution (the search is deterministic and its entire input is
+//     the read set), so its speculative paths commit as-is. A net whose
+//     reads were invalidated by an earlier commit re-routes serially on
+//     the live grid, exactly as the serial router would.
+//
+// Congestion history only changes between rounds (overflowCount runs
+// serially), so within a round the read set is the usage words alone.
+// By induction over the work list the live state after each commit
+// equals the serial router's, which is what the differential oracle
+// tests in parallel_equiv_test.go pin down.
+
+// specBatchPerWorker sizes speculation batches: enough nets per barrier
+// to amortize dispatch, few enough that stale-read conflicts stay rare.
+const specBatchPerWorker = 8
+
+// specRoute is one net's speculative outcome.
+type specRoute struct {
+	// ripped is meaningful in rip-up rounds: whether the overflow check
+	// decided to re-route the net.
+	ripped bool
+	paths  [][]int
+	failed int
+	reads  []edgeRead
+}
+
+func routeParallel(g *grid, work []*routedNet, res *Result, opt Options) error {
+	st := exec.Resolve(exec.WithWorkers(opt.Workers))
+	pool := make(chan *searcher, opt.Workers)
+	serial := newSearcher(g, false)
+	stats := opt.Stats
+	batch := opt.Workers * specBatchPerWorker
+
+	runRound := func(round int) error {
+		for lo := 0; lo < len(work); lo += batch {
+			hi := lo + batch
+			if hi > len(work) {
+				hi = len(work)
+			}
+			if stats != nil {
+				stats.Batches++
+			}
+			specs, err := exec.MapWith(st, work[lo:hi],
+				func(_ context.Context, _ int, rn *routedNet) (specRoute, error) {
+					var s *searcher
+					select {
+					case s = <-pool:
+					default:
+						s = newSearcher(g, true)
+					}
+					sp := s.speculate(rn, round)
+					select {
+					case pool <- s:
+					default:
+					}
+					return sp, nil
+				})
+			if err != nil {
+				return err
+			}
+			for i, sp := range specs {
+				commitSpec(g, serial, work[lo+i], sp, round, res, stats)
+			}
+		}
+		return nil
+	}
+
+	if err := runRound(0); err != nil {
+		return err
+	}
+	for round := 0; round < opt.MaxRipupRounds; round++ {
+		ov := g.overflowCount(true)
+		res.RipupHistory = append(res.RipupHistory, ov)
+		if ov == 0 {
+			break
+		}
+		if err := runRound(round + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// speculate runs one net's routing decision against the frozen live
+// arrays, logging every live usage word it observed. Rip-up rounds
+// (round > 0) first replay the serial driver's overflow check on the
+// net's committed paths and only re-route when it trips — the check's
+// reads are logged too, so commit-time validation covers the decision
+// itself, not just the new paths.
+func (s *searcher) speculate(rn *routedNet, round int) specRoute {
+	s.beginNet()
+	var sp specRoute
+	if round > 0 {
+		bad := false
+		for _, path := range rn.paths {
+			if s.pathOverflows(path) {
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			sp.reads = s.readLog
+			return sp
+		}
+		sp.ripped = true
+		for _, path := range rn.paths {
+			s.overlayPath(path, -1)
+		}
+	}
+	sp.paths, sp.failed = s.routeNet(rn.net, nil)
+	sp.reads = s.readLog
+	return sp
+}
+
+// commitSpec applies one net's speculative outcome in serial work-list
+// order: validated results commit as-is; invalidated nets re-run the
+// serial algorithm on the live grid.
+func commitSpec(g *grid, serial *searcher, rn *routedNet, sp specRoute, round int, res *Result, stats *Stats) {
+	if g.readsValid(sp.reads) {
+		if stats != nil {
+			stats.SpecCommitted++
+		}
+		if round > 0 {
+			if !sp.ripped {
+				return
+			}
+			for _, path := range rn.paths {
+				g.commitPathUsage(path, -1)
+			}
+		}
+		for _, path := range sp.paths {
+			g.commitPathUsage(path, +1)
+		}
+		rn.paths = sp.paths
+		res.FailedNets += sp.failed
+		return
+	}
+
+	if stats != nil {
+		stats.SpecRerouted++
+	}
+	if round > 0 {
+		bad := false
+		for _, path := range rn.paths {
+			if serial.pathOverflows(path) {
+				bad = true
+				break
+			}
+		}
+		if !bad {
+			return
+		}
+		for _, path := range rn.paths {
+			g.commitPathUsage(path, -1)
+		}
+	}
+	var failed int
+	rn.paths, failed = serial.routeNet(rn.net, rn.paths[:0])
+	res.FailedNets += failed
+}
+
+// readsValid reports whether every logged live usage word still holds
+// the value the speculation observed.
+func (g *grid) readsValid(reads []edgeRead) bool {
+	n := g.nNodes()
+	for _, r := range reads {
+		e := int(r.e)
+		var live int32
+		switch {
+		case e < n:
+			live = g.useH[e]
+		case e < 2*n:
+			live = g.useV[e-n]
+		default:
+			live = g.useUp[e-2*n]
+		}
+		if live != r.val {
+			return false
+		}
+	}
+	return true
+}

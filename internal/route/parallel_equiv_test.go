@@ -1,0 +1,200 @@
+package route
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"m3d/internal/cell"
+	"m3d/internal/floorplan"
+	"m3d/internal/geom"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+// oracleWidths is the pool-width matrix every differential test runs:
+// 1 is the serial reference path itself, 2 and 8 exercise the
+// speculative route + ordered-commit scheme at narrow and wide pools.
+var oracleWidths = []int{1, 2, 8}
+
+// routeOracle runs the serial reference router (Workers: 1 short-circuits
+// to routeSerial) on a fresh grid.
+func routeOracle(t testing.TB, fp *floorplan.Floorplan, nl *netlist.Netlist, opt Options) *Result {
+	t.Helper()
+	opt.Workers = 1
+	opt.Stats = nil
+	res, err := Route(fp, nl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// diffResults asserts the parallel Result deeply equals the serial
+// oracle, with field-level messages before the full DeepEqual so a
+// divergence names what moved.
+func diffResults(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.TotalWLdbu != want.TotalWLdbu {
+		t.Errorf("%s: TotalWLdbu %d, oracle %d", label, got.TotalWLdbu, want.TotalWLdbu)
+	}
+	if got.TotalVias != want.TotalVias || got.TotalILVs != want.TotalILVs {
+		t.Errorf("%s: vias/ILVs %d/%d, oracle %d/%d",
+			label, got.TotalVias, got.TotalILVs, want.TotalVias, want.TotalILVs)
+	}
+	if got.OverflowEdges != want.OverflowEdges {
+		t.Errorf("%s: OverflowEdges %d, oracle %d", label, got.OverflowEdges, want.OverflowEdges)
+	}
+	if got.FailedNets != want.FailedNets || got.SkippedNets != want.SkippedNets {
+		t.Errorf("%s: failed/skipped %d/%d, oracle %d/%d",
+			label, got.FailedNets, got.SkippedNets, want.FailedNets, want.SkippedNets)
+	}
+	if !reflect.DeepEqual(got.RipupHistory, want.RipupHistory) {
+		t.Errorf("%s: RipupHistory %v, oracle %v", label, got.RipupHistory, want.RipupHistory)
+	}
+	if !reflect.DeepEqual(got.WLByLayer, want.WLByLayer) {
+		t.Errorf("%s: WLByLayer %v, oracle %v", label, got.WLByLayer, want.WLByLayer)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: full Result differs from serial oracle", label)
+	}
+}
+
+// randomPlacedNetlist builds a seeded random design on a small die:
+// mixed Si/CNFET cells at fixed random positions (ILV crossings), nets
+// of fanout 1–4, one clock net and one over-fanout net (skip paths),
+// and enough density that rip-up rounds actually fire.
+func randomPlacedNetlist(t testing.TB, seed int64) (*floorplan.Floorplan, *netlist.Netlist) {
+	t.Helper()
+	p := tech.Default130()
+	siLib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnLib, err := cell.NewLibrary(p, tech.TierCNFET)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	die := geom.R(0, 0, mm/2, mm/2)
+	fp, err := floorplan.New(p, die)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nl := netlist.New(fmt.Sprintf("rnd%d", seed))
+	kinds := []cell.Kind{cell.Inv, cell.Buf, cell.Nand2, cell.Nor2, cell.And2}
+	nCells := 90 + rng.Intn(40)
+	cells := make([]*netlist.Instance, nCells)
+	for i := range cells {
+		lib := siLib
+		if rng.Intn(4) == 0 {
+			lib = cnLib
+		}
+		c := nl.AddCell(fmt.Sprintf("c%d", i), lib.MustPick(kinds[rng.Intn(len(kinds))], 1))
+		c.Pos = geom.Pt(rng.Int63n(die.W()), rng.Int63n(die.H()))
+		c.Fixed = true
+		cells[i] = c
+	}
+
+	nNets := 110 + rng.Intn(50)
+	for i := 0; i < nNets; i++ {
+		drv := cells[rng.Intn(nCells)]
+		n := nl.AddNet(fmt.Sprintf("n%d", i), 0.1)
+		nl.MustPin(drv, fmt.Sprintf("Y%d", i), true, 0, n)
+		for s := 0; s < 1+rng.Intn(4); s++ {
+			snk := cells[rng.Intn(nCells)]
+			nl.MustPin(snk, fmt.Sprintf("A%d_%d", i, s), false, snk.Cell.InputCapF, n)
+		}
+	}
+	// Skip paths: a clock net and an over-fanout net must be counted
+	// identically by every width.
+	ck := nl.AddNet("clk", 0.5)
+	ck.Clock = true
+	nl.MustPin(cells[0], "CKY", true, 0, ck)
+	nl.MustPin(cells[1], "CK", false, cells[1].Cell.InputCapF, ck)
+	big := nl.AddNet("fanout", 0.1)
+	nl.MustPin(cells[2], "YBIG", true, 0, big)
+	for s := 0; s < 70; s++ {
+		snk := cells[3+(s%(nCells-3))]
+		nl.MustPin(snk, fmt.Sprintf("BIG%d", s), false, snk.Cell.InputCapF, big)
+	}
+	return fp, nl
+}
+
+// TestRouteParallelMatchesSerialOracleRandom pins the speculative
+// parallel router against the serial oracle on randomized seeded
+// designs: the full Result — routes, WLByLayer, rip-up history,
+// congestion map, every counter — must be deeply equal at widths 1/2/8.
+func TestRouteParallelMatchesSerialOracleRandom(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		fp, nl := randomPlacedNetlist(t, seed)
+		want := routeOracle(t, fp, nl, Options{})
+		for _, w := range oracleWidths {
+			got, err := Route(fp, nl, Options{Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffResults(t, fmt.Sprintf("seed %d width %d", seed, w), want, got)
+		}
+	}
+}
+
+// TestRouteParallelMatchesSerialOracleSystolic runs the same differential
+// check on real placed systolic-array netlists (the flow's workload
+// shape) at several sizes, including a tight grid that forces rip-up.
+func TestRouteParallelMatchesSerialOracleSystolic(t *testing.T) {
+	shapes := []struct{ rows, cols int }{{1, 2}, {2, 2}, {2, 3}}
+	for _, sh := range shapes {
+		fx := placedFixture(t, sh.rows, sh.cols)
+		for _, opt := range []Options{{}, {GCellsX: 16, MaxRipupRounds: 2}} {
+			want := routeOracle(t, fx.fp, fx.nl, opt)
+			for _, w := range oracleWidths {
+				o := opt
+				o.Workers = w
+				got, err := Route(fx.fp, fx.nl, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				diffResults(t, fmt.Sprintf("%dx%d gcells=%d width %d",
+					sh.rows, sh.cols, opt.GCellsX, w), want, got)
+			}
+		}
+	}
+}
+
+// TestRouteParallelStats checks the work counters: every net decision in
+// every round is either committed speculatively or re-routed serially,
+// and the counters live outside Result so they cannot perturb the
+// differential contract.
+func TestRouteParallelStats(t *testing.T) {
+	fx := placedFixture(t, 2, 2)
+	var st Stats
+	res, err := Route(fx.fp, fx.nl, Options{Workers: 4, Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Batches == 0 {
+		t.Error("parallel run recorded no speculation batches")
+	}
+	if st.SpecCommitted == 0 {
+		t.Error("parallel run committed no speculative results")
+	}
+	decisions := st.SpecCommitted + st.SpecRerouted
+	perRound := len(res.Routes)
+	if decisions < perRound {
+		t.Errorf("decisions %d < routed nets %d", decisions, perRound)
+	}
+	if decisions%perRound != 0 {
+		t.Errorf("decisions %d not a whole number of rounds over %d nets", decisions, perRound)
+	}
+	// Serial runs must leave a provided Stats untouched at zero work.
+	var serialSt Stats
+	if _, err := Route(fx.fp, fx.nl, Options{Workers: 1, Stats: &serialSt}); err != nil {
+		t.Fatal(err)
+	}
+	if serialSt != (Stats{}) {
+		t.Errorf("serial run wrote parallel stats: %+v", serialSt)
+	}
+}

@@ -28,7 +28,10 @@ type sinkRef struct {
 // Route globally routes all signal nets of the placed netlist. Clock nets
 // and nets above the fanout threshold are idealized (skipped). The router
 // runs an initial pass plus negotiated rip-up-and-reroute rounds on
-// overflowing nets.
+// overflowing nets. With Options.Workers > 1 the rounds run as
+// speculative parallel batches whose results commit in serial work-list
+// order (see parallel.go); the Result is byte-identical to the serial
+// router's at every width.
 func Route(f *floorplan.Floorplan, nl *netlist.Netlist, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	g := newGrid(f, opt)
@@ -57,54 +60,40 @@ func Route(f *floorplan.Floorplan, nl *netlist.Netlist, opt Options) (*Result, e
 		return work[i].hpwl < work[j].hpwl
 	})
 
-	// sinkScratch is reused across every routeNet call (including rip-up
-	// rounds) so per-net sink ordering allocates nothing once grown.
-	var sinkScratch []sinkRef
-	routeNet := func(rn *routedNet) {
-		n := rn.net
-		rn.paths = rn.paths[:0]
-		dx, dy := g.cellOf(n.Driver.Loc())
-		src := g.idx(g.pinLayer(n.Driver.Inst), dx, dy)
-		// Star topology from the driver, nearest sink first.
-		sinks := sinkScratch[:0]
-		dloc := n.Driver.Loc()
-		for _, s := range n.Sinks {
-			sinks = append(sinks, sinkRef{pin: s, dist: s.Loc().ManhattanDist(dloc)})
+	if opt.Workers > 1 && len(work) > 1 {
+		if err := routeParallel(g, work, res, opt); err != nil {
+			return nil, err
 		}
-		sort.SliceStable(sinks, func(i, j int) bool {
-			return sinks[i].dist < sinks[j].dist
-		})
-		sinkScratch = sinks
-		for _, sr := range sinks {
-			s := sr.pin
-			sx, sy := g.cellOf(s.Loc())
-			dst := g.idx(g.pinLayer(s.Inst), sx, sy)
-			if dst == src {
-				continue
-			}
-			path := g.astar(src, dst)
-			if path == nil {
-				res.FailedNets++
-				continue
-			}
-			g.commitPathUsage(path, +1)
-			rn.paths = append(rn.paths, path)
-		}
+	} else {
+		routeSerial(g, work, res, opt)
 	}
 
+	finalize(g, f, work, res)
+	return res, nil
+}
+
+// routeSerial is the reference router: one searcher, nets in work-list
+// order, negotiated rip-up rounds. The parallel path is tested against
+// it as an oracle and must replay it exactly.
+func routeSerial(g *grid, work []*routedNet, res *Result, opt Options) {
+	s := newSearcher(g, false)
 	for _, rn := range work {
-		routeNet(rn)
+		var failed int
+		rn.paths, failed = s.routeNet(rn.net, rn.paths[:0])
+		res.FailedNets += failed
 	}
 
 	// Negotiated rip-up and reroute.
 	for round := 0; round < opt.MaxRipupRounds; round++ {
-		if g.overflowCount(true) == 0 {
+		ov := g.overflowCount(true)
+		res.RipupHistory = append(res.RipupHistory, ov)
+		if ov == 0 {
 			break
 		}
 		for _, rn := range work {
 			bad := false
 			for _, path := range rn.paths {
-				if g.pathOverflows(path) {
+				if s.pathOverflows(path) {
 					bad = true
 					break
 				}
@@ -115,11 +104,55 @@ func Route(f *floorplan.Floorplan, nl *netlist.Netlist, opt Options) (*Result, e
 			for _, path := range rn.paths {
 				g.commitPathUsage(path, -1)
 			}
-			routeNet(rn)
+			var failed int
+			rn.paths, failed = s.routeNet(rn.net, rn.paths[:0])
+			res.FailedNets += failed
 		}
 	}
+}
 
-	// Final accounting.
+// routeNet routes one net from scratch: star topology from the driver,
+// nearest sink first. Each found path is committed before the next sink
+// is routed — to the live grid in serial mode, to the searcher's private
+// overlay in speculative mode — and appended to dst, which is returned
+// along with the count of unroutable sinks.
+func (s *searcher) routeNet(n *netlist.Net, dst [][]int) ([][]int, int) {
+	g := s.g
+	failed := 0
+	dx, dy := g.cellOf(n.Driver.Loc())
+	src := g.idx(g.pinLayer(n.Driver.Inst), dx, dy)
+	sinks := s.sinkScratch[:0]
+	dloc := n.Driver.Loc()
+	for _, sk := range n.Sinks {
+		sinks = append(sinks, sinkRef{pin: sk, dist: sk.Loc().ManhattanDist(dloc)})
+	}
+	sort.SliceStable(sinks, func(i, j int) bool {
+		return sinks[i].dist < sinks[j].dist
+	})
+	s.sinkScratch = sinks
+	for _, sr := range sinks {
+		sx, sy := g.cellOf(sr.pin.Loc())
+		d := g.idx(g.pinLayer(sr.pin.Inst), sx, sy)
+		if d == src {
+			continue
+		}
+		path := s.astar(src, d)
+		if path == nil {
+			failed++
+			continue
+		}
+		if s.spec {
+			s.overlayPath(path, +1)
+		} else {
+			g.commitPathUsage(path, +1)
+		}
+		dst = append(dst, path)
+	}
+	return dst, failed
+}
+
+// finalize converts the committed paths into the Result's accounting.
+func finalize(g *grid, f *floorplan.Floorplan, work []*routedNet, res *Result) {
 	for _, rn := range work {
 		nr := &NetRoute{Net: rn.net}
 		for _, path := range rn.paths {
@@ -145,7 +178,6 @@ func Route(f *floorplan.Floorplan, nl *netlist.Netlist, opt Options) (*Result, e
 	}
 	res.OverflowEdges = g.overflowCount(false)
 	res.Congestion = g.congestionGrid(f)
-	return res, nil
 }
 
 // congestionGrid summarizes per-gcell routing utilization: for each cell,

@@ -115,3 +115,35 @@ func BenchmarkSTAFullTiming(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkOptimizeDrivesIncremental measures the full OptimizeDrives
+// loop — one full analysis plus incremental cone re-propagation per
+// upsizing round — under a target tight enough to force every round.
+// Cell choices are restored between iterations so each run re-does the
+// same sizing work. Tracked by scripts/benchdiff.sh.
+func BenchmarkOptimizeDrivesIncremental(b *testing.B) {
+	p, nl, wm, lib := routedFixture(b, 2, 2)
+	lm := map[tech.Tier]*cell.Library{tech.TierSiCMOS: lib}
+	first, err := Analyze(p, nl, wm, 10e-9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := first.CriticalPathS / 2
+	orig := make([]*cell.Cell, len(nl.Instances))
+	for i, inst := range nl.Instances {
+		orig[i] = inst.Cell
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j, inst := range nl.Instances {
+			inst.Cell = orig[j]
+		}
+		b.StartTimer()
+		tm := NewTimer(p, nl, wm)
+		if _, err := tm.OptimizeDrives(lm, target, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

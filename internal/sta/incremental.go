@@ -1,0 +1,256 @@
+package sta
+
+import (
+	"fmt"
+
+	"m3d/internal/netlist"
+)
+
+// Incremental STA. After a full Analyze, the arr/seen/from scratch holds
+// a complete max-arrival solution. A drive upsize changes only the delay
+// of the nets the changed instance drives (and, for a sequential cell,
+// its clk→Q launch time) — the wire RC and the sink pin capacitances are
+// position- and topology-derived and do not move. AnalyzeIncremental
+// therefore re-propagates only the fanout cones of the changed drivers:
+//
+//   - Seed: for every changed instance, recompute the delay of its
+//     driven nets (and, defensively, its fanin nets) and rewrite the
+//     sink arrivals; sequential changed cells first refresh their launch
+//     arrivals (ClkQS differs across drive variants).
+//   - Propagate: sink instances whose arrival moved are enqueued into
+//     level-ordered buckets (levels built once, lazily, from the same
+//     Kahn traversal Analyze uses). Processing ascending levels visits
+//     each instance at most once, because a sink's level is strictly
+//     above its driver's; the per-instance recomputation is the same
+//     worst-input scan Analyze runs, including the `>=` last-max tie
+//     rule, so from[] links match a full pass exactly.
+//   - Prune: an instance whose outputs did not move propagates nothing.
+//
+// Exactness (not just approximate equality): every sink pin arrival has
+// a single definition — driver output arrival plus one net delay — and
+// the instance-level max over identical float64 inputs is
+// order-independent, so the incremental result is bit-identical to a
+// full re-analysis. The differential tests in incremental_test.go pin
+// this after every optimize round.
+//
+// Invalidation rule: any pass that repurposes the shared scratch for a
+// different propagation (AnalyzeHold's min-arrival pass,
+// arrivalsWithLaunchClass) clears t.valid, and the next incremental call
+// silently falls back to a full Analyze.
+
+// AnalyzeIncremental updates the timing solution after the given
+// instances changed cells (drive upsizing) and returns a report
+// identical to a fresh Analyze. It requires a prior full Analyze on the
+// current scratch; without one it falls back to Analyze.
+func (t *Timer) AnalyzeIncremental(targetPeriodS float64, changed []*netlist.Instance) (*Report, error) {
+	if targetPeriodS <= 0 {
+		return nil, fmt.Errorf("sta: target period must be positive, got %g", targetPeriodS)
+	}
+	if !t.valid || t.forceFull {
+		return t.Analyze(targetPeriodS)
+	}
+	t.ensureLevels()
+	t.stats.IncrementalPasses++
+	nl := t.nl
+	arr, seen, from := t.arr, t.seen, t.from
+	netDelay := makeNetDelay(t.wm)
+
+	t.qEpoch++
+	if t.qEpoch == 0 {
+		for i := range t.inQ {
+			t.inQ[i] = 0
+		}
+		t.qEpoch = 1
+	}
+	t.netEpoch++
+	if t.netEpoch == 0 {
+		for i := range t.netEp {
+			t.netEp[i] = 0
+		}
+		t.netEpoch = 1
+	}
+	for i := range t.buckets {
+		t.buckets[i] = t.buckets[i][:0]
+	}
+	maxUsed := int32(-1)
+
+	enqueue := func(inst *netlist.Instance) {
+		id := inst.ID
+		if t.inQ[id] == t.qEpoch {
+			return
+		}
+		// Launch instances own their output arrivals; unresolved
+		// instances (outputs never seen by the full pass) stay untouched,
+		// exactly as a full re-analysis would leave them.
+		if inst.IsMacro() || inst.Cell.Sequential || isConstKind(inst.Cell) {
+			return
+		}
+		resolved := false
+		for _, op := range inst.Pins() {
+			if op.IsOutput {
+				resolved = seen[op.ID]
+				break
+			}
+		}
+		if !resolved {
+			return
+		}
+		t.inQ[id] = t.qEpoch
+		l := t.lvl[id]
+		t.buckets[l] = append(t.buckets[l], inst)
+		if l > maxUsed {
+			maxUsed = l
+		}
+	}
+
+	seedNet := func(n *netlist.Net) {
+		if n == nil || n.Clock || t.netEp[n.ID] == t.netEpoch {
+			return
+		}
+		t.netEp[n.ID] = t.netEpoch
+		drv := n.Driver
+		if drv == nil || !seen[drv.ID] {
+			return
+		}
+		d := netDelay(n)
+		tSink := arr[drv.ID] + d
+		for _, sink := range n.Sinks {
+			if !seen[sink.ID] {
+				continue
+			}
+			if tSink != arr[sink.ID] {
+				arr[sink.ID] = tSink
+				from[sink.ID] = int32(drv.ID)
+				enqueue(sink.Inst)
+			}
+		}
+	}
+
+	// Launch refresh first: a changed sequential cell launches at its new
+	// ClkQS, and the seeds below must read the refreshed arrivals.
+	for _, inst := range changed {
+		if inst.IsMacro() || !inst.Cell.Sequential {
+			continue
+		}
+		launchT := inst.Cell.ClkQS
+		for _, op := range inst.Pins() {
+			if op.IsOutput && seen[op.ID] {
+				arr[op.ID] = launchT
+			}
+		}
+	}
+	for _, inst := range changed {
+		for _, pin := range inst.Pins() {
+			seedNet(pin.Net)
+		}
+	}
+
+	recomputed := 0
+	for l := int32(0); l <= maxUsed; l++ {
+		for qi := 0; qi < len(t.buckets[l]); qi++ {
+			inst := t.buckets[l][qi]
+			recomputed++
+			// The same worst-input scan as Analyze, `>=` keeping the last
+			// max so worstPin ties break identically.
+			worstIn := 0.0
+			var worstPin *netlist.Pin
+			for _, in := range inst.Pins() {
+				if in.IsOutput || in.Net == nil || in.Net.Clock {
+					continue
+				}
+				if seen[in.ID] && arr[in.ID] >= worstIn {
+					worstIn = arr[in.ID]
+					worstPin = in
+				}
+			}
+			moved := false
+			for _, op := range inst.Pins() {
+				if !op.IsOutput || !seen[op.ID] {
+					continue
+				}
+				if arr[op.ID] != worstIn {
+					arr[op.ID] = worstIn
+					moved = true
+				}
+				if worstPin != nil && from[op.ID] != int32(worstPin.ID) {
+					from[op.ID] = int32(worstPin.ID)
+				}
+			}
+			if !moved {
+				continue
+			}
+			for _, op := range inst.Pins() {
+				if !op.IsOutput || op.Net == nil || op.Net.Clock || !seen[op.ID] {
+					continue
+				}
+				d := netDelay(op.Net)
+				tSink := arr[op.ID] + d
+				for _, sink := range op.Net.Sinks {
+					if !seen[sink.ID] {
+						continue
+					}
+					if tSink != arr[sink.ID] {
+						arr[sink.ID] = tSink
+						from[sink.ID] = int32(op.ID)
+						enqueue(sink.Inst)
+					}
+				}
+			}
+		}
+	}
+	t.stats.RecomputedInsts += recomputed
+	t.stats.SkippedInsts += len(nl.Instances) - recomputed
+	return t.buildReport(targetPeriodS)
+}
+
+// ensureLevels builds the per-instance topological levels with the same
+// Kahn traversal Analyze uses. Built lazily: full-only Timer users never
+// pay for it.
+func (t *Timer) ensureLevels() {
+	if t.lvl != nil {
+		return
+	}
+	nl := t.nl
+	t.lvl = make([]int32, len(nl.Instances))
+	t.inQ = make([]uint32, len(nl.Instances))
+	t.netEp = make([]uint32, len(nl.Nets))
+	pending := make([]int32, len(nl.Instances))
+	copy(pending, t.pendingInit)
+	var queue []*netlist.Instance
+	for _, inst := range nl.Instances {
+		seq := !inst.IsMacro() && inst.Cell.Sequential
+		if seq || inst.IsMacro() || isConstKind(inst.Cell) || pending[inst.ID] == 0 {
+			queue = append(queue, inst)
+			pending[inst.ID] = -1
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		inst := queue[qi]
+		for _, out := range inst.Pins() {
+			if !out.IsOutput || out.Net == nil || out.Net.Clock {
+				continue
+			}
+			for _, sink := range out.Net.Sinks {
+				sid := sink.Inst.ID
+				if pending[sid] < 0 {
+					continue
+				}
+				if l := t.lvl[inst.ID] + 1; l > t.lvl[sid] {
+					t.lvl[sid] = l
+				}
+				pending[sid]--
+				if pending[sid] == 0 {
+					pending[sid] = -1
+					queue = append(queue, sink.Inst)
+				}
+			}
+		}
+	}
+	t.maxLvl = 0
+	for _, l := range t.lvl {
+		if l > t.maxLvl {
+			t.maxLvl = l
+		}
+	}
+	t.buckets = make([][]*netlist.Instance, t.maxLvl+1)
+}

@@ -28,63 +28,75 @@ func OptimizeDrives(p *tech.PDK, nl *netlist.Netlist, wm *WireModel,
 	return NewTimer(p, nl, wm).OptimizeDrives(libs, targetPeriodS, maxRounds)
 }
 
-// OptimizeDrives runs the upsizing loop on the Timer: the timing graph
-// is built once and only the per-pass scratch resets between the
-// analyze rounds.
+// OptimizeDrives runs the upsizing loop on the Timer: the timing graph is
+// built once, the first round runs a full Analyze, and every later round
+// re-propagates only the fanout cones of the drivers the previous round
+// upsized (AnalyzeIncremental — identical reports, a fraction of the
+// work).
 func (tm *Timer) OptimizeDrives(libs map[tech.Tier]*cell.Library,
 	targetPeriodS float64, maxRounds int) (*OptimizeResult, error) {
 
 	if maxRounds <= 0 {
 		maxRounds = 4
 	}
-	nl, wm := tm.nl, tm.wm
 	res := &OptimizeResult{}
+	rep, err := tm.Analyze(targetPeriodS)
+	if err != nil {
+		return nil, err
+	}
 	for round := 0; round < maxRounds; round++ {
-		rep, err := tm.Analyze(targetPeriodS)
-		if err != nil {
-			return nil, err
-		}
 		res.Final = rep
 		res.Rounds = round + 1
 		if rep.Met() {
 			return res, nil
 		}
-		changed := 0
-		// Upsize every driver whose net delay exceeds its fair share of the
-		// period; cheap heuristic that matches how ECO sizing behaves.
-		budget := targetPeriodS / 12
-		for _, n := range nl.Nets {
-			if n.Clock || n.Driver == nil || n.Driver.Inst.IsMacro() {
-				continue
-			}
-			drv := n.Driver.Inst
-			lib, ok := libs[drv.Tier]
-			if !ok {
-				continue
-			}
-			rw, cw := wm.NetRC(n)
-			load := cw + n.SinkCapF()
-			cur := drv.Cell
-			delay := cur.Delay(load) + 0.69*rw*(cw/2+n.SinkCapF())
-			if delay <= budget {
-				continue
-			}
-			best := lib.UpsizeFor(cur.Kind, load, budget-0.69*rw*(cw/2+n.SinkCapF()))
-			if best != nil && best.Drive > cur.Drive {
-				res.AddedAreaNM2 += best.AreaNM2 - cur.AreaNM2
-				drv.Cell = best
-				changed++
-			}
-		}
-		res.Upsized += changed
-		if changed == 0 {
+		changed, addedArea := tm.upsizeRound(libs, targetPeriodS)
+		res.Upsized += len(changed)
+		res.AddedAreaNM2 += addedArea
+		if len(changed) == 0 {
 			return res, nil
 		}
-	}
-	rep, err := tm.Analyze(targetPeriodS)
-	if err != nil {
-		return nil, err
+		rep, err = tm.AnalyzeIncremental(targetPeriodS, changed)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res.Final = rep
 	return res, nil
+}
+
+// upsizeRound upsizes every driver whose net delay exceeds its fair share
+// of the period (a cheap heuristic that matches how ECO sizing behaves)
+// and returns the changed driver instances — one entry per upsized net,
+// so the count matches the historical per-net Upsized accounting — plus
+// the footprint growth.
+func (tm *Timer) upsizeRound(libs map[tech.Tier]*cell.Library,
+	targetPeriodS float64) (changed []*netlist.Instance, addedAreaNM2 int64) {
+
+	nl, wm := tm.nl, tm.wm
+	budget := targetPeriodS / 12
+	for _, n := range nl.Nets {
+		if n.Clock || n.Driver == nil || n.Driver.Inst.IsMacro() {
+			continue
+		}
+		drv := n.Driver.Inst
+		lib, ok := libs[drv.Tier]
+		if !ok {
+			continue
+		}
+		rw, cw := wm.NetRC(n)
+		load := cw + n.SinkCapF()
+		cur := drv.Cell
+		delay := cur.Delay(load) + 0.69*rw*(cw/2+n.SinkCapF())
+		if delay <= budget {
+			continue
+		}
+		best := lib.UpsizeFor(cur.Kind, load, budget-0.69*rw*(cw/2+n.SinkCapF()))
+		if best != nil && best.Drive > cur.Drive {
+			addedAreaNM2 += best.AreaNM2 - cur.AreaNM2
+			drv.Cell = best
+			changed = append(changed, drv)
+		}
+	}
+	return changed, addedAreaNM2
 }

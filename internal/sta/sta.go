@@ -26,6 +26,14 @@ type WireModel struct {
 	layers []tech.Layer
 	// fallback per-DBU parasitics.
 	rPerDBU, cPerDBU float64
+
+	// Per-net RC cache over the dense Net.ID space, filled lazily. Only
+	// nets with committed routes are cached: their segment walk is a pure
+	// function of the static routing result, while the HPWL fallback
+	// tracks live pin positions and must stay uncached. The cache makes a
+	// WireModel single-goroutine (like the Timer that owns it).
+	rcR, rcC []float64
+	rcOK     []bool
 }
 
 // NewWireModel builds a wire model; routes may be nil (pre-route estimate).
@@ -40,6 +48,9 @@ func NewWireModel(p *tech.PDK, routes *route.Result) *WireModel {
 // NetRC returns the lumped wire resistance (ohm) and capacitance (F) of n.
 func (w *WireModel) NetRC(n *netlist.Net) (rOhm, cF float64) {
 	if w.routes != nil {
+		if n.ID < len(w.rcOK) && w.rcOK[n.ID] {
+			return w.rcR[n.ID], w.rcC[n.ID]
+		}
 		if nr, ok := w.routes.Routes[n]; ok && len(nr.Segs) > 0 {
 			for _, s := range nr.Segs {
 				L := w.layers[s.LayerIdx]
@@ -51,6 +62,17 @@ func (w *WireModel) NetRC(n *netlist.Net) (rOhm, cF float64) {
 			cF += float64(nr.Vias) * w.p.ILVCapF / 4
 			rOhm += float64(nr.ILVs) * w.p.ILVResistanceOhm
 			cF += float64(nr.ILVs) * w.p.ILVCapF
+			if n.ID >= len(w.rcOK) {
+				grown := n.ID + 1
+				if grown < 2*len(w.rcOK) {
+					grown = 2 * len(w.rcOK)
+				}
+				w.rcR = append(w.rcR, make([]float64, grown-len(w.rcR))...)
+				w.rcC = append(w.rcC, make([]float64, grown-len(w.rcC))...)
+				w.rcOK = append(w.rcOK, make([]bool, grown-len(w.rcOK))...)
+			}
+			w.rcR[n.ID], w.rcC[n.ID] = rOhm, cF
+			w.rcOK[n.ID] = true
 			return rOhm, cF
 		}
 	}
@@ -112,7 +134,49 @@ type Timer struct {
 	from    []int32       // per pin: predecessor Pin.ID, -1 = launch
 	cls     []launchClass // per pin: dominant launch class
 	queue   []*netlist.Instance
+
+	// Incremental-analysis state (see incremental.go). valid marks the
+	// arr/seen/from scratch as holding a complete max-arrival solution;
+	// passes that repurpose the scratch for other propagations
+	// (AnalyzeHold, arrivalsWithLaunchClass) clear it, which forces the
+	// next AnalyzeIncremental to fall back to a full Analyze.
+	valid bool
+	// forceFull makes AnalyzeIncremental delegate to Analyze — the
+	// differential tests use it to run the full-analysis oracle through
+	// the exact OptimizeDrives code path.
+	forceFull bool
+	// lvl is the topological level per instance (built lazily); buckets,
+	// inQ and netEp are the incremental pass's level-ordered work queue
+	// and epoch-stamped dedupe sets.
+	lvl      []int32
+	maxLvl   int32
+	buckets  [][]*netlist.Instance
+	inQ      []uint32
+	qEpoch   uint32
+	netEp    []uint32
+	netEpoch uint32
+
+	stats Stats
 }
+
+// Stats counts the Timer's analysis work since construction: how many
+// full propagations ran versus incremental ones, and how much of the
+// instance graph the incremental passes actually re-evaluated.
+type Stats struct {
+	// FullPasses counts complete max-arrival propagations (Analyze).
+	FullPasses int
+	// IncrementalPasses counts cone-only re-propagations.
+	IncrementalPasses int
+	// RecomputedInsts is the total instances re-evaluated across all
+	// incremental passes.
+	RecomputedInsts int
+	// SkippedInsts is the total instances incremental passes did not
+	// have to touch (full-pass equivalent work avoided).
+	SkippedInsts int
+}
+
+// Stats returns the Timer's accumulated work counters.
+func (t *Timer) Stats() Stats { return t.stats }
 
 // NewTimer builds a reusable timing engine for the netlist; wm may be
 // nil (pre-route estimates).
@@ -245,6 +309,18 @@ func (t *Timer) Analyze(targetPeriodS float64) (*Report, error) {
 			}
 		}
 	}
+
+	t.valid = true
+	t.stats.FullPasses++
+	return t.buildReport(targetPeriodS)
+}
+
+// buildReport scans the timing endpoints and traces the critical path
+// over the arr/seen/from scratch. Analyze and AnalyzeIncremental share
+// it, so equal arrival state yields byte-identical reports.
+func (t *Timer) buildReport(targetPeriodS float64) (*Report, error) {
+	nl := t.nl
+	arr, seen, from := t.arr, t.seen, t.from
 
 	// Endpoints: DFF D pins (+ setup), macro input pins.
 	rep := &Report{TargetPeriodS: targetPeriodS}

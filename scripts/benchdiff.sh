@@ -24,22 +24,51 @@ BENCHTIME="${BENCHTIME:-0.5s}"
 COUNT="${COUNT:-3}"
 BENCHDIR="bench"
 
+# TRACKED is the closed list of benchmarks the gate protects. Every name
+# must appear in the run output below; a missing one (renamed benchmark,
+# silently failing package, pattern typo) fails the script immediately
+# instead of producing a hollow baseline.
+TRACKED="BenchmarkCacheChurnLRU BenchmarkCacheHitLRU BenchmarkCacheHitLRUParallel \
+BenchmarkCacheHitUnbounded BenchmarkSweepSerial BenchmarkSweepParallelCached \
+BenchmarkSweepCached BenchmarkRunFlowReduced BenchmarkRouteNets \
+BenchmarkRouteNetsParallel BenchmarkSTAFullTiming BenchmarkOptimizeDrivesIncremental"
+
 mkdir -p "$BENCHDIR"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+ONE="$(mktemp)"
+trap 'rm -f "$RAW" "$ONE"' EXIT
 
-echo "== bench: exec cache =="
-go test -run '^$' -bench 'BenchmarkCache' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/exec/ | tee -a "$RAW"
-echo "== bench: analytic sweep =="
-go test -run '^$' -bench 'BenchmarkSweep(Serial|ParallelCached)$' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/analytic/ | tee -a "$RAW"
-echo "== bench: serve cached path =="
-go test -run '^$' -bench 'BenchmarkSweepCached' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/serve/ | tee -a "$RAW"
-echo "== bench: flow pipeline (reduced) =="
-go test -run '^$' -bench 'BenchmarkRunFlowReduced$' -benchmem -benchtime 1x -count "$COUNT" ./internal/flow/ | tee -a "$RAW"
-echo "== bench: router =="
-go test -run '^$' -bench 'BenchmarkRouteNets$' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/route/ | tee -a "$RAW"
-echo "== bench: sta full timing =="
-go test -run '^$' -bench 'BenchmarkSTAFullTiming$' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/sta/ | tee -a "$RAW"
+# run_bench <label> <pattern> <benchtime> <package>: runs one benchmark
+# set and appends its output to RAW. The output goes through a temp file
+# with an explicit status check — a plain `go test | tee` pipeline under
+# POSIX sh keeps tee's exit status and silently swallows go test
+# failures (compile errors, b.Fatal), which is exactly how a benchmark
+# vanishes from the baseline unnoticed.
+run_bench() {
+    echo "== bench: $1 =="
+    if ! go test -run '^$' -bench "$2" -benchmem -benchtime "$3" -count "$COUNT" "$4" > "$ONE" 2>&1; then
+        cat "$ONE"
+        echo "benchdiff: FAIL: benchmark run failed: $4 -bench '$2'" >&2
+        exit 1
+    fi
+    cat "$ONE"
+    cat "$ONE" >> "$RAW"
+}
+
+run_bench "exec cache" 'BenchmarkCache' "$BENCHTIME" ./internal/exec/
+run_bench "analytic sweep" 'BenchmarkSweep(Serial|ParallelCached)$' "$BENCHTIME" ./internal/analytic/
+run_bench "serve cached path" 'BenchmarkSweepCached' "$BENCHTIME" ./internal/serve/
+run_bench "flow pipeline (reduced)" 'BenchmarkRunFlowReduced$' 1x ./internal/flow/
+run_bench "router (serial + parallel)" 'BenchmarkRouteNets(Parallel)?$' "$BENCHTIME" ./internal/route/
+run_bench "sta full + incremental" 'Benchmark(STAFullTiming|OptimizeDrivesIncremental)$' "$BENCHTIME" ./internal/sta/
+
+# Every tracked benchmark must have produced at least one result line.
+for name in $TRACKED; do
+    if ! grep -q "^${name}\(-[0-9][0-9]*\)\{0,1\}[[:space:]]" "$RAW"; then
+        echo "benchdiff: FAIL: tracked benchmark $name missing from run output" >&2
+        exit 1
+    fi
+done
 
 # Fold the raw `go test -bench -benchmem` lines into one JSON object
 # mapping benchmark name -> {min ns/op, min allocs/op} across COUNT runs.

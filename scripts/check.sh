@@ -15,7 +15,15 @@ echo "== go build =="
 go build ./...
 
 echo "== go test -race =="
-go test -race ./...
+# -timeout: the flow suite runs ~8 min under -race on a single core,
+# close enough to go test's 10m default to flake on slow machines.
+go test -race -timeout 30m ./...
+
+echo "== concurrency equivalence suite (race + shuffle) =="
+# The speculative parallel router and the incremental STA are pinned
+# against their serial/full oracles; -shuffle and -count=2 shake out
+# order dependence and stale-scratch bugs between repeated runs.
+go test -race -shuffle=on -count=2 -timeout 45m ./internal/route/ ./internal/sta/ ./internal/flow/
 
 echo "== obs golden + trace schema =="
 go test ./internal/obs/ ./internal/report/ ./cmd/m3dreport/
