@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race race-equiv fuzz bench benchdiff invariants report serve serve-smoke profile profilecheck
+.PHONY: check vet build test race race-equiv fuzz bench benchdiff invariants report serve serve-smoke dse-smoke profile profilecheck
 
 check:
 	FUZZTIME=$(FUZZTIME) ./scripts/check.sh
@@ -35,6 +35,7 @@ fuzz:
 	done
 	$(GO) test -fuzz=FuzzSweepRequest -fuzztime=$(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz=FuzzBatchRequest -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzDSERequest -fuzztime=$(FUZZTIME) ./internal/serve/
 
 # The property-based invariant suite (speedup ≤ N, EDP/bandwidth and
 # thermal monotonicity, degenerate-to-2D) plus the headline-band tests.
@@ -70,6 +71,10 @@ serve:
 
 serve-smoke:
 	$(GO) run ./scripts/servesmoke
+
+# End-to-end /v1/dse streaming gate (part of `make check`).
+dse-smoke:
+	./scripts/dsesmoke.sh
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchtime 2s ./internal/analytic/

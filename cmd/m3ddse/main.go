@@ -1,9 +1,19 @@
-// Command m3ddse runs custom analytical design-space sweeps: BEOL FET
-// width relaxation (Case 1), ILV pitch (Case 2), interleaved tiers
-// (Case 3), RRAM capacity (Fig. 9), bandwidth/CS grids (Fig. 8), and a
-// physical-flow CS-count sweep, on the ResNet-18 reference workload.
-// Sweep points are evaluated concurrently on the exec worker pool
-// (-workers; results are deterministic at any width).
+// Command m3ddse explores the architectural design space of the paper.
+// Two subcommands:
+//
+//	m3ddse sweep   exhaustive single-axis sweeps: BEOL FET width
+//	               relaxation (Case 1), ILV pitch (Case 2), interleaved
+//	               tiers (Case 3), RRAM capacity (Fig. 9), bandwidth/CS
+//	               grids (Fig. 8), and a physical-flow CS-count sweep.
+//	m3ddse pareto  adaptive multi-objective exploration (internal/dse)
+//	               over the combined δ × tier-pair × bandwidth space,
+//	               printing the Pareto frontier over speedup, EDP
+//	               benefit, thermal headroom and footprint.
+//
+// Invoking m3ddse with bare flags (no subcommand) keeps working as a
+// deprecated alias for "m3ddse sweep". Evaluations run concurrently on
+// the exec worker pool (-workers; results are deterministic at any
+// width).
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 
 	"m3d/internal/cliutil"
 	"m3d/internal/core"
+	"m3d/internal/dse"
 	"m3d/internal/exec"
 	"m3d/internal/flow"
 	"m3d/internal/macro"
@@ -26,13 +37,216 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("m3ddse: ")
-	sweep := flag.String("sweep", "delta", "sweep kind: delta | beta | tiers | capacity | grid | flowcs")
-	points := flag.String("points", "", "comma-separated sweep points (defaults per sweep)")
-	tierPower := flag.Float64("tierpower", 2.0, "per-tier-pair power (W) for the tiers sweep")
-	workers := flag.Int("workers", 0, "worker pool width (0 = GOMAXPROCS, or M3D_WORKERS)")
-	side := flag.Int("side", 3, "systolic array side per CS for the flowcs sweep")
-	obsFlags := cliutil.Register()
-	flag.Parse()
+	args := os.Args[1:]
+	switch {
+	case len(args) > 0 && args[0] == "sweep":
+		runSweep(args[1:])
+	case len(args) > 0 && args[0] == "pareto":
+		runPareto(args[1:])
+	case len(args) > 0 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help"):
+		usage()
+	default:
+		// Deprecated spelling: bare flags select the sweep subcommand.
+		if len(args) > 0 {
+			fmt.Fprintln(os.Stderr,
+				"m3ddse: bare flags are deprecated; spell this 'm3ddse sweep ...' (see 'm3ddse help')")
+		}
+		runSweep(args)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  m3ddse sweep  -sweep delta|beta|tiers|capacity|grid|flowcs [-points ...] [-tierpower W] [-side N]
+  m3ddse pareto [-deltas min:max:steps] [-tiers min:max] [-bw min:max:steps] [-power W]
+                [-maxevals N] [-seed N] [-explore N] [-thermal] [-promote N] [-brute]
+common flags: -workers N  -trace FILE  -metrics  -pprof ADDR`)
+	os.Exit(2)
+}
+
+// runPareto is the adaptive explorer: stream round progress to stderr,
+// print the final frontier, optionally check against brute force and
+// promote the best points through the physical flow.
+func runPareto(args []string) {
+	fs := flag.NewFlagSet("pareto", flag.ExitOnError)
+	deltas := fs.String("deltas", "", "delta axis as min:max:steps (default 1:2.5:16)")
+	tiers := fs.String("tiers", "", "tier-pair axis as min:max (default 1:6)")
+	bw := fs.String("bw", "", "bandwidth-scale axis as min:max:steps (default 1:8:8)")
+	power := fs.Float64("power", 0, "per-tier-pair power in W for the thermal objective (0 = 2 W)")
+	maxEvals := fs.Int("maxevals", 0, "evaluation budget (0 = a quarter of the grid)")
+	seed := fs.Int64("seed", 0, "seed for the randomized exploration samples")
+	explore := fs.Int("explore", 0, "extra seeded random first-round samples (0 = 8, negative = none)")
+	thermal := fs.Bool("thermal", false, "drop Eq. 17 thermal-budget violators from the frontier")
+	promote := fs.Int("promote", 0, "run the top-N frontier points through the physical flow")
+	brute := fs.Bool("brute", false, "also brute-force the grid and report coverage and the evaluation ratio")
+	workers := fs.Int("workers", 0, "worker pool width (0 = GOMAXPROCS, or M3D_WORKERS)")
+	obsFlags := cliutil.RegisterOn(fs)
+	fs.Parse(args)
+
+	var space dse.Space
+	var err error
+	if space.Deltas, err = parseAxis(*deltas); err != nil {
+		log.Fatalf("-deltas: %v", err)
+	}
+	if space.TierPairs, err = parseIntAxis(*tiers); err != nil {
+		log.Fatalf("-tiers: %v", err)
+	}
+	if space.BWScales, err = parseAxis(*bw); err != nil {
+		log.Fatalf("-bw: %v", err)
+	}
+	space.PerTierPowerW = *power
+	space = space.WithDefaults()
+
+	p := tech.Default130()
+	pool := append([]exec.Option{exec.WithWorkers(*workers)}, obsFlags.Setup()...)
+	defer obsFlags.Close()
+
+	opt := dse.Options{
+		MaxEvals:       *maxEvals,
+		Seed:           *seed,
+		Explore:        *explore,
+		RequireThermal: *thermal,
+	}
+	res, err := dse.Explore(p, space, opt, func(u dse.Update) {
+		if !u.Done {
+			log.Printf("round %d: %d evaluations, frontier %d", u.Round, u.Evaluations, len(u.Frontier))
+		}
+	}, pool...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := report.New(
+		fmt.Sprintf("Pareto frontier (%d of %d cells evaluated, %d rounds)",
+			res.Evaluations, res.GridSize, res.Rounds),
+		"delta", "Y", "BW", "N", "speedup", "EDP benefit", "headroom", "footprint")
+	for _, pt := range res.Frontier {
+		tb.Add(fmt.Sprintf("%.2f", pt.Delta), pt.TierPairs, fmt.Sprintf("%.1f", pt.BWScale), pt.N,
+			report.Ratio(pt.Speedup), report.Ratio(pt.EDPBenefit),
+			fmt.Sprintf("%.1f K", pt.ThermalHeadroomK),
+			fmt.Sprintf("%.3f mm2", pt.FootprintMM2))
+	}
+	render(tb)
+	if res.Exhausted {
+		log.Printf("evaluation budget exhausted before convergence (%d evaluations)", res.Evaluations)
+	}
+
+	if *brute {
+		bres, err := dse.BruteForce(p, space, pool...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ar := &dse.Archive{}
+		for _, pt := range res.Frontier {
+			ar.Add(pt)
+		}
+		covered := "covers the brute-force frontier"
+		if missing, ok := ar.Uncovered(bres.Frontier); !ok {
+			covered = fmt.Sprintf("MISSES brute-force point δ=%.2f Y=%d bw=%.1f",
+				missing.Delta, missing.TierPairs, missing.BWScale)
+		}
+		log.Printf("brute force: %d evaluations, frontier %d; adaptive used %.1f%% and %s",
+			bres.Evaluations, len(bres.Frontier),
+			100*float64(res.Evaluations)/float64(bres.Evaluations), covered)
+	}
+
+	if *promote > 0 {
+		promoteFrontier(p, res.Frontier, *promote, pool)
+	}
+}
+
+// promoteFrontier runs the top-EDP frontier points through the physical
+// flow as small representative M3D SoCs (the /v1/dse promotion shape).
+func promoteFrontier(p *tech.PDK, frontier []dse.Point, n int, pool []exec.Option) {
+	top := dse.TopK(frontier, n)
+	tb := report.New("Promoted frontier points (physical flow)",
+		"delta", "Y", "N", "CS", "Std cells", "Fmax", "Timing", "Power")
+	for _, pt := range top {
+		numCS := pt.N
+		if numCS < 1 {
+			numCS = 1
+		}
+		if numCS > 4 {
+			numCS = 4
+		}
+		spec := flow.SoCSpec{
+			Style:          macro.Style3D,
+			NumCS:          numCS,
+			ArrayRows:      2,
+			ArrayCols:      2,
+			RRAMCapBits:    1 << 23,
+			Banks:          numCS,
+			GlobalSRAMBits: 64 << 10,
+			Seed:           1,
+		}
+		log.Printf("promoting δ=%.2f Y=%d (flow with %d CS)...", pt.Delta, pt.TierPairs, numCS)
+		r, err := flow.Run(p, spec, pool...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.Add(fmt.Sprintf("%.2f", pt.Delta), pt.TierPairs, pt.N, numCS,
+			r.Cells, report.MHz(r.FmaxHz), r.TimingMet, report.MW(r.Power.TotalW))
+	}
+	render(tb)
+}
+
+// parseAxis reads a float axis spelled min:max:steps ("" keeps the
+// default).
+func parseAxis(s string) (dse.Axis, error) {
+	if s == "" {
+		return dse.Axis{}, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return dse.Axis{}, fmt.Errorf("want min:max:steps, got %q", s)
+	}
+	min, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return dse.Axis{}, fmt.Errorf("bad min %q: %v", parts[0], err)
+	}
+	max, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return dse.Axis{}, fmt.Errorf("bad max %q: %v", parts[1], err)
+	}
+	steps, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return dse.Axis{}, fmt.Errorf("bad steps %q: %v", parts[2], err)
+	}
+	return dse.Axis{Min: min, Max: max, Steps: steps}, nil
+}
+
+// parseIntAxis reads an integer axis spelled min:max ("" keeps the
+// default).
+func parseIntAxis(s string) (dse.IntAxis, error) {
+	if s == "" {
+		return dse.IntAxis{}, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return dse.IntAxis{}, fmt.Errorf("want min:max, got %q", s)
+	}
+	min, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return dse.IntAxis{}, fmt.Errorf("bad min %q: %v", parts[0], err)
+	}
+	max, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return dse.IntAxis{}, fmt.Errorf("bad max %q: %v", parts[1], err)
+	}
+	return dse.IntAxis{Min: min, Max: max}, nil
+}
+
+// runSweep is the exhaustive single-axis surface (the pre-subcommand
+// m3ddse behavior, flag for flag).
+func runSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	sweep := fs.String("sweep", "delta", "sweep kind: delta | beta | tiers | capacity | grid | flowcs")
+	points := fs.String("points", "", "comma-separated sweep points (defaults per sweep)")
+	tierPower := fs.Float64("tierpower", 2.0, "per-tier-pair power (W) for the tiers sweep")
+	workers := fs.Int("workers", 0, "worker pool width (0 = GOMAXPROCS, or M3D_WORKERS)")
+	side := fs.Int("side", 3, "systolic array side per CS for the flowcs sweep")
+	obsFlags := cliutil.RegisterOn(fs)
+	fs.Parse(args)
 
 	p := tech.Default130()
 	pool := append([]exec.Option{exec.WithWorkers(*workers)}, obsFlags.Setup()...)

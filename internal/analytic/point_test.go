@@ -1,0 +1,129 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"m3d/internal/errs"
+)
+
+func pointTestFixture() (Params, AreaModel, []Load) {
+	p := Params{
+		PPeak: 512, B2D: 64, B3D: 512, N: 8,
+		Alpha2D: 1e-12, Alpha3D: 0.95e-12,
+		EC: 0.5e-12, ECIdle: 10e-12, EMIdle2D: 40e-12, EMIdle3D: 38e-12,
+	}
+	a := AreaModel{ACS: 1e10, ACells: 7.8e10, APerif: 0.8e10, ABusIO: 2e10}
+	loads := []Load{
+		{F0: 16e6, D0: 1e6, NPart: 64},
+		{F0: 2e6, D0: 8e6, NPart: 64},
+	}
+	return p, a, loads
+}
+
+// TestCasePointDegenerate pins the anchor: at δ=1, Y=1, bwScale=1 the
+// combined point reduces exactly to Case1Benefit at δ=1 (same geometry,
+// same bandwidth, same baseline).
+func TestCasePointDegenerate(t *testing.T) {
+	p, a, loads := pointTestFixture()
+	got, err := CasePoint(p, a, loads, DesignPoint{Delta: 1, TierPairs: 1, BWScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, geo, err := Case1Benefit(p, a, loads, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != geo.N3D || got.N2DNew != geo.N2DNew {
+		t.Fatalf("geometry mismatch: got N=%d N2DNew=%d, want %d/%d",
+			got.N, got.N2DNew, geo.N3D, geo.N2DNew)
+	}
+	if math.Abs(got.EDPBenefit-want.EDPBenefit) > 1e-12*want.EDPBenefit {
+		t.Fatalf("EDP benefit %g != Case1Benefit %g", got.EDPBenefit, want.EDPBenefit)
+	}
+	if math.Abs(got.Speedup-want.Speedup) > 1e-12*want.Speedup {
+		t.Fatalf("speedup %g != Case1Benefit %g", got.Speedup, want.Speedup)
+	}
+	if got.Footprint != geo.Footprint {
+		t.Fatalf("footprint %g != Case1 footprint %g", got.Footprint, geo.Footprint)
+	}
+}
+
+// TestCasePointTierScaling checks the Case 3 axis: Y pairs multiply the
+// CS count, and on a memory-bound load the speedup grows with the
+// per-pair bandwidth replication.
+func TestCasePointTierScaling(t *testing.T) {
+	p, a, loads := pointTestFixture()
+	one, err := CasePoint(p, a, loads, DesignPoint{Delta: 1, TierPairs: 1, BWScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := CasePoint(p, a, loads, DesignPoint{Delta: 1, TierPairs: 4, BWScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.N != 4*one.N {
+		t.Fatalf("N at Y=4 is %d, want 4×%d", four.N, one.N)
+	}
+	if four.Speedup < one.Speedup {
+		t.Fatalf("speedup dropped with tier pairs: %g < %g", four.Speedup, one.Speedup)
+	}
+	if four.Footprint != one.Footprint {
+		t.Fatalf("footprint changed with Y (iso-footprint stacking): %g vs %g",
+			four.Footprint, one.Footprint)
+	}
+}
+
+// TestCasePointBandwidthMonotone: more M3D bandwidth never slows the
+// design down (T3D is non-increasing in b), so speedup is monotone
+// non-decreasing in bwScale.
+func TestCasePointBandwidthMonotone(t *testing.T) {
+	p, a, loads := pointTestFixture()
+	prev := -math.MaxFloat64
+	for _, b := range []float64{0.5, 1, 2, 4, 8, 16} {
+		r, err := CasePoint(p, a, loads, DesignPoint{Delta: 1.5, TierPairs: 2, BWScale: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Speedup < prev {
+			t.Fatalf("speedup fell at bwScale=%g: %g < %g", b, r.Speedup, prev)
+		}
+		prev = r.Speedup
+	}
+}
+
+// TestCasePointFootprintGrows: once δ·A_cells outgrows the die both chips
+// grow, so footprint is monotone non-decreasing in δ and strictly larger
+// at a big enough δ.
+func TestCasePointFootprintGrows(t *testing.T) {
+	p, a, loads := pointTestFixture()
+	small, err := CasePoint(p, a, loads, DesignPoint{Delta: 1, TierPairs: 1, BWScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := CasePoint(p, a, loads, DesignPoint{Delta: 2.5, TierPairs: 1, BWScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Footprint <= small.Footprint {
+		t.Fatalf("footprint did not grow with δ: %g vs %g", big.Footprint, small.Footprint)
+	}
+}
+
+func TestCasePointBadSpec(t *testing.T) {
+	p, a, loads := pointTestFixture()
+	for _, d := range []DesignPoint{
+		{Delta: 0.5, TierPairs: 1, BWScale: 1},
+		{Delta: 1, TierPairs: 0, BWScale: 1},
+		{Delta: 1, TierPairs: 1, BWScale: 0},
+		{Delta: 1, TierPairs: 1, BWScale: -2},
+	} {
+		if _, err := CasePoint(p, a, loads, d); !errors.Is(err, errs.ErrBadSpec) {
+			t.Errorf("CasePoint(%+v) error = %v, want ErrBadSpec", d, err)
+		}
+	}
+	if _, err := CasePoint(p, a, nil, DesignPoint{Delta: 1, TierPairs: 1, BWScale: 1}); !errors.Is(err, errs.ErrBadSpec) {
+		t.Errorf("empty loads error = %v, want ErrBadSpec", err)
+	}
+}

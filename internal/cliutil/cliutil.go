@@ -29,10 +29,16 @@ type ObsFlags struct {
 
 // Register declares -trace, -metrics and -pprof on the default FlagSet.
 func Register() *ObsFlags {
+	return RegisterOn(flag.CommandLine)
+}
+
+// RegisterOn declares the shared observability flags on fs — the entry
+// point for binaries with subcommand FlagSets.
+func RegisterOn(fs *flag.FlagSet) *ObsFlags {
 	f := &ObsFlags{}
-	flag.StringVar(&f.TracePath, "trace", "", "write a JSON-lines span trace to this file (\"-\" = stderr)")
-	flag.BoolVar(&f.Metrics, "metrics", false, "print the aggregate metrics snapshot to stderr at exit (JSON)")
-	flag.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.TracePath, "trace", "", "write a JSON-lines span trace to this file (\"-\" = stderr)")
+	fs.BoolVar(&f.Metrics, "metrics", false, "print the aggregate metrics snapshot to stderr at exit (JSON)")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	return f
 }
 

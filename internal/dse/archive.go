@@ -1,0 +1,159 @@
+package dse
+
+import "sort"
+
+// Point is one evaluated design point with its four objectives. The
+// explorer maximizes Speedup, EDPBenefit and ThermalHeadroomK and
+// minimizes FootprintMM2; N and N2DNew document the geometry behind the
+// objectives. The JSON shape is the /v1/dse wire format.
+type Point struct {
+	// Coordinates of the combined Case 1 × Case 3 design space.
+	Delta     float64 `json:"delta"`
+	TierPairs int     `json:"tier_pairs"`
+	BWScale   float64 `json:"bw_scale"`
+
+	// Geometry.
+	N      int `json:"n"`
+	N2DNew int `json:"n_2d_new"`
+
+	// Objectives.
+	Speedup          float64 `json:"speedup"`
+	EDPBenefit       float64 `json:"edp_benefit"`
+	ThermalHeadroomK float64 `json:"thermal_headroom_k"`
+	FootprintMM2     float64 `json:"footprint_mm2"`
+}
+
+// objectives returns the maximize-normalized objective vector (footprint
+// negated so dominance is uniformly ≥).
+func (p Point) objectives() [4]float64 {
+	return [4]float64{p.Speedup, p.EDPBenefit, p.ThermalHeadroomK, -p.FootprintMM2}
+}
+
+// WeaklyDominates reports whether p is at least as good as q in every
+// objective (equality included).
+func (p Point) WeaklyDominates(q Point) bool {
+	a, b := p.objectives(), q.objectives()
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether p is at least as good as q in every objective
+// and strictly better in at least one.
+func (p Point) Dominates(q Point) bool {
+	a, b := p.objectives(), q.objectives()
+	better := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// Archive is a Pareto archive with dominated-region pruning: it holds the
+// non-dominated subset of the points committed so far. Commit order is
+// the determinism contract — a candidate weakly dominated by the current
+// archive (equal objective vectors included) is rejected, so when several
+// lattice cells share one objective vector the first committed
+// representative wins. The explorer commits in canonical candidate order
+// at every worker width, making the archive deep-equal across widths.
+//
+// Archive is not safe for concurrent use; the explorer commits serially.
+type Archive struct {
+	pts []Point
+}
+
+// Add commits p. It returns false (archive unchanged) when an existing
+// member weakly dominates p; otherwise it removes every member p strictly
+// dominates and inserts p.
+func (a *Archive) Add(p Point) bool {
+	for _, q := range a.pts {
+		if q.WeaklyDominates(p) {
+			return false
+		}
+	}
+	kept := a.pts[:0]
+	for _, q := range a.pts {
+		if !p.Dominates(q) {
+			kept = append(kept, q)
+		}
+	}
+	a.pts = append(kept, p)
+	return true
+}
+
+// Len reports the archive size.
+func (a *Archive) Len() int { return len(a.pts) }
+
+// Frontier returns the archive contents in canonical order (Delta, then
+// TierPairs, then BWScale) — the order every stream flush and final
+// result uses, independent of commit interleaving.
+func (a *Archive) Frontier() []Point {
+	out := make([]Point, len(a.pts))
+	copy(out, a.pts)
+	sort.Slice(out, func(i, j int) bool { return pointLess(out[i], out[j]) })
+	return out
+}
+
+func pointLess(p, q Point) bool {
+	if p.Delta != q.Delta {
+		return p.Delta < q.Delta
+	}
+	if p.TierPairs != q.TierPairs {
+		return p.TierPairs < q.TierPairs
+	}
+	return p.BWScale < q.BWScale
+}
+
+// Covers reports whether every point in want is weakly dominated by some
+// archive member — the "dominates-or-matches" acceptance relation between
+// an adaptive frontier and a brute-force one.
+func (a *Archive) Covers(want []Point) bool {
+	_, ok := a.Uncovered(want)
+	return ok
+}
+
+// Uncovered returns the first point of want no archive member weakly
+// dominates, for diagnostics; ok is true when everything is covered.
+func (a *Archive) Uncovered(want []Point) (Point, bool) {
+	for _, q := range want {
+		covered := false
+		for _, p := range a.pts {
+			if p.WeaklyDominates(q) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return q, false
+		}
+	}
+	return Point{}, true
+}
+
+// TopK returns the k frontier points with the highest EDP benefit
+// (ties broken canonically), for promotion to full physical-flow runs.
+func TopK(frontier []Point, k int) []Point {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Point, len(frontier))
+	copy(out, frontier)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].EDPBenefit != out[j].EDPBenefit {
+			return out[i].EDPBenefit > out[j].EDPBenefit
+		}
+		return pointLess(out[i], out[j])
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
+}

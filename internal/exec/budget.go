@@ -1,0 +1,67 @@
+package exec
+
+import "sync/atomic"
+
+// Budget is a concurrency-safe evaluation allowance: a fixed number of
+// grants handed out atomically. Adaptive explorers (internal/dse) use it
+// to bound how many model evaluations a request may issue regardless of
+// how the work is batched across rounds or workers — a round asks for as
+// many grants as it has candidates and receives at most what is left.
+//
+// The zero value is an exhausted budget; NewBudget(n) with n ≤ 0 returns
+// an unlimited one.
+type Budget struct {
+	remaining atomic.Int64
+	unlimited bool
+}
+
+// NewBudget returns a budget of n grants. n ≤ 0 means unlimited: Take
+// always grants in full and Remaining reports a negative sentinel.
+func NewBudget(n int64) *Budget {
+	b := &Budget{}
+	if n <= 0 {
+		b.unlimited = true
+		return b
+	}
+	b.remaining.Store(n)
+	return b
+}
+
+// Take requests n grants and returns how many were granted: n while the
+// budget lasts, the remainder when it is nearly spent, 0 once exhausted.
+// Take never grants more than requested and the sum of all grants never
+// exceeds the budget, under any interleaving.
+func (b *Budget) Take(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if b.unlimited {
+		return n
+	}
+	for {
+		cur := b.remaining.Load()
+		if cur <= 0 {
+			return 0
+		}
+		grant := n
+		if grant > cur {
+			grant = cur
+		}
+		if b.remaining.CompareAndSwap(cur, cur-grant) {
+			return grant
+		}
+	}
+}
+
+// Remaining reports the grants left; -1 for an unlimited budget.
+func (b *Budget) Remaining() int64 {
+	if b.unlimited {
+		return -1
+	}
+	return b.remaining.Load()
+}
+
+// Exhausted reports whether no grants remain (never true when unlimited).
+func (b *Budget) Exhausted() bool {
+	return !b.unlimited && b.remaining.Load() <= 0
+}

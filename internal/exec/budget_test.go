@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetSerial(t *testing.T) {
+	b := NewBudget(10)
+	if got := b.Take(4); got != 4 {
+		t.Fatalf("Take(4) = %d, want 4", got)
+	}
+	if got := b.Remaining(); got != 6 {
+		t.Fatalf("Remaining = %d, want 6", got)
+	}
+	if got := b.Take(10); got != 6 {
+		t.Fatalf("Take(10) = %d, want 6 (partial grant)", got)
+	}
+	if !b.Exhausted() {
+		t.Fatal("budget not exhausted after full spend")
+	}
+	if got := b.Take(1); got != 0 {
+		t.Fatalf("Take(1) after exhaustion = %d, want 0", got)
+	}
+	if got := b.Take(-3); got != 0 {
+		t.Fatalf("Take(-3) = %d, want 0", got)
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	for _, n := range []int64{0, -1} {
+		b := NewBudget(n)
+		if got := b.Take(1 << 40); got != 1<<40 {
+			t.Fatalf("NewBudget(%d).Take = %d, want full grant", n, got)
+		}
+		if b.Exhausted() {
+			t.Fatalf("NewBudget(%d) reports exhausted", n)
+		}
+		if got := b.Remaining(); got != -1 {
+			t.Fatalf("NewBudget(%d).Remaining = %d, want -1", n, got)
+		}
+	}
+}
+
+func TestBudgetZeroValueExhausted(t *testing.T) {
+	var b Budget
+	if got := b.Take(1); got != 0 {
+		t.Fatalf("zero-value Take = %d, want 0", got)
+	}
+	if !b.Exhausted() {
+		t.Fatal("zero value must be exhausted")
+	}
+}
+
+// TestBudgetConcurrent hammers Take from many goroutines: the summed
+// grants must equal the budget exactly (nothing lost, nothing minted).
+func TestBudgetConcurrent(t *testing.T) {
+	const total = 100_000
+	b := NewBudget(total)
+	var wg sync.WaitGroup
+	grants := make([]int64, 16)
+	for g := range grants {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				got := b.Take(int64(g%7 + 1))
+				if got == 0 {
+					return
+				}
+				grants[g] += got
+			}
+		}(g)
+	}
+	wg.Wait()
+	var sum int64
+	for _, g := range grants {
+		sum += g
+	}
+	if sum != total {
+		t.Fatalf("granted %d total, want exactly %d", sum, total)
+	}
+}

@@ -96,31 +96,24 @@ func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, r *http
 		}(i, raw)
 	}
 
-	// Stream the reply as a chunked JSON array: status and headers commit
-	// before the first item, so item failures surface in-band.
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	rc := http.NewResponseController(w)
-	enc := json.NewEncoder(w)
-	itemErrs := s.reg.Counter("serve.batch.item.errors")
-	if _, err := fmt.Fprint(w, "[\n"); err != nil {
+	// Stream the reply through the shared chunked-array encoder: status
+	// and headers commit before the first item, so item failures surface
+	// in-band; slot i flushes as soon as items 0..i are settled.
+	st := newArrayStream(w)
+	if !st.ok() {
 		return nil // client gone; the handler already committed 200
 	}
+	itemErrs := s.reg.Counter("serve.batch.item.errors")
 	for i := 0; i < n; i++ {
 		<-done[i]
-		if i > 0 {
-			fmt.Fprint(w, ",\n")
-		}
 		if results[i].Error != "" {
 			itemErrs.Add(1)
 		}
-		if err := enc.Encode(results[i]); err != nil {
+		if !st.emit(results[i]) {
 			break
 		}
-		rc.Flush()
 	}
-	fmt.Fprint(w, "]\n")
-	rc.Flush()
+	st.close()
 	if sp != nil {
 		sp.End()
 	}

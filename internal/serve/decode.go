@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"m3d/internal/errs"
+)
+
+// This file is the one place request decoding and error mapping live:
+// every /v1 endpoint decodes through decode/decodeRequest, and every
+// failure path maps sentinels to status codes through statusOf. Endpoint
+// files define what a request looks like; they do not re-implement how
+// one is parsed or how its errors translate.
+
+// badSpec wraps a request-shape complaint in errs.ErrBadSpec (→ 400).
+func badSpec(format string, args ...any) error {
+	return fmt.Errorf("serve: %s: %w", fmt.Sprintf(format, args...), errs.ErrBadSpec)
+}
+
+// decode parses one JSON request body strictly: unknown fields, trailing
+// garbage, and oversized bodies all fail with errs.ErrBadSpec.
+func decode(body io.Reader, v any) error {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: decoding request: %v: %w", err, errs.ErrBadSpec)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return fmt.Errorf("serve: trailing data after request body: %w", errs.ErrBadSpec)
+	}
+	return nil
+}
+
+// validater is the per-endpoint request contract: each request type
+// checks its own shape, reporting violations as errs.ErrBadSpec.
+type validater interface{ validate() error }
+
+// decodeRequest is the uniform endpoint entry: strict-decode one request
+// body into T and run its validate. Every top-level /v1 request
+// (sweep/flow/batch items aside — the batch array is decoded leniently
+// so item errors isolate) comes through here, so decoding strictness and
+// validation ordering cannot drift between endpoints.
+func decodeRequest[T any, PT interface {
+	*T
+	validater
+}](body io.Reader) (PT, error) {
+	req := PT(new(T))
+	if err := decode(body, req); err != nil {
+		return nil, err
+	}
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// statusOf maps the library's sentinel errors to HTTP status codes — the
+// single error-mapping table for every endpoint and batch item.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, errs.ErrOverloaded):
+		return http.StatusTooManyRequests // 429
+	case errors.Is(err, errs.ErrBadSpec):
+		return http.StatusBadRequest // 400
+	case errors.Is(err, errs.ErrThermalLimit):
+		return http.StatusUnprocessableEntity // 422
+	case errors.Is(err, errs.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout // 408 (499-style client abort)
+	default:
+		return http.StatusInternalServerError // 500
+	}
+}

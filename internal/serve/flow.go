@@ -84,6 +84,16 @@ func (q *FlowRequest) spec() (flow.SoCSpec, error) {
 	return spec, nil
 }
 
+// validate checks the request shape through the spec derivation — the
+// decodeRequest contract shared with the other endpoints.
+func (q *FlowRequest) validate() error {
+	spec, err := q.spec()
+	if err != nil {
+		return err
+	}
+	return spec.Validate()
+}
+
 // key is the coalescing identity of a flow request (canonical JSON).
 func (q *FlowRequest) key() string {
 	b, err := json.Marshal(q)
@@ -94,11 +104,11 @@ func (q *FlowRequest) key() string {
 }
 
 func (s *Server) handleFlow(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
-	var req FlowRequest
-	if err := decode(r.Body, &req); err != nil {
+	req, err := decodeRequest[FlowRequest](r.Body)
+	if err != nil {
 		return err
 	}
-	resp, err := s.flowCached(ctx, &req)
+	resp, err := s.flowCached(ctx, req)
 	if err != nil {
 		return err
 	}

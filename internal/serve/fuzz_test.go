@@ -57,6 +57,56 @@ func FuzzSweepRequest(f *testing.F) {
 	})
 }
 
+// FuzzDSERequest hammers the POST /v1/dse request decoder and validator
+// with arbitrary bodies through the same decodeRequest entry the handler
+// uses. Contract: no panics, every rejection is errs.ErrBadSpec (the 400
+// family), and an accepted request's defaults-applied space re-validates
+// cleanly and stays within the evaluation-grid bound.
+//
+// Seeds live in testdata/fuzz/FuzzDSERequest (checked in): the golden
+// stream request, the empty default, each axis alone, and the hostile
+// shapes — truncated JSON, trailing garbage, unknown fields, inverted
+// and out-of-range axes, oversized grids and promote counts.
+func FuzzDSERequest(f *testing.F) {
+	f.Add(dseStreamBody)
+	f.Add(``)
+	f.Add(`{}`)
+	f.Add(`{"seed":1}`)
+	f.Add(`{"deltas":{"min":1,"max":2.5,"steps":16}}`)
+	f.Add(`{"tier_pairs":{"min":1,"max":6}}`)
+	f.Add(`{"bw_scales":{"min":1,"max":8,"steps":8},"promote":2}`)
+	f.Add(`{"deltas":`)
+	f.Add(`{} {}`)
+	f.Add(`{"bogus":1}`)
+	f.Add(`{"deltas":{"min":0.5,"max":2,"steps":4}}`)
+	f.Add(`{"tier_pairs":{"min":3,"max":1}}`)
+	f.Add(`{"bw_scales":{"min":-1,"max":2,"steps":2}}`)
+	f.Add(`{"deltas":{"min":1,"max":2,"steps":512},"tier_pairs":{"min":1,"max":64},"bw_scales":{"min":1,"max":2,"steps":512}}`)
+	f.Add(`{"max_evals":-5}`)
+	f.Add(`{"promote":99}`)
+	f.Add("\x00\xff")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := decodeRequest[DSERequest](strings.NewReader(body))
+		if err != nil {
+			if !errors.Is(err, errs.ErrBadSpec) {
+				t.Fatalf("rejection is not ErrBadSpec: %v", err)
+			}
+			if got := statusOf(err); got != http.StatusBadRequest {
+				t.Fatalf("statusOf(%v) = %d, want 400", err, got)
+			}
+			return
+		}
+		space := req.space()
+		if err := space.Validate(); err != nil {
+			t.Fatalf("accepted request's space re-validation failed: %v", err)
+		}
+		if space.GridSize() < 1 || space.GridSize() > maxSweepPoints {
+			t.Fatalf("accepted grid size %d out of bounds", space.GridSize())
+		}
+	})
+}
+
 // FuzzBatchRequest hammers the POST /v1/batch decode path: the lenient
 // top-level array decode, the strict per-item decode, the sweep/flow
 // one-of, and each item's spec validation. Contract: no panics; every

@@ -2,9 +2,10 @@
 // stdlib-only JSON API exposing the Sec. III analytical framework
 // (POST /v1/sweep), the RTL-to-GDS flow (POST /v1/flow), heterogeneous
 // batches of both with per-item isolation and streamed results
-// (POST /v1/batch), a liveness probe (GET /healthz), and the metrics
-// registry (GET /metrics, the sorted text dump of
-// obs.Registry.WriteText). cmd/m3dserve is the binary.
+// (POST /v1/batch), the adaptive Pareto design-space explorer with
+// streamed frontier updates (POST /v1/dse), a liveness probe
+// (GET /healthz), and the metrics registry (GET /metrics, the sorted
+// text dump of obs.Registry.WriteText). cmd/m3dserve is the binary.
 //
 // Request path (DESIGN.md §9-10): admission → coalesce → pool → response.
 //
@@ -43,11 +44,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"sync"
 	"time"
 
+	"m3d/internal/dse"
 	"m3d/internal/errs"
 	"m3d/internal/exec"
 	"m3d/internal/obs"
@@ -113,8 +114,9 @@ type Server struct {
 	idle     chan struct{}
 	idleOnce sync.Once
 
-	sweeps exec.Cache[string, *SweepResponse]
-	flows  exec.Cache[string, *FlowResponse]
+	sweeps    exec.Cache[string, *SweepResponse]
+	flows     exec.Cache[string, *FlowResponse]
+	dsePoints dse.PointCache
 
 	// Test hooks (nil outside tests): evalStarted fires when an
 	// evaluation body begins; evalBlock then blocks it, typically until
@@ -166,9 +168,13 @@ func New(cfg Config) *Server {
 	if cacheCap > 0 {
 		s.sweeps.Bound(cacheCap, nil)
 		s.flows.Bound(cacheCap, nil)
+		// Points are far smaller than responses; let the point memo hold a
+		// multiple of the response budget before evicting.
+		s.dsePoints.Bound(cacheCap*64, nil)
 	}
 	s.sweeps.Instrument(s.reg)
 	s.flows.Instrument(s.reg)
+	s.dsePoints.Instrument(s.reg)
 
 	s.mux = http.NewServeMux()
 	s.mux.Handle("GET /healthz", s.handler("healthz", false, s.handleHealthz))
@@ -176,6 +182,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/sweep", s.handler("sweep", true, s.handleSweep))
 	s.mux.Handle("POST /v1/flow", s.handler("flow", true, s.handleFlow))
 	s.mux.Handle("POST /v1/batch", s.handler("batch", true, s.handleBatch))
+	s.mux.Handle("POST /v1/dse", s.handler("dse", true, s.handleDSE))
 	return s
 }
 
@@ -300,24 +307,6 @@ func (s *Server) handler(route string, admit bool, h func(ctx context.Context, w
 	})
 }
 
-// statusOf maps the library's sentinel errors to HTTP status codes.
-func statusOf(err error) int {
-	switch {
-	case errors.Is(err, errs.ErrOverloaded):
-		return http.StatusTooManyRequests // 429
-	case errors.Is(err, errs.ErrBadSpec):
-		return http.StatusBadRequest // 400
-	case errors.Is(err, errs.ErrThermalLimit):
-		return http.StatusUnprocessableEntity // 422
-	case errors.Is(err, errs.ErrCanceled),
-		errors.Is(err, context.Canceled),
-		errors.Is(err, context.DeadlineExceeded):
-		return http.StatusRequestTimeout // 408 (499-style client abort)
-	default:
-		return http.StatusInternalServerError // 500
-	}
-}
-
 // errorBody is the JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`
@@ -350,21 +339,6 @@ func (s *Server) handleHealthz(_ context.Context, w http.ResponseWriter, _ *http
 func (s *Server) handleMetrics(_ context.Context, w http.ResponseWriter, _ *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	return s.reg.WriteText(w)
-}
-
-// decode parses one JSON request body strictly: unknown fields, trailing
-// garbage, and oversized bodies all fail with errs.ErrBadSpec.
-func decode(body io.Reader, v any) error {
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("serve: decoding request: %v: %w", err, errs.ErrBadSpec)
-	}
-	var extra json.RawMessage
-	if err := dec.Decode(&extra); err != io.EOF {
-		return fmt.Errorf("serve: trailing data after request body: %w", errs.ErrBadSpec)
-	}
-	return nil
 }
 
 // evalOptions are the exec options every evaluation runs under: the

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// arrayStream writes a chunked JSON array of incrementally-settled
+// elements — the shared partial-result encoder behind /v1/batch and
+// /v1/dse. The framing is fixed: the stream opens with "[\n" (committing
+// the 200 status and Content-Type first), elements are separated by
+// ",\n", each element is one json.Encoder.Encode (which appends its own
+// newline) flushed to the client as soon as it is written, and close
+// terminates with "]\n". The whole stream is therefore one well-formed
+// JSON array, and a line-oriented client can also consume it
+// incrementally: every element lands on its own line the moment it
+// settles.
+//
+// Write failures (client gone) latch the stream broken: emit becomes a
+// no-op returning false so producers can stop early. The status line is
+// committed at construction, so a broken stream can only end truncated —
+// in-band errors belong in the elements themselves (see BatchItemResult
+// and DSEUpdate).
+type arrayStream struct {
+	w      http.ResponseWriter
+	rc     *http.ResponseController
+	enc    *json.Encoder
+	n      int
+	broken bool
+}
+
+// newArrayStream commits the 200/Content-Type header and opens the
+// array. Check ok before emitting: a stream broken at open (client
+// already gone) has written nothing useful and needs no close.
+func newArrayStream(w http.ResponseWriter) *arrayStream {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	st := &arrayStream{w: w, rc: http.NewResponseController(w), enc: json.NewEncoder(w)}
+	if _, err := fmt.Fprint(w, "[\n"); err != nil {
+		st.broken = true
+	}
+	return st
+}
+
+// ok reports whether the stream can still carry elements.
+func (st *arrayStream) ok() bool { return !st.broken }
+
+// emit appends one element and flushes it to the client, reporting
+// whether the stream is still healthy.
+func (st *arrayStream) emit(v any) bool {
+	if st.broken {
+		return false
+	}
+	if st.n > 0 {
+		fmt.Fprint(st.w, ",\n")
+	}
+	st.n++
+	if err := st.enc.Encode(v); err != nil {
+		st.broken = true
+		return false
+	}
+	st.rc.Flush()
+	return true
+}
+
+// close terminates the array and flushes the tail.
+func (st *arrayStream) close() {
+	fmt.Fprint(st.w, "]\n")
+	st.rc.Flush()
+}

@@ -108,10 +108,6 @@ type SweepResponse struct {
 	Rows []SweepRow `json:"rows"`
 }
 
-func badSpec(format string, args ...any) error {
-	return fmt.Errorf("serve: %s: %w", fmt.Sprintf(format, args...), errs.ErrBadSpec)
-}
-
 // validate checks the request shape: a known kind, axes belonging to
 // that kind only, and bounded grid sizes. Value-level validation
 // (positive scales, δ ≥ 1, ...) is the library's and comes back as
@@ -174,11 +170,11 @@ func (q *SweepRequest) key() string {
 }
 
 func (s *Server) handleSweep(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
-	var req SweepRequest
-	if err := decode(r.Body, &req); err != nil {
+	req, err := decodeRequest[SweepRequest](r.Body)
+	if err != nil {
 		return err
 	}
-	resp, err := s.sweepCached(ctx, &req)
+	resp, err := s.sweepCached(ctx, req)
 	if err != nil {
 		return err
 	}

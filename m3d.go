@@ -19,6 +19,7 @@ import (
 	"m3d/internal/analytic"
 	"m3d/internal/arch"
 	"m3d/internal/core"
+	"m3d/internal/dse"
 	"m3d/internal/errs"
 	"m3d/internal/exec"
 	"m3d/internal/flow"
@@ -312,7 +313,7 @@ func RunFlowCaseStudy(p *PDK, scale SoCSpec, numCS int, opts ...Option) (*FlowRe
 // into the pool, sentinel→status error mapping and graceful drain.
 type (
 	// Service is the evaluation HTTP handler (an http.Handler serving
-	// /healthz, /metrics, /v1/sweep, /v1/flow).
+	// /healthz, /metrics, /v1/sweep, /v1/flow, /v1/batch, /v1/dse).
 	Service = serve.Server
 	// ServiceConfig configures a Service (PDK, pool width, admission
 	// capacity, per-request deadline, observability sinks).
@@ -330,6 +331,12 @@ type (
 	// isolated per-item status and error).
 	ServiceBatchItem       = serve.BatchItem
 	ServiceBatchItemResult = serve.BatchItemResult
+	// ServiceDSERequest / ServiceDSEUpdate are the /v1/dse body and the
+	// streamed reply-array element (a DSEUpdate frontier snapshot; the
+	// final element also carries any ServiceDSEPromotion flow runs).
+	ServiceDSERequest   = serve.DSERequest
+	ServiceDSEUpdate    = serve.DSEUpdate
+	ServiceDSEPromotion = serve.DSEPromotion
 )
 
 // NewService returns an evaluation HTTP handler; mount it on any
@@ -342,6 +349,63 @@ func NewService(cfg ServiceConfig) *Service { return serve.New(cfg) }
 // at that many entries with least-recently-used eviction. Unset or
 // non-positive keeps them unbounded.
 const CacheCapEnv = exec.CacheCapEnv
+
+// Adaptive multi-objective design-space exploration (internal/dse;
+// DESIGN.md §13): a Pareto search over the combined Case 1 × Case 3
+// space — δ × interleaved tier pairs × bandwidth scale — maximizing
+// speedup, EDP benefit and Eq. 17 thermal headroom while minimizing
+// footprint. Deterministic at any worker width; POST /v1/dse is the
+// served twin with streamed frontier updates.
+type (
+	// DSEAxis is a uniform float axis of the exploration box.
+	DSEAxis = dse.Axis
+	// DSEIntAxis is a unit-stride integer axis of the exploration box.
+	DSEIntAxis = dse.IntAxis
+	// DSESpace is the boxed design space an exploration samples.
+	DSESpace = dse.Space
+	// DSEOptions tune one exploration (evaluation budget, seed, thermal
+	// filtering, shared point cache).
+	DSEOptions = dse.Options
+	// DSEPoint is one evaluated design point with its four objectives.
+	DSEPoint = dse.Point
+	// DSEUpdate is one streamed frontier snapshot (the current
+	// non-dominated set plus an evaluations counter).
+	DSEUpdate = dse.Update
+	// DSEResult is the final state of one exploration.
+	DSEResult = dse.Result
+	// DSEArchive is a Pareto archive with dominated-region pruning.
+	DSEArchive = dse.Archive
+	// DSEPointCache memoizes point evaluations across explorations
+	// (exec.Cache single-flight semantics).
+	DSEPointCache = dse.PointCache
+)
+
+var (
+	// DSEDefaultSpace returns the stock exploration box (δ ∈ [1, 2.5] in
+	// 16 steps, Y ∈ [1, 6], bandwidth scale ∈ [1, 8] in 8 steps, 2 W per
+	// pair).
+	DSEDefaultSpace = dse.DefaultSpace
+	// DSETopK picks the k highest-EDP frontier points (the promotion
+	// order of /v1/dse and `m3ddse pareto -promote`).
+	DSETopK = dse.TopK
+)
+
+// ExploreDesignSpace runs the adaptive Pareto search over space on the
+// case-study machine. onUpdate (when non-nil) receives one frontier
+// snapshot per refinement round plus a final Done update, always from
+// the calling goroutine in round order. The usual Option set applies;
+// results are deep-equal at any worker width.
+func ExploreDesignSpace(p *PDK, space DSESpace, opt DSEOptions, onUpdate func(DSEUpdate), opts ...Option) (*DSEResult, error) {
+	return dse.Explore(p, space, opt, onUpdate, opts...)
+}
+
+// BruteForceDesignSpace evaluates every lattice cell of space and
+// returns the exact non-dominated set — the oracle ExploreDesignSpace
+// is tested against, and the cost baseline its evaluation counts are
+// compared to (see EXPERIMENTS.md).
+func BruteForceDesignSpace(p *PDK, space DSESpace, opts ...Option) (*DSEResult, error) {
+	return dse.BruteForce(p, space, opts...)
+}
 
 // Thermal modeling (Eq. 17).
 type (

@@ -72,6 +72,37 @@ func TestPublicAPI(t *testing.T) {
 		}
 	}
 
+	// Adaptive design-space exploration.
+	space := DSESpace{
+		Deltas:    DSEAxis{Min: 1, Max: 2, Steps: 4},
+		TierPairs: DSEIntAxis{Min: 1, Max: 2},
+		BWScales:  DSEAxis{Min: 1, Max: 4, Steps: 4},
+	}
+	var rounds int
+	dres, err := ExploreDesignSpace(pdk, space, DSEOptions{Seed: 1, MaxEvals: space.GridSize()},
+		func(u DSEUpdate) { rounds++ }, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dres.Frontier) == 0 || rounds != dres.Rounds {
+		t.Errorf("DSE: frontier %d, %d callbacks for %d rounds",
+			len(dres.Frontier), rounds, dres.Rounds)
+	}
+	bres, err := BruteForceDesignSpace(pdk, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := &DSEArchive{}
+	for _, p := range dres.Frontier {
+		ar.Add(p)
+	}
+	if !ar.Covers(bres.Frontier) {
+		t.Error("adaptive frontier must cover the brute-force frontier")
+	}
+	if top := DSETopK(dres.Frontier, 1); len(top) != 1 {
+		t.Errorf("DSETopK: %d points", len(top))
+	}
+
 	// Experiment entry points return data.
 	rows, err := Table1(pdk)
 	if err != nil || len(rows) != 22 {

@@ -41,6 +41,12 @@ echo "== serve smoke =="
 # golden over real HTTP, then SIGTERM and require a graceful drain.
 go run ./scripts/servesmoke
 
+echo "== dse smoke =="
+# Boot cmd/m3dserve again and stream one small /v1/dse exploration:
+# the chunked frontier snapshots must be monotone, mutually
+# non-dominated, and converge with the pinned grid totals.
+./scripts/dsesmoke.sh
+
 echo "== invariant suite =="
 # Property-based guarantees of the Sec. III model (randomized seeded
 # draws) and the paper's headline EDP band, end to end.
@@ -55,6 +61,7 @@ done
 echo "-- internal/serve"
 go test -fuzz=FuzzSweepRequest -fuzztime="$FUZZTIME" ./internal/serve/
 go test -fuzz=FuzzBatchRequest -fuzztime="$FUZZTIME" ./internal/serve/
+go test -fuzz=FuzzDSERequest -fuzztime="$FUZZTIME" ./internal/serve/
 
 echo "== profile harness smoke =="
 # The `make profile` pipeline must keep producing parseable pprof

@@ -1,0 +1,8 @@
+#!/bin/sh
+# dsesmoke.sh — end-to-end gate for the POST /v1/dse streaming endpoint:
+# boots cmd/m3dserve on an ephemeral port, streams one small pinned
+# exploration and checks the frontier invariants (monotone evaluations,
+# mutually non-dominated snapshots, non-dominated growth, final totals),
+# then requires a graceful drain. Run from the repo root.
+set -eu
+exec go run ./scripts/dsesmoke "$@"

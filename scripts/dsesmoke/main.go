@@ -1,0 +1,216 @@
+// Command dsesmoke is the check.sh gate for POST /v1/dse: it builds
+// cmd/m3dserve, boots it on an ephemeral port, streams one small
+// adaptive Pareto exploration over real HTTP, and checks the stream
+// invariants end to end through the compiled binary — a well-formed
+// chunked JSON array with at least two round snapshots, a monotone
+// non-decreasing evaluation counter, every frontier mutually
+// non-dominated and growing only by non-dominated refinement (a point
+// present in round r is never strictly dominated by round r+1's set
+// without being replaced), and a final done=true element carrying the
+// grid totals. Then SIGTERMs the server and insists on a clean drain.
+//
+// Run from the repo root (check.sh does):
+//
+//	go run ./scripts/dsesmoke
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"m3d/internal/dse"
+)
+
+const (
+	startDeadline = 30 * time.Second
+	drainDeadline = 20 * time.Second
+)
+
+// dseBody mirrors the serve suite's pinned golden request: a small box
+// explored to convergence with a pinned seed, a handful of rounds.
+const dseBody = `{"deltas":{"min":1,"max":2.5,"steps":8},"tier_pairs":{"min":1,"max":3},"bw_scales":{"min":1,"max":4,"steps":4},"seed":7,"max_evals":96}`
+
+// update is the wire shape of one stream element (serve.DSEUpdate
+// flattens dse.Update the same way).
+type update struct {
+	dse.Update
+	Error string `json:"error"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsesmoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dse smoke ok: streamed frontier monotone, non-dominated, converged + graceful drain")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "dsesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	// A real binary, as in servesmoke: SIGTERM must reach the server
+	// itself, not a go-run parent.
+	bin := filepath.Join(tmp, "m3dserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/m3dserve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build m3dserve: %w", err)
+	}
+
+	srv := exec.Command(bin, "-addr", "localhost:0", "-drain", "10s")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	var stderr bytes.Buffer
+	srv.Stderr = &stderr
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if srv.ProcessState == nil {
+			srv.Process.Kill()
+			srv.Wait()
+		}
+	}()
+
+	addr, err := listenAddr(stdout)
+	if err != nil {
+		return err
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/dse", "application/json", strings.NewReader(dseBody))
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/v1/dse: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		return fmt.Errorf("/v1/dse: Content-Type %q, want application/json", ct)
+	}
+	if err := checkStream(body); err != nil {
+		return fmt.Errorf("/v1/dse stream: %w\nbody:\n%s", err, body)
+	}
+
+	// SIGTERM → graceful drain → exit 0.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("server exit after SIGTERM: %w\nstderr:\n%s", err, stderr.Bytes())
+		}
+	case <-time.After(drainDeadline):
+		srv.Process.Kill()
+		return fmt.Errorf("server did not drain within %s\nstderr:\n%s", drainDeadline, stderr.Bytes())
+	}
+	return nil
+}
+
+// checkStream enforces the /v1/dse reply invariants on the full body.
+func checkStream(body []byte) error {
+	var updates []update
+	if err := json.Unmarshal(body, &updates); err != nil {
+		return fmt.Errorf("not a JSON array: %w", err)
+	}
+	if len(updates) < 2 {
+		return fmt.Errorf("only %d elements, want at least one round plus the final", len(updates))
+	}
+	prevEvals := 0
+	var prev []dse.Point
+	for i, u := range updates {
+		if u.Error != "" {
+			return fmt.Errorf("element %d carries an in-band error: %s", i, u.Error)
+		}
+		if u.Evaluations < prevEvals {
+			return fmt.Errorf("element %d: evaluations fell %d -> %d", i, prevEvals, u.Evaluations)
+		}
+		prevEvals = u.Evaluations
+		for _, p := range u.Frontier {
+			for _, q := range u.Frontier {
+				if p != q && p.Dominates(q) {
+					return fmt.Errorf("element %d: frontier not mutually non-dominated", i)
+				}
+			}
+		}
+		// Monotone non-dominated growth: refinement may replace a point
+		// only with one at least as good on every objective.
+		ar := &dse.Archive{}
+		for _, q := range u.Frontier {
+			ar.Add(q)
+		}
+		if missing, ok := ar.Uncovered(prev); !ok {
+			return fmt.Errorf("element %d dropped frontier point δ=%.2f Y=%d bw=%.1f without dominating it",
+				i, missing.Delta, missing.TierPairs, missing.BWScale)
+		}
+		prev = u.Frontier
+		if u.Done != (i == len(updates)-1) {
+			return fmt.Errorf("element %d: done flag misplaced", i)
+		}
+	}
+	final := updates[len(updates)-1]
+	if final.GridSize != 8*3*4 {
+		return fmt.Errorf("final grid_size %d, want %d", final.GridSize, 8*3*4)
+	}
+	if len(final.Frontier) == 0 {
+		return fmt.Errorf("final frontier is empty")
+	}
+	return nil
+}
+
+// listenAddr reads the server's "listening on <addr>" banner.
+func listenAddr(stdout io.Reader) (string, error) {
+	type line struct {
+		text string
+		err  error
+	}
+	ch := make(chan line, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			ch <- line{text: sc.Text()}
+			for sc.Scan() {
+			}
+			return
+		}
+		ch <- line{err: fmt.Errorf("server stdout closed before banner: %v", sc.Err())}
+	}()
+	select {
+	case l := <-ch:
+		if l.err != nil {
+			return "", l.err
+		}
+		addr, ok := strings.CutPrefix(l.text, "listening on ")
+		if !ok {
+			return "", fmt.Errorf("unexpected banner %q", l.text)
+		}
+		return addr, nil
+	case <-time.After(startDeadline):
+		return "", fmt.Errorf("server did not announce a listen address within %s", startDeadline)
+	}
+}
