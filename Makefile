@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race race-equiv fuzz bench benchdiff invariants report serve serve-smoke dse-smoke profile profilecheck
+.PHONY: check vet build test race race-equiv fuzz bench benchdiff invariants report serve serve-smoke dse-smoke jobs-smoke profile profilecheck
 
 check:
 	FUZZTIME=$(FUZZTIME) ./scripts/check.sh
@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzSweepRequest -fuzztime=$(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz=FuzzBatchRequest -fuzztime=$(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz=FuzzDSERequest -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzJobsRequest -fuzztime=$(FUZZTIME) ./internal/serve/
 
 # The property-based invariant suite (speedup ≤ N, EDP/bandwidth and
 # thermal monotonicity, degenerate-to-2D) plus the headline-band tests.
@@ -75,6 +76,11 @@ serve-smoke:
 # End-to-end /v1/dse streaming gate (part of `make check`).
 dse-smoke:
 	./scripts/dsesmoke.sh
+
+# End-to-end async job tier gate: submit, poll, SIGTERM mid-job, resume
+# from the on-disk checkpoints byte-identically (part of `make check`).
+jobs-smoke:
+	./scripts/jobsmoke.sh
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchtime 2s ./internal/analytic/

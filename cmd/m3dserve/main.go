@@ -15,6 +15,16 @@
 // varied traffic), and drains gracefully on SIGINT/SIGTERM: in-flight
 // requests complete (up to -drain), new requests are refused with 503,
 // then the listener closes.
+//
+// Async jobs (POST /v1/jobs, DESIGN.md §14) run behind their own
+// -jobs/-jobqueue admission gate and checkpoint every completed stage
+// through -jobstore; a restarted m3dserve pointed at the same store
+// resumes unfinished jobs from their last checkpoint. During the drain,
+// running jobs stop at the next stage boundary with their checkpoints
+// persisted. With -peers/-self, the evaluation caches shard across a
+// static fleet by consistent hashing (each key has one owner; the
+// others forward to it and fall back to local evaluation on any peer
+// failure).
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,6 +57,11 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation deadline (negative = none)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
 	cachecap := flag.Int("cachecap", 0, "memoized responses kept per coalescing cache, LRU-evicted beyond (0 = M3D_CACHE_CAP env, negative = unbounded)")
+	jobstore := flag.String("jobstore", "", "directory persisting async jobs and their checkpoints (empty = in-memory, no resume across restarts)")
+	jobs := flag.Int("jobs", 0, "max concurrently running async jobs (0 = 2)")
+	jobqueue := flag.Int("jobqueue", 0, "max async jobs queued behind the running ones (0 = 16, negative = none)")
+	peers := flag.String("peers", "", "comma-separated fleet base URLs for consistent-hash cache sharding (empty = standalone)")
+	self := flag.String("self", "", "this server's own base URL as listed in -peers")
 	obsFlags := cliutil.Register()
 	flag.Parse()
 
@@ -56,6 +72,26 @@ func main() {
 	st := exec.Resolve(obsOpts...)
 	reg := obsFlags.Registry()
 
+	var store serve.JobStore
+	if *jobstore != "" {
+		ds, err := serve.NewDirJobStore(*jobstore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = ds
+	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *self == "" {
+			log.Fatal("-peers needs -self (this server's own base URL)")
+		}
+	}
+
 	srv := serve.New(serve.Config{
 		PDK:            tech.Default130(),
 		Workers:        *workers,
@@ -65,6 +101,11 @@ func main() {
 		CacheCap:       *cachecap,
 		Tracer:         st.Tracer,
 		Metrics:        reg,
+		JobStore:       store,
+		MaxJobs:        *jobs,
+		MaxJobQueue:    *jobqueue,
+		Peers:          peerList,
+		Self:           *self,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

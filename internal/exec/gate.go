@@ -48,10 +48,8 @@ func (g *Gate) Enter(ctx context.Context) error {
 		return nil
 	default:
 	}
-	if g.waiting.Add(1) > g.maxWait {
-		g.waiting.Add(-1)
-		return fmt.Errorf("exec: admission queue full (%d in flight, %d waiting): %w",
-			cap(g.slots), g.maxWait, errs.ErrOverloaded)
+	if err := g.reserveWait(); err != nil {
+		return err
 	}
 	defer g.waiting.Add(-1)
 	select {
@@ -60,6 +58,18 @@ func (g *Gate) Enter(ctx context.Context) error {
 	case <-ctx.Done():
 		return canceled(ctx.Err())
 	}
+}
+
+// reserveWait claims one waiting-queue position, shedding with
+// errs.ErrOverloaded when the queue is full. The caller owns the
+// position and must release it with waiting.Add(-1).
+func (g *Gate) reserveWait() error {
+	if g.waiting.Add(1) > g.maxWait {
+		g.waiting.Add(-1)
+		return fmt.Errorf("exec: admission queue full (%d in flight, %d waiting): %w",
+			cap(g.slots), g.maxWait, errs.ErrOverloaded)
+	}
+	return nil
 }
 
 // Leave releases the slot acquired by a successful Enter.

@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"context"
+	"sync"
+)
+
+// Queue schedules asynchronous, request-shaped work over a Gate. Where
+// Gate.Enter blocks the caller until a slot frees, Queue.Submit decides
+// synchronously — admit now, queue for later, or shed with
+// errs.ErrOverloaded — and returns immediately; the work itself runs on
+// its own goroutine once a slot is held. This is the admission layer of
+// the async job tier: a server accepts a job, answers 202, and lets the
+// queue dispatch it, shedding with 429 only when both the running and
+// the waiting capacity of the underlying Gate are exhausted.
+//
+// Cancellation while queued is first-class: when the submission's
+// context ends before a slot frees, run is never called, the waiting
+// position is released, and the optional canceled callback receives the
+// wrapped context error (matching errs.ErrCanceled). A Queue is safe for
+// concurrent use.
+type Queue struct {
+	g  *Gate
+	wg sync.WaitGroup
+}
+
+// NewQueue returns a queue dispatching over g. The gate may be shared
+// with synchronous Enter/Leave callers; both draw from the same slots.
+func NewQueue(g *Gate) *Queue {
+	return &Queue{g: g}
+}
+
+// Submit admits, queues, or sheds one unit of work. A nil return means
+// the work was accepted: run(ctx) will execute on its own goroutine as
+// soon as a slot is held (possibly before Submit returns), and the slot
+// is released when run returns. A non-nil return matches
+// errs.ErrOverloaded and means the work was shed — neither callback will
+// ever fire. If ctx ends while the work is still waiting for a slot, run
+// is skipped and canceled (when non-nil) receives an error matching both
+// errs.ErrCanceled and the context sentinel.
+func (q *Queue) Submit(ctx context.Context, run func(context.Context), cancel func(error)) error {
+	admitted := false
+	select {
+	case q.g.slots <- struct{}{}:
+		admitted = true
+	default:
+		if err := q.g.reserveWait(); err != nil {
+			return err
+		}
+	}
+	q.wg.Add(1)
+	go func() {
+		defer q.wg.Done()
+		if !admitted {
+			select {
+			case q.g.slots <- struct{}{}:
+				q.g.waiting.Add(-1)
+			case <-ctx.Done():
+				q.g.waiting.Add(-1)
+				if cancel != nil {
+					cancel(canceled(ctx.Err()))
+				}
+				return
+			}
+		}
+		defer q.g.Leave()
+		run(ctx)
+	}()
+	return nil
+}
+
+// Wait blocks until every accepted submission has settled (run returned
+// or the queued work was canceled). It does not stop new submissions;
+// the caller sequences that (e.g. by refusing requests while draining).
+func (q *Queue) Wait() {
+	q.wg.Wait()
+}

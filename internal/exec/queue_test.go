@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"m3d/internal/errs"
+)
+
+// waitCond polls until cond holds or the deadline passes.
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueueRunsSubmitted proves Submit dispatches accepted work onto its
+// own goroutines up to the gate's capacity, and Wait blocks until all of
+// it settles.
+func TestQueueRunsSubmitted(t *testing.T) {
+	q := NewQueue(NewGate(2, 2))
+	var ran atomic.Int32
+	release := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		err := q.Submit(context.Background(), func(context.Context) {
+			ran.Add(1)
+			<-release
+		}, nil)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	waitCond(t, "both submissions running", func() bool { return ran.Load() == 2 })
+	close(release)
+	q.Wait()
+	if got := q.g.InFlight(); got != 0 {
+		t.Fatalf("InFlight after Wait = %d, want 0", got)
+	}
+}
+
+// TestQueueQueuesBeyondCapacity proves work beyond the in-flight limit
+// waits for a slot instead of running concurrently, and runs once the
+// slot frees.
+func TestQueueQueuesBeyondCapacity(t *testing.T) {
+	q := NewQueue(NewGate(1, 1))
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := q.Submit(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	var second atomic.Bool
+	if err := q.Submit(context.Background(), func(context.Context) {
+		second.Store(true)
+	}, nil); err != nil {
+		t.Fatalf("queued Submit: %v", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if second.Load() {
+		t.Fatal("second submission ran while the slot was held")
+	}
+	close(release)
+	q.Wait()
+	if !second.Load() {
+		t.Fatal("second submission never ran after the slot freed")
+	}
+}
+
+// TestQueueSheds proves Submit rejects synchronously with ErrOverloaded
+// once both the running and the waiting capacity are exhausted, without
+// ever invoking either callback.
+func TestQueueSheds(t *testing.T) {
+	q := NewQueue(NewGate(1, 1))
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	if err := q.Submit(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := q.Submit(context.Background(), func(context.Context) { <-release }, nil); err != nil {
+		t.Fatalf("waiting Submit: %v", err)
+	}
+
+	var called atomic.Bool
+	err := q.Submit(context.Background(),
+		func(context.Context) { called.Store(true) },
+		func(error) { called.Store(true) })
+	if !errors.Is(err, errs.ErrOverloaded) {
+		t.Fatalf("third Submit error = %v, want ErrOverloaded", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if called.Load() {
+		t.Fatal("shed submission invoked a callback")
+	}
+}
+
+// TestQueueCancelWhileQueued proves a queued submission whose context
+// ends is skipped — run never fires, the waiting position frees
+// immediately, and the canceled callback observes ErrCanceled plus the
+// context sentinel.
+func TestQueueCancelWhileQueued(t *testing.T) {
+	q := NewQueue(NewGate(1, 1))
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := q.Submit(context.Background(), func(context.Context) {
+		close(started)
+		<-release
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	canceledErr := make(chan error, 1)
+	if err := q.Submit(ctx,
+		func(context.Context) { ran.Store(true) },
+		func(err error) { canceledErr <- err }); err != nil {
+		t.Fatalf("queued Submit: %v", err)
+	}
+	cancel()
+	select {
+	case err := <-canceledErr:
+		if !errors.Is(err, errs.ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled callback error = %v, want ErrCanceled ∧ context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled callback never fired")
+	}
+	if ran.Load() {
+		t.Fatal("canceled submission ran")
+	}
+	// The waiting position must be free again: a new submission queues
+	// rather than shedding.
+	if err := q.Submit(context.Background(), func(context.Context) {}, nil); err != nil {
+		t.Fatalf("Submit after cancel: %v (waiting position leaked)", err)
+	}
+	close(release)
+	q.Wait()
+	if got := q.g.InFlight(); got != 0 {
+		t.Fatalf("InFlight after Wait = %d, want 0 (slot leaked)", got)
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import "sync"
+
+// ActiveTracker is a Tracer middleware that remembers which spans are
+// currently open, exposing the innermost one by name. It is how the job
+// tier derives live progress from instrumentation that already exists:
+// the flow emits one "flow.<stage>" span per stage, so wrapping a job's
+// tracer in an ActiveTracker makes "which stage is the job in right now"
+// a single Active() call — no second progress channel threaded through
+// the stages.
+//
+// Spans are tracked as a LIFO of open names (span identity, not name
+// equality, so duplicate names nest correctly). Forwarding to the
+// wrapped tracer (nil = none) is unchanged. Safe for concurrent use;
+// with concurrent spans Active reports the most recently started one
+// still open, which is the natural "what is happening now" answer for a
+// progress line.
+type ActiveTracker struct {
+	next Tracer
+
+	mu   sync.Mutex
+	open []*activeSpan
+}
+
+// NewActiveTracker returns a tracker forwarding to next (nil forwards
+// nowhere and only tracks).
+func NewActiveTracker(next Tracer) *ActiveTracker {
+	return &ActiveTracker{next: next}
+}
+
+// Active returns the name of the innermost open span, or "".
+func (a *ActiveTracker) Active() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := len(a.open); n > 0 {
+		return a.open[n-1].name
+	}
+	return ""
+}
+
+// StartSpan implements Tracer.
+func (a *ActiveTracker) StartSpan(name string, attrs ...Attr) Span {
+	sp := &activeSpan{name: name, owner: a}
+	if a.next != nil {
+		sp.next = a.next.StartSpan(name, attrs...)
+	}
+	a.mu.Lock()
+	a.open = append(a.open, sp)
+	a.mu.Unlock()
+	return sp
+}
+
+type activeSpan struct {
+	name  string
+	owner *ActiveTracker
+	next  Span
+	once  sync.Once
+}
+
+func (s *activeSpan) SetAttr(attrs ...Attr) {
+	if s.next != nil {
+		s.next.SetAttr(attrs...)
+	}
+}
+
+func (s *activeSpan) End() {
+	s.once.Do(func() {
+		a := s.owner
+		a.mu.Lock()
+		for i := len(a.open) - 1; i >= 0; i-- {
+			if a.open[i] == s {
+				a.open = append(a.open[:i], a.open[i+1:]...)
+				break
+			}
+		}
+		a.mu.Unlock()
+	})
+	if s.next != nil {
+		s.next.End()
+	}
+}

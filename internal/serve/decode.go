@@ -68,6 +68,8 @@ func statusOf(err error) int {
 		return http.StatusTooManyRequests // 429
 	case errors.Is(err, errs.ErrBadSpec):
 		return http.StatusBadRequest // 400
+	case errors.Is(err, errs.ErrNotFound):
+		return http.StatusNotFound // 404
 	case errors.Is(err, errs.ErrThermalLimit):
 		return http.StatusUnprocessableEntity // 422
 	case errors.Is(err, errs.ErrCanceled),

@@ -130,13 +130,18 @@ func (s *Server) flowCached(ctx context.Context, req *FlowRequest) (*FlowRespons
 	misses := s.reg.Counter("serve.memo.misses")
 	key := req.key()
 	cached, err := s.flows.DoMetered(key, hits, misses, func() (*FlowResponse, error) {
-		s.reg.Counter("serve.flow.evals").Add(1)
 		if s.evalStarted != nil {
 			s.evalStarted()
 		}
 		if s.evalBlock != nil {
 			s.evalBlock(ctx)
 		}
+		// Fleet sharding: forward to the key's owner, local fallback on
+		// failure (see peers.go).
+		if out, handled, err := peerFetch[FlowResponse](ctx, s.peers, "/v1/flow", key, peerBody(key, "flow:")); handled {
+			return out, err
+		}
+		s.reg.Counter("serve.flow.evals").Add(1)
 		opts := s.evalOptions(ctx)
 		if req.ThermalCheck {
 			opts = append(opts, flow.WithThermalCheck(req.MaxTempRiseK))
@@ -145,24 +150,7 @@ func (s *Server) flowCached(ctx context.Context, req *FlowRequest) (*FlowRespons
 		if err != nil {
 			return nil, err
 		}
-		out := &FlowResponse{
-			Style:        res.Spec.Style.String(),
-			NumCS:        res.Spec.NumCS,
-			Cells:        res.Cells,
-			Macros:       res.Macros,
-			HPWLNM:       res.HPWL,
-			RoutedWLNM:   res.RoutedWL,
-			Vias:         res.Vias,
-			ILVs:         res.ILVs,
-			FmaxHz:       res.FmaxHz,
-			TimingMet:    res.TimingMet,
-			FootprintMM2: res.FootprintMM2(),
-		}
-		if res.Power != nil {
-			out.TotalPowerW = res.Power.TotalW
-			out.LeakagePowerW = res.Power.LeakageW
-		}
-		return out, nil
+		return flowResponseOf(res), nil
 	})
 	if err != nil {
 		s.flows.Forget(key)

@@ -107,6 +107,79 @@ func FuzzDSERequest(f *testing.F) {
 	})
 }
 
+// FuzzJobsRequest hammers the POST /v1/jobs request decoder and
+// validator with arbitrary bodies through the same decodeRequest entry
+// the handler uses. Contract: no panics; every rejection is
+// errs.ErrBadSpec (the 400 family); an accepted request names exactly
+// one kind, canonicalizes through json.Marshal, and — for chunked
+// sweeps — splits into chunks whose concatenation reproduces the
+// primary axis exactly (the invariant the part/final stages rely on
+// for byte-identical resumed results).
+//
+// Seeds live in testdata/fuzz/FuzzJobsRequest (checked in): each job
+// kind, explicit ids and chunk counts, and the hostile shapes —
+// truncated JSON, trailing garbage, multiple kinds, path-escaping ids,
+// out-of-range chunk counts and chunks on non-sweep jobs.
+func FuzzJobsRequest(f *testing.F) {
+	f.Add(`{"sweep":{"kind":"delta","deltas":[1.0,1.5,2.0]}}`)
+	f.Add(`{"id":"swjob","sweep":{"kind":"delta","deltas":[1.0,1.5,2.0,2.5]},"chunks":2}`)
+	f.Add(`{"flow":{"style":"M3D","num_cs":2,"seed":1}}`)
+	f.Add(`{"id":"fl.job-1","flow":{"style":"2D"}}`)
+	f.Add(`{"dse":{"deltas":{"min":1,"max":2,"steps":3}}}`)
+	f.Add(`{"sweep":{"kind":"tier_pairs","tier_pairs":[1,2,3]},"chunks":32}`)
+	f.Add(``)
+	f.Add(`{}`)
+	f.Add(`{"sweep":`)
+	f.Add(`{"sweep":{"kind":"delta","deltas":[1]}} extra`)
+	f.Add(`{"sweep":{"kind":"delta","deltas":[1]},"flow":{"style":"2D"}}`)
+	f.Add(`{"id":"../escape","sweep":{"kind":"delta","deltas":[1]}}`)
+	f.Add(`{"id":"bad id","flow":{"style":"2D"}}`)
+	f.Add(`{"flow":{"style":"2D"},"chunks":2}`)
+	f.Add(`{"sweep":{"kind":"delta","deltas":[1]},"chunks":-1}`)
+	f.Add(`{"sweep":{"kind":"delta","deltas":[1]},"chunks":33}`)
+	f.Add("\x00\xff")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := decodeRequest[JobRequest](strings.NewReader(body))
+		if err != nil {
+			if !errors.Is(err, errs.ErrBadSpec) {
+				t.Fatalf("rejection is not ErrBadSpec: %v", err)
+			}
+			if got := statusOf(err); got != http.StatusBadRequest {
+				t.Fatalf("statusOf(%v) = %d, want 400", err, got)
+			}
+			return
+		}
+		kind := req.kind()
+		if kind != "sweep" && kind != "flow" && kind != "dse" {
+			t.Fatalf("accepted request has kind %q", kind)
+		}
+		canon, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not canonicalize: %v", err)
+		}
+		var round JobRequest
+		if err := json.Unmarshal(canon, &round); err != nil {
+			t.Fatalf("canonical form does not round-trip: %v", err)
+		}
+		if req.Sweep == nil {
+			return
+		}
+		chunks := sweepChunks(req.Sweep, req.Chunks)
+		if len(chunks) == 0 {
+			t.Fatalf("accepted sweep split into zero chunks: %q", body)
+		}
+		var axis, whole int
+		for _, c := range chunks {
+			axis += sweepAxisLen(c)
+		}
+		whole = sweepAxisLen(req.Sweep)
+		if axis != whole {
+			t.Fatalf("chunked axis length %d != whole axis %d: %q", axis, whole, body)
+		}
+	})
+}
+
 // FuzzBatchRequest hammers the POST /v1/batch decode path: the lenient
 // top-level array decode, the strict per-item decode, the sweep/flow
 // one-of, and each item's spec validation. Contract: no panics; every

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"m3d/internal/errs"
+)
+
+// Consistent-hash sharding of the evaluation caches across a static
+// fleet (Config.Peers). Every cache key hashes onto a ring of virtual
+// nodes; exactly one peer owns it. The owner evaluates (and memoizes);
+// every other peer forwards the request to the owner and caches the
+// decoded response locally. Single-flight is preserved across the
+// fleet: the forward happens inside the local cache's compute function,
+// so concurrent identical requests on a non-owner coalesce into one
+// forward, and the owner's own cache coalesces the forwards of every
+// peer into one evaluation.
+//
+// Failure policy (the part the fault-injection suite pins down):
+//   - A deterministic request rejection from the owner (400 bad spec,
+//     422 thermal) is authoritative — the same validation would fail
+//     locally, so it is relayed, not retried.
+//   - Everything else — connection failure, timeout, 429 shed, 5xx, a
+//     corrupt or truncated body — falls back to evaluating locally.
+//     Evaluations are deterministic, so a fallback returns byte-identical
+//     results to the owner's; the fleet degrades to per-node caching,
+//     never to an error the client can see.
+//   - Forwarded requests carry the hop header and are never re-forwarded,
+//     so a stale ring cannot create loops.
+
+// peerHopHeader marks a request already forwarded once; the receiver
+// always evaluates locally.
+const peerHopHeader = "M3d-Peer-Hop"
+
+// peerVnodes is the virtual-node count per peer: enough for an even key
+// split on small static fleets while keeping the ring tiny.
+const peerVnodes = 64
+
+type ringEntry struct {
+	hash uint64
+	peer string
+}
+
+// peerRing is the sharding state; a ring without peers is disabled and
+// every operation short-circuits to local.
+type peerRing struct {
+	s      *Server
+	self   string
+	ring   []ringEntry
+	client *http.Client
+}
+
+func newPeerRing(s *Server, peers []string, self string, transport http.RoundTripper) *peerRing {
+	p := &peerRing{s: s, self: strings.TrimRight(self, "/")}
+	if len(peers) == 0 {
+		return p
+	}
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	p.client = &http.Client{Transport: transport}
+	for _, peer := range peers {
+		peer = strings.TrimRight(peer, "/")
+		if peer == "" {
+			continue
+		}
+		for v := 0; v < peerVnodes; v++ {
+			p.ring = append(p.ring, ringEntry{
+				hash: fnv64(fmt.Sprintf("%s#%d", peer, v)),
+				peer: peer,
+			})
+		}
+	}
+	sort.Slice(p.ring, func(i, j int) bool {
+		if p.ring[i].hash != p.ring[j].hash {
+			return p.ring[i].hash < p.ring[j].hash
+		}
+		return p.ring[i].peer < p.ring[j].peer
+	})
+	return p
+}
+
+func fnv64(s string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	return h.Sum64()
+}
+
+// enabled reports whether sharding is configured.
+func (p *peerRing) enabled() bool { return p != nil && len(p.ring) > 0 }
+
+// owner returns the peer owning key: the first ring entry at or after
+// the key's hash, wrapping at the top.
+func (p *peerRing) owner(key string) string {
+	h := fnv64(key)
+	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= h })
+	if i == len(p.ring) {
+		i = 0
+	}
+	return p.ring[i].peer
+}
+
+// peerHopKey flags a context whose request already crossed one hop.
+type peerHopKey struct{}
+
+func withPeerHop(ctx context.Context) context.Context {
+	return context.WithValue(ctx, peerHopKey{}, true)
+}
+
+func isPeerHop(ctx context.Context) bool {
+	hop, _ := ctx.Value(peerHopKey{}).(bool)
+	return hop
+}
+
+// peerFetch forwards one evaluation to its owner. handled=true means the
+// result (or the owner's authoritative rejection) stands; handled=false
+// means the caller owns the key, the request already hopped, or the
+// owner was unusable — evaluate locally.
+func peerFetch[T any](ctx context.Context, p *peerRing, path, key string, body []byte) (out *T, handled bool, err error) {
+	if !p.enabled() || isPeerHop(ctx) {
+		return nil, false, nil
+	}
+	owner := p.owner(key)
+	if owner == p.self {
+		p.s.reg.Counter("serve.peer.local").Add(1)
+		return nil, false, nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+path, bytes.NewReader(body))
+	if err != nil {
+		p.s.reg.Counter("serve.peer.fallbacks").Add(1)
+		return nil, false, nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(peerHopHeader, p.self)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.s.reg.Counter("serve.peer.fallbacks").Add(1)
+		return nil, false, nil
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		p.s.reg.Counter("serve.peer.fallbacks").Add(1)
+		return nil, false, nil
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		out = new(T)
+		if err := json.Unmarshal(blob, out); err != nil {
+			// Corrupt or truncated body: never surface it — re-evaluate.
+			p.s.reg.Counter("serve.peer.fallbacks").Add(1)
+			return nil, false, nil
+		}
+		p.s.reg.Counter("serve.peer.forwarded").Add(1)
+		return out, true, nil
+	case http.StatusBadRequest, http.StatusUnprocessableEntity:
+		// Deterministic rejections are authoritative: local evaluation
+		// would fail identically.
+		p.s.reg.Counter("serve.peer.errors").Add(1)
+		var eb errorBody
+		msg := strings.TrimSpace(string(blob))
+		if err := json.Unmarshal(blob, &eb); err == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		sentinel := errs.ErrBadSpec
+		if resp.StatusCode == http.StatusUnprocessableEntity {
+			sentinel = errs.ErrThermalLimit
+		}
+		return nil, true, fmt.Errorf("serve: peer %s: %s: %w", owner, msg, sentinel)
+	default:
+		// Shed (429), server error, or anything unexpected: local fallback.
+		p.s.reg.Counter("serve.peer.fallbacks").Add(1)
+		return nil, false, nil
+	}
+}
+
+// peerBody strips the cache-key prefix back to the canonical request
+// JSON — the exact body a forward posts to the owner.
+func peerBody(key, prefix string) []byte {
+	return []byte(strings.TrimPrefix(key, prefix))
+}

@@ -94,6 +94,32 @@ type Config struct {
 	// Now overrides the clock used for request-duration metrics (tests);
 	// nil means time.Now.
 	Now func() time.Time
+
+	// JobStore persists async jobs (POST /v1/jobs) and their per-stage
+	// checkpoints; a restarted server built over the same store resumes
+	// every unfinished job from its last completed stage. nil keeps jobs
+	// in memory for the process lifetime (no resume across restarts).
+	JobStore JobStore
+	// MaxJobs bounds concurrently running jobs (≤ 0 = 2). Jobs draw from
+	// their own gate, not the request-admission gate.
+	MaxJobs int
+	// MaxJobQueue bounds jobs queued behind the running ones: 0 selects
+	// 16, negative disables queueing (shed once MaxJobs are running).
+	// Beyond both, POST /v1/jobs sheds with 429 + Retry-After.
+	MaxJobQueue int
+
+	// Peers is the static fleet for consistent-hash sharding of the
+	// evaluation caches: every peer's base URL (scheme://host:port),
+	// including this server's own (Self). Empty disables sharding. Each
+	// cache key hashes to one owner; non-owners forward the evaluation to
+	// it and fall back to evaluating locally when the owner is unreachable
+	// or overloaded.
+	Peers []string
+	// Self is this server's own base URL as it appears in Peers.
+	Self string
+	// PeerTransport overrides the HTTP transport used for peer forwards
+	// (tests inject faults here); nil uses http.DefaultTransport.
+	PeerTransport http.RoundTripper
 }
 
 // Server is the HTTP evaluation service. Build with New; it implements
@@ -117,6 +143,9 @@ type Server struct {
 	sweeps    exec.Cache[string, *SweepResponse]
 	flows     exec.Cache[string, *FlowResponse]
 	dsePoints dse.PointCache
+
+	jobs  *jobTier
+	peers *peerRing
 
 	// Test hooks (nil outside tests): evalStarted fires when an
 	// evaluation body begins; evalBlock then blocks it, typically until
@@ -176,6 +205,9 @@ func New(cfg Config) *Server {
 	s.flows.Instrument(s.reg)
 	s.dsePoints.Instrument(s.reg)
 
+	s.jobs = newJobTier(s, cfg.JobStore, cfg.MaxJobs, cfg.MaxJobQueue)
+	s.peers = newPeerRing(s, cfg.Peers, cfg.Self, cfg.PeerTransport)
+
 	s.mux = http.NewServeMux()
 	s.mux.Handle("GET /healthz", s.handler("healthz", false, s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.handler("metrics", false, s.handleMetrics))
@@ -183,6 +215,15 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/flow", s.handler("flow", true, s.handleFlow))
 	s.mux.Handle("POST /v1/batch", s.handler("batch", true, s.handleBatch))
 	s.mux.Handle("POST /v1/dse", s.handler("dse", true, s.handleDSE))
+	s.mux.Handle("POST /v1/jobs", s.handler("jobs", false, s.handleJobs))
+	s.mux.Handle("GET /v1/jobs/{id}", s.handler("jobs.get", false, s.handleJobGet))
+	s.mux.Handle("GET /v1/jobs/{id}/events", s.handler("jobs.events", false, s.handleJobEvents))
+	s.mux.Handle("GET /v1/jobs/{id}/artifacts/{name}", s.handler("jobs.artifact", false, s.handleJobArtifact))
+	s.mux.Handle("DELETE /v1/jobs/{id}", s.handler("jobs.cancel", false, s.handleJobCancel))
+
+	// Resume every unfinished job the store holds: the queue re-runs them
+	// from their last completed checkpoint.
+	s.jobs.resume()
 	return s
 }
 
@@ -220,10 +261,13 @@ func (s *Server) leave() {
 }
 
 // Drain puts the server into drain mode — every new request is refused
-// with 503 — and waits for in-flight requests to complete. It returns
-// nil once the server is idle, or an error matching errs.ErrCanceled
-// (and ctx.Err()) when ctx ends first. Drain is idempotent; the server
-// stays refusing after it returns.
+// with 503 — interrupts the async job tier (running jobs stop at their
+// next cancellation point with every completed checkpoint persisted and
+// park back in "queued", the state a restarted server resumes them
+// from), and waits for in-flight requests and interrupted jobs to
+// settle. It returns nil once the server is idle, or an error matching
+// errs.ErrCanceled (and ctx.Err()) when ctx ends first. Drain is
+// idempotent; the server stays refusing after it returns.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -231,13 +275,16 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.idleOnce.Do(func() { close(s.idle) })
 	}
 	s.mu.Unlock()
+	// Interrupt jobs first: event streams held open by watchers count as
+	// in-flight requests, and they only finish once the tier cancels.
+	s.jobs.interrupt()
 	select {
 	case <-s.idle:
-		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain interrupted with %d request(s) in flight: %w: %w",
 			s.requestsInFlight(), errs.ErrCanceled, ctx.Err())
 	}
+	return s.jobs.wait(ctx)
 }
 
 func (s *Server) requestsInFlight() int {
@@ -279,6 +326,10 @@ func (s *Server) handler(route string, admit bool, h func(ctx context.Context, w
 			ctx, cancel = context.WithTimeout(ctx, s.timeout)
 			defer cancel()
 		}
+		if r.Header.Get(peerHopHeader) != "" {
+			// Already forwarded once: evaluate here, never re-forward.
+			ctx = withPeerHop(ctx)
+		}
 
 		if admit {
 			err := s.gate.Enter(ctx)
@@ -316,6 +367,10 @@ func (s *Server) fail(w http.ResponseWriter, err error, status int) {
 	s.reg.Counter("serve.request.errors").Add(1)
 	if status == http.StatusRequestTimeout {
 		s.reg.Counter("serve.canceled").Add(1)
+	}
+	if status == http.StatusTooManyRequests {
+		// Shed is shed wherever it surfaces (admission gate or job queue).
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }

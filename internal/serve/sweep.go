@@ -192,13 +192,19 @@ func (s *Server) sweepCached(ctx context.Context, req *SweepRequest) (*SweepResp
 	misses := s.reg.Counter("serve.memo.misses")
 	key := req.key()
 	resp, err := s.sweeps.DoMetered(key, hits, misses, func() (*SweepResponse, error) {
-		s.reg.Counter("serve.sweep.evals").Add(1)
 		if s.evalStarted != nil {
 			s.evalStarted()
 		}
 		if s.evalBlock != nil {
 			s.evalBlock(ctx)
 		}
+		// On a fleet, the key's owner evaluates; everyone else forwards
+		// (inside the compute fn, so concurrent identical requests still
+		// coalesce into one forward) and falls back to local on failure.
+		if out, handled, err := peerFetch[SweepResponse](ctx, s.peers, "/v1/sweep", key, peerBody(key, "sweep:")); handled {
+			return out, err
+		}
+		s.reg.Counter("serve.sweep.evals").Add(1)
 		return s.evalSweep(ctx, req)
 	})
 	if err != nil {

@@ -343,6 +343,48 @@ type (
 // http.Server and call Drain on shutdown.
 func NewService(cfg ServiceConfig) *Service { return serve.New(cfg) }
 
+// Async job tier (POST /v1/jobs; DESIGN.md §14): long-running flow,
+// sweep and DSE work submitted for background execution with per-stage
+// checkpoints persisted through a JobStore, so a restarted Service
+// resumes interrupted jobs from their last completed stage and
+// reproduces the uninterrupted results byte for byte.
+type (
+	// ServiceJobRequest is the POST /v1/jobs body: exactly one of
+	// Sweep/Flow/DSE, an optional client-chosen idempotency ID, and an
+	// optional chunk count for sweep checkpoint granularity.
+	ServiceJobRequest = serve.JobRequest
+	// ServiceJobStatus is the job envelope returned by every jobs
+	// endpoint: state machine position, per-stage progress, and — once
+	// done — the result payload and artifact names.
+	ServiceJobStatus = serve.JobStatus
+	// ServiceJobStore persists job records and stage checkpoints;
+	// MemJobStore and DirJobStore are the built-ins.
+	ServiceJobStore = serve.JobStore
+	// ServiceMemJobStore is the in-process JobStore (tests, single run).
+	ServiceMemJobStore = serve.MemJobStore
+	// ServiceDirJobStore is the on-disk JobStore (atomic per-stage
+	// files; survives restarts and powers crash/resume).
+	ServiceDirJobStore = serve.DirJobStore
+)
+
+// Job lifecycle states (ServiceJobStatus.State).
+const (
+	JobStateAccepted = serve.JobStateAccepted
+	JobStateQueued   = serve.JobStateQueued
+	JobStateRunning  = serve.JobStateRunning
+	JobStateDone     = serve.JobStateDone
+	JobStateFailed   = serve.JobStateFailed
+	JobStateCanceled = serve.JobStateCanceled
+)
+
+// NewServiceMemJobStore returns an in-process job store, for
+// ServiceConfig.JobStore.
+func NewServiceMemJobStore() *ServiceMemJobStore { return serve.NewMemJobStore() }
+
+// NewServiceDirJobStore opens (creating if needed) an on-disk job store
+// rooted at dir, for ServiceConfig.JobStore.
+func NewServiceDirJobStore(dir string) (*ServiceDirJobStore, error) { return serve.NewDirJobStore(dir) }
+
 // CacheCapEnv is the environment variable (M3D_CACHE_CAP) that bounds
 // the process-wide memo caches — the analytic sweep cache and, unless
 // ServiceConfig.CacheCap overrides it, the service coalescing caches —

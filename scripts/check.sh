@@ -41,6 +41,12 @@ echo "== serve smoke =="
 # golden over real HTTP, then SIGTERM and require a graceful drain.
 go run ./scripts/servesmoke
 
+echo "== jobs smoke =="
+# Boot cmd/m3dserve with an on-disk job store, run a flow job to done,
+# SIGTERM mid-job (the drain parks it checkpointed), then restart on the
+# same store and require byte-identical resumed artifacts.
+./scripts/jobsmoke.sh
+
 echo "== dse smoke =="
 # Boot cmd/m3dserve again and stream one small /v1/dse exploration:
 # the chunked frontier snapshots must be monotone, mutually
@@ -62,6 +68,7 @@ echo "-- internal/serve"
 go test -fuzz=FuzzSweepRequest -fuzztime="$FUZZTIME" ./internal/serve/
 go test -fuzz=FuzzBatchRequest -fuzztime="$FUZZTIME" ./internal/serve/
 go test -fuzz=FuzzDSERequest -fuzztime="$FUZZTIME" ./internal/serve/
+go test -fuzz=FuzzJobsRequest -fuzztime="$FUZZTIME" ./internal/serve/
 
 echo "== profile harness smoke =="
 # The `make profile` pipeline must keep producing parseable pprof

@@ -1,0 +1,8 @@
+#!/bin/sh
+# jobsmoke.sh — end-to-end gate for the async job tier: boots
+# cmd/m3dserve with an on-disk job store, runs a flow job to done over
+# real HTTP, then SIGTERMs the server while a second job is running and
+# requires the restarted process to resume it from its checkpoints with
+# byte-identical artifacts. Run from the repo root.
+set -eu
+exec go run ./scripts/jobsmoke "$@"
