@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race race-equiv fuzz bench benchdiff invariants report serve serve-smoke dse-smoke jobs-smoke profile profilecheck
+.PHONY: check vet build test race race-equiv fuzz bench benchdiff invariants report serve serve-smoke dse-smoke jobs-smoke yield-smoke profile profilecheck
 
 check:
 	FUZZTIME=$(FUZZTIME) ./scripts/check.sh
@@ -27,7 +27,7 @@ race:
 # -timeout: the flow suite alone runs ~8 min under -race on one core,
 # so count=2 overruns go test's 10m default.
 race-equiv:
-	$(GO) test -race -shuffle=on -count=2 -timeout 45m ./internal/route/ ./internal/sta/ ./internal/flow/
+	$(GO) test -race -shuffle=on -count=2 -timeout 45m ./internal/route/ ./internal/sta/ ./internal/flow/ ./internal/vary/
 
 fuzz:
 	for pkg in verilog def lef liberty; do \
@@ -37,12 +37,16 @@ fuzz:
 	$(GO) test -fuzz=FuzzBatchRequest -fuzztime=$(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz=FuzzDSERequest -fuzztime=$(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz=FuzzJobsRequest -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzYieldRequest -fuzztime=$(FUZZTIME) ./internal/serve/
 
 # The property-based invariant suite (speedup ≤ N, EDP/bandwidth and
-# thermal monotonicity, degenerate-to-2D) plus the headline-band tests.
+# thermal monotonicity, degenerate-to-2D), the headline-band tests, and
+# the inter-tier variation sampler invariants (yield monotonicity,
+# quantile order, correlation collapse).
 invariants:
 	$(GO) test -run 'TestInvariant' -count=1 -v ./internal/analytic/
 	$(GO) test -run 'TestHeadline' -count=1 ./internal/core/
+	$(GO) test -run 'TestInvariant' -count=1 -v ./internal/vary/
 
 # Benchmark regression gate: fails on >25% ns/op or >25% allocs/op
 # regression vs the committed bench/BENCH_0.json baseline (see
@@ -81,6 +85,12 @@ dse-smoke:
 # from the on-disk checkpoints byte-identically (part of `make check`).
 jobs-smoke:
 	./scripts/jobsmoke.sh
+
+# End-to-end /v1/yield streaming gate: one pinned Monte-Carlo timing
+# yield run over real HTTP with refinement invariants checked (part of
+# `make check`).
+yield-smoke:
+	./scripts/yieldsmoke.sh
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchtime 2s ./internal/analytic/

@@ -24,6 +24,8 @@ import (
 	"strconv"
 	"strings"
 
+	"m3d/internal/analytic"
+	"m3d/internal/arch"
 	"m3d/internal/cliutil"
 	"m3d/internal/core"
 	"m3d/internal/dse"
@@ -32,6 +34,8 @@ import (
 	"m3d/internal/macro"
 	"m3d/internal/report"
 	"m3d/internal/tech"
+	"m3d/internal/vary"
+	"m3d/internal/workload"
 )
 
 func main() {
@@ -60,8 +64,49 @@ func usage() {
   m3ddse sweep  -sweep delta|beta|tiers|capacity|grid|flowcs [-points ...] [-tierpower W] [-side N]
   m3ddse pareto [-deltas min:max:steps] [-tiers min:max] [-bw min:max:steps] [-power W]
                 [-maxevals N] [-seed N] [-explore N] [-thermal] [-promote N] [-brute]
+variation mode (sweep -sweep delta, pareto): -variation [-samples N] [-vseed N]
+                [-sigma-si S] [-sigma-cnfet S] [-vtshift S] [-ilvspread S] [-rho R]
 common flags: -workers N  -trace FILE  -metrics  -pprof ADDR`)
 	os.Exit(2)
+}
+
+// variationFlags is the shared -variation flag group: both subcommands
+// accept the same corner-model knobs, defaulted to the stock
+// tech.DefaultVariation parameters.
+type variationFlags struct {
+	enabled   *bool
+	samples   *int
+	seed      *int64
+	siSigma   *float64
+	cnSigma   *float64
+	vtShift   *float64
+	ilvSpread *float64
+	rho       *float64
+}
+
+func registerVariationFlags(fs *flag.FlagSet) *variationFlags {
+	def := tech.DefaultVariation()
+	return &variationFlags{
+		enabled:   fs.Bool("variation", false, "evaluate under sampled inter-tier process corners (Monte-Carlo EDP bands)"),
+		samples:   fs.Int("samples", 1024, "Monte-Carlo corner samples with -variation"),
+		seed:      fs.Int64("vseed", 1, "corner-stream seed with -variation"),
+		siSigma:   fs.Float64("sigma-si", def.SiDriveSigma, "Si tier relative drive sigma"),
+		cnSigma:   fs.Float64("sigma-cnfet", def.CNFETDriveSigma, "CNFET tier relative drive sigma"),
+		vtShift:   fs.Float64("vtshift", def.CNFETVtShift, "systematic CNFET Vt delay shift (fraction)"),
+		ilvSpread: fs.Float64("ilvspread", def.ILVRSpread, "ILV resistance relative spread"),
+		rho:       fs.Float64("rho", def.TierCorr, "tier-to-tier corner correlation in [0,1]"),
+	}
+}
+
+// variation assembles the tech.Variation the flags spell.
+func (vf *variationFlags) variation() tech.Variation {
+	return tech.Variation{
+		SiDriveSigma:    *vf.siSigma,
+		CNFETDriveSigma: *vf.cnSigma,
+		CNFETVtShift:    *vf.vtShift,
+		ILVRSpread:      *vf.ilvSpread,
+		TierCorr:        *vf.rho,
+	}
 }
 
 // runPareto is the adaptive explorer: stream round progress to stderr,
@@ -80,6 +125,7 @@ func runPareto(args []string) {
 	promote := fs.Int("promote", 0, "run the top-N frontier points through the physical flow")
 	brute := fs.Bool("brute", false, "also brute-force the grid and report coverage and the evaluation ratio")
 	workers := fs.Int("workers", 0, "worker pool width (0 = GOMAXPROCS, or M3D_WORKERS)")
+	vf := registerVariationFlags(fs)
 	obsFlags := cliutil.RegisterOn(fs)
 	fs.Parse(args)
 
@@ -107,6 +153,16 @@ func runPareto(args []string) {
 		Explore:        *explore,
 		RequireThermal: *thermal,
 	}
+	if *vf.enabled {
+		// Brute force stays a nominal oracle: a yield-constrained brute
+		// frontier would multiply the full grid by the corner count.
+		if *brute {
+			log.Fatal("-brute is a nominal-only oracle; drop it or -variation")
+		}
+		p = p.WithVariation(vf.variation())
+		opt.VarySamples = *vf.samples
+		opt.VarySeed = *vf.seed
+	}
 	res, err := dse.Explore(p, space, opt, func(u dse.Update) {
 		if !u.Done {
 			log.Printf("round %d: %d evaluations, frontier %d", u.Round, u.Evaluations, len(u.Frontier))
@@ -116,17 +172,32 @@ func runPareto(args []string) {
 		log.Fatal(err)
 	}
 
-	tb := report.New(
-		fmt.Sprintf("Pareto frontier (%d of %d cells evaluated, %d rounds)",
-			res.Evaluations, res.GridSize, res.Rounds),
-		"delta", "Y", "BW", "N", "speedup", "EDP benefit", "headroom", "footprint")
-	for _, pt := range res.Frontier {
-		tb.Add(fmt.Sprintf("%.2f", pt.Delta), pt.TierPairs, fmt.Sprintf("%.1f", pt.BWScale), pt.N,
-			report.Ratio(pt.Speedup), report.Ratio(pt.EDPBenefit),
-			fmt.Sprintf("%.1f K", pt.ThermalHeadroomK),
-			fmt.Sprintf("%.3f mm2", pt.FootprintMM2))
+	title := fmt.Sprintf("Pareto frontier (%d of %d cells evaluated, %d rounds)",
+		res.Evaluations, res.GridSize, res.Rounds)
+	if *vf.enabled {
+		// Yield-constrained mode: EDPBenefit holds the band's p5, so the
+		// table spells out the whole p5/p50/p95 band per point.
+		tb := report.New(title+fmt.Sprintf(" — %d corners/point", *vf.samples),
+			"delta", "Y", "BW", "N", "speedup", "EDP p5", "EDP p50", "EDP p95", "headroom", "footprint")
+		for _, pt := range res.Frontier {
+			tb.Add(fmt.Sprintf("%.2f", pt.Delta), pt.TierPairs, fmt.Sprintf("%.1f", pt.BWScale), pt.N,
+				report.Ratio(pt.Speedup),
+				report.Ratio(pt.EDPBenefitP5), report.Ratio(pt.EDPBenefitP50), report.Ratio(pt.EDPBenefitP95),
+				fmt.Sprintf("%.1f K", pt.ThermalHeadroomK),
+				fmt.Sprintf("%.3f mm2", pt.FootprintMM2))
+		}
+		render(tb)
+	} else {
+		tb := report.New(title,
+			"delta", "Y", "BW", "N", "speedup", "EDP benefit", "headroom", "footprint")
+		for _, pt := range res.Frontier {
+			tb.Add(fmt.Sprintf("%.2f", pt.Delta), pt.TierPairs, fmt.Sprintf("%.1f", pt.BWScale), pt.N,
+				report.Ratio(pt.Speedup), report.Ratio(pt.EDPBenefit),
+				fmt.Sprintf("%.1f K", pt.ThermalHeadroomK),
+				fmt.Sprintf("%.3f mm2", pt.FootprintMM2))
+		}
+		render(tb)
 	}
-	render(tb)
 	if res.Exhausted {
 		log.Printf("evaluation budget exhausted before convergence (%d evaluations)", res.Evaluations)
 	}
@@ -190,6 +261,46 @@ func promoteFrontier(p *tech.PDK, frontier []dse.Point, n int, pool []exec.Optio
 	render(tb)
 }
 
+// sweepDeltaVariation augments the Case 1 delta sweep with Monte-Carlo
+// EDP bands: each δ re-evaluates the analytic design point under the
+// sampled corners (slow CNFET access transistors shrink the M3D
+// bandwidth, ILV resistance spread raises the 3D access energy), and
+// the table reports the p5/p50/p95 benefit beside the nominal number.
+func sweepDeltaVariation(p *tech.PDK, rows []core.Fig10Row, vf *variationFlags) {
+	a2d, a3d, _, err := core.CaseStudyPair(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	am, err := core.AreaModel(p, arch.MB64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loads, err := core.Loads(a2d, workload.ResNet18())
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := core.Params(a2d, a3d)
+	sampler, err := vary.NewSampler(vf.variation(), *vf.seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb := report.New(
+		fmt.Sprintf("Case 1 under inter-tier variation (%d corners, seed %d)",
+			*vf.samples, *vf.seed),
+		"delta", "N3D", "EDP nominal", "EDP p5", "EDP p50", "EDP p95")
+	for _, r := range rows {
+		band, err := vary.EDPBand(params, am, loads,
+			analytic.DesignPoint{Delta: r.Delta, TierPairs: 1, BWScale: 1},
+			sampler, *vf.samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.Add(fmt.Sprintf("%.2f", r.Delta), r.N3D, report.Ratio(r.EDPBenefit),
+			report.Ratio(band.P5), report.Ratio(band.P50), report.Ratio(band.P95))
+	}
+	render(tb)
+}
+
 // parseAxis reads a float axis spelled min:max:steps ("" keeps the
 // default).
 func parseAxis(s string) (dse.Axis, error) {
@@ -245,6 +356,7 @@ func runSweep(args []string) {
 	tierPower := fs.Float64("tierpower", 2.0, "per-tier-pair power (W) for the tiers sweep")
 	workers := fs.Int("workers", 0, "worker pool width (0 = GOMAXPROCS, or M3D_WORKERS)")
 	side := fs.Int("side", 3, "systolic array side per CS for the flowcs sweep")
+	vf := registerVariationFlags(fs)
 	obsFlags := cliutil.RegisterOn(fs)
 	fs.Parse(args)
 
@@ -252,11 +364,19 @@ func runSweep(args []string) {
 	pool := append([]exec.Option{exec.WithWorkers(*workers)}, obsFlags.Setup()...)
 	defer obsFlags.Close()
 
+	if *vf.enabled && *sweep != "delta" {
+		log.Fatalf("-variation supports only -sweep delta (got %q)", *sweep)
+	}
+
 	switch *sweep {
 	case "delta":
 		rows, err := core.Fig10bc(p, parseFloats(*points), pool...)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *vf.enabled {
+			sweepDeltaVariation(p, rows, vf)
+			return
 		}
 		tb := report.New("Case 1: BEOL access FET width relaxation",
 			"delta", "N3D", "N2Dnew", "EDP benefit")

@@ -21,6 +21,14 @@ type Point struct {
 	EDPBenefit       float64 `json:"edp_benefit"`
 	ThermalHeadroomK float64 `json:"thermal_headroom_k"`
 	FootprintMM2     float64 `json:"footprint_mm2"`
+
+	// Variation band (set only when the exploration runs with
+	// Options.VarySamples > 0): the p5/p50/p95 EDP benefit across
+	// sampled process corners. In that mode EDPBenefit itself holds the
+	// p5 — the yield-constrained objective dominance ranks by.
+	EDPBenefitP5  float64 `json:"edp_p5,omitempty"`
+	EDPBenefitP50 float64 `json:"edp_p50,omitempty"`
+	EDPBenefitP95 float64 `json:"edp_p95,omitempty"`
 }
 
 // objectives returns the maximize-normalized objective vector (footprint

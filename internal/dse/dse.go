@@ -34,6 +34,7 @@ import (
 	"m3d/internal/obs"
 	"m3d/internal/tech"
 	"m3d/internal/thermal"
+	"m3d/internal/vary"
 	"m3d/internal/workload"
 )
 
@@ -202,6 +203,17 @@ type Options struct {
 	// Cache memoizes point evaluations across calls; nil uses a private
 	// per-call cache.
 	Cache *PointCache
+
+	// VarySamples switches the exploration into variation-aware mode:
+	// every point is additionally evaluated under this many process
+	// corners drawn from the PDK's Variation parameters, the p5/p50/p95
+	// EDP band lands on the Point, and EDPBenefit becomes the band's p5
+	// so the Pareto search optimizes yield-constrained EDP. 0 (the
+	// default) is nominal evaluation.
+	VarySamples int
+	// VarySeed selects the corner stream for variation-aware mode; the
+	// same (Variation, VarySeed, VarySamples) reproduces every band.
+	VarySeed int64
 }
 
 // Update is one streamed frontier snapshot: the current non-dominated
@@ -240,6 +252,11 @@ type evaluator struct {
 	evals  *obs.Counter
 	hits   *obs.Counter
 	misses *obs.Counter
+
+	// Variation-aware mode (Options.VarySamples > 0): the corner
+	// sampler and per-point corner count for EDP bands.
+	sampler     *vary.Sampler
+	varySamples int
 }
 
 // Explore runs the adaptive Pareto search over space on the case-study
@@ -264,7 +281,7 @@ func Explore(pdk *tech.PDK, space Space, opt Options, onUpdate func(Update), opt
 			obs.Int("grid", space.GridSize()), obs.Int("max_evals", opt.MaxEvals))
 		defer sp.End()
 	}
-	ev, err := newEvaluator(pdk, space, opt.Cache, st.Metrics)
+	ev, err := newEvaluator(pdk, space, opt.Cache, st.Metrics, opt.VarySamples, opt.VarySeed)
 	if err != nil {
 		return nil, err
 	}
@@ -364,7 +381,7 @@ func BruteForce(pdk *tech.PDK, space Space, opts ...exec.Option) (*Result, error
 	if st.Label == "" {
 		st.Label = "dse.brute.point"
 	}
-	ev, err := newEvaluator(pdk, space, nil, st.Metrics)
+	ev, err := newEvaluator(pdk, space, nil, st.Metrics, 0, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -395,7 +412,7 @@ func BruteForce(pdk *tech.PDK, space Space, opts ...exec.Option) (*Result, error
 	}, nil
 }
 
-func newEvaluator(pdk *tech.PDK, space Space, cache *PointCache, reg *obs.Registry) (*evaluator, error) {
+func newEvaluator(pdk *tech.PDK, space Space, cache *PointCache, reg *obs.Registry, varySamples int, varySeed int64) (*evaluator, error) {
 	a2d, a3d, _, err := core.CaseStudyPair(pdk)
 	if err != nil {
 		return nil, err
@@ -412,6 +429,17 @@ func newEvaluator(pdk *tech.PDK, space Space, cache *PointCache, reg *obs.Regist
 	if cache == nil {
 		cache = &PointCache{}
 	}
+	if varySamples < 0 || varySamples > vary.MaxSamples {
+		return nil, fmt.Errorf("dse: variation samples %d out of range [0, %d]: %w",
+			varySamples, vary.MaxSamples, errs.ErrBadSpec)
+	}
+	var sampler *vary.Sampler
+	if varySamples > 0 {
+		var err error
+		if sampler, err = vary.NewSampler(pdk.Variation, varySeed); err != nil {
+			return nil, err
+		}
+	}
 	return &evaluator{
 		space:  space,
 		params: params,
@@ -420,14 +448,18 @@ func newEvaluator(pdk *tech.PDK, space Space, cache *PointCache, reg *obs.Regist
 		pdk:    pdk,
 		// The fingerprint covers everything the point value depends on
 		// besides the coordinates, so one shared cache can serve
-		// different machines, powers and thermal budgets.
-		sig: fmt.Sprintf("%v|%v|n=%d|p=%g|rs=%g|rt=%g|max=%g",
+		// different machines, powers, thermal budgets and variation
+		// configurations.
+		sig: fmt.Sprintf("%v|%v|n=%d|p=%g|rs=%g|rt=%g|max=%g|vs=%d|vseed=%d|var=%v",
 			params, am, len(loads), space.PerTierPowerW,
-			pdk.RthetaSink, pdk.RthetaPerTier, pdk.MaxTempRiseK),
-		cache:  cache,
-		evals:  reg.Counter("dse.evals"),
-		hits:   reg.Counter("dse.memo.hits"),
-		misses: reg.Counter("dse.memo.misses"),
+			pdk.RthetaSink, pdk.RthetaPerTier, pdk.MaxTempRiseK,
+			varySamples, varySeed, pdk.Variation),
+		cache:       cache,
+		evals:       reg.Counter("dse.evals"),
+		hits:        reg.Counter("dse.memo.hits"),
+		misses:      reg.Counter("dse.memo.misses"),
+		sampler:     sampler,
+		varySamples: varySamples,
 	}, nil
 }
 
@@ -448,7 +480,7 @@ func (ev *evaluator) eval(_ context.Context, _ int, c coord) (Point, error) {
 			powers[i] = ev.space.PerTierPowerW
 		}
 		rise := thermal.NewStack(ev.pdk, powers).TempRiseK()
-		return Point{
+		pt := Point{
 			Delta:            delta,
 			TierPairs:        y,
 			BWScale:          bw,
@@ -458,7 +490,19 @@ func (ev *evaluator) eval(_ context.Context, _ int, c coord) (Point, error) {
 			EDPBenefit:       pr.EDPBenefit,
 			ThermalHeadroomK: ev.pdk.MaxTempRiseK - rise,
 			FootprintMM2:     pr.Footprint / 1e12,
-		}, nil
+		}
+		if ev.sampler != nil {
+			band, err := vary.EDPBand(ev.params, ev.am, ev.loads,
+				analytic.DesignPoint{Delta: delta, TierPairs: y, BWScale: bw},
+				ev.sampler, ev.varySamples)
+			if err != nil {
+				return Point{}, err
+			}
+			pt.EDPBenefitP5, pt.EDPBenefitP50, pt.EDPBenefitP95 = band.P5, band.P50, band.P95
+			// Yield-constrained objective: rank by what 95% of chips meet.
+			pt.EDPBenefit = band.P5
+		}
+		return pt, nil
 	}
 	if ev.cache == nil {
 		return compute()

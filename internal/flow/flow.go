@@ -340,6 +340,14 @@ func (r *Result) FootprintMM2() float64 {
 	return float64(r.Die.Area()) / 1e12
 }
 
+// Design exposes the retained design database — the PDK, the synthesized
+// netlist and the routing result (routes may be nil on unrouted runs).
+// Read-only: callers such as the Monte-Carlo yield engine (internal/vary)
+// build their own Timers/WireModels over these shared structures.
+func (r *Result) Design() (*tech.PDK, *netlist.Netlist, *route.Result) {
+	return r.pdk, r.nl, r.routes
+}
+
 // WriteVerilog streams the synthesized structural netlist to w.
 func (r *Result) WriteVerilog(w io.Writer) error {
 	if r == nil || r.nl == nil {

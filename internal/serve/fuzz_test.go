@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"m3d/internal/errs"
+	"m3d/internal/tech"
+	"m3d/internal/vary"
 )
 
 // FuzzSweepRequest hammers the POST /v1/sweep request decoder and
@@ -251,6 +253,65 @@ func FuzzBatchRequest(f *testing.F) {
 			if strings.HasPrefix(item.Flow.key(), "unkeyable:") {
 				t.Fatalf("accepted flow item is unkeyable: %q", raw)
 			}
+		}
+	})
+}
+
+// FuzzYieldRequest hammers the POST /v1/yield request decoder and
+// validator with arbitrary bodies through the same decodeRequest entry
+// the handler uses. Contract: no panics, every rejection is
+// errs.ErrBadSpec (the 400 family), and an accepted request's
+// defaults-applied run shape stays within the sampling bounds and
+// builds a valid corner sampler.
+//
+// Seeds live in testdata/fuzz/FuzzYieldRequest (checked in): the pinned
+// stream request, the empty default, each knob alone, and the hostile
+// shapes — truncated JSON, trailing garbage, unknown fields, hostile
+// variation parameters, oversized sample counts and bad periods.
+func FuzzYieldRequest(f *testing.F) {
+	f.Add(yieldStreamBody)
+	f.Add(``)
+	f.Add(`{}`)
+	f.Add(`{"samples":128}`)
+	f.Add(`{"flow":{"style":"M3D","num_cs":2,"seed":1}}`)
+	f.Add(`{"variation":{"si_drive_sigma":0.03,"cnfet_drive_sigma":0.08,"cnfet_vt_shift":0.05,"ilv_r_spread":0.1,"tier_corr":0.5}}`)
+	f.Add(`{"periods":[1e-9,2e-9],"batch":16}`)
+	f.Add(`{"flow":`)
+	f.Add(`{} {}`)
+	f.Add(`{"bogus":1}`)
+	f.Add(`{"flow":{"style":"4D"}}`)
+	f.Add(`{"samples":-1}`)
+	f.Add(`{"samples":1000000}`)
+	f.Add(`{"batch":-8}`)
+	f.Add(`{"periods":[0]}`)
+	f.Add(`{"variation":{"si_drive_sigma":-0.1}}`)
+	f.Add(`{"variation":{"tier_corr":2}}`)
+	f.Add("\x00\xff")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := decodeRequest[YieldRequest](strings.NewReader(body))
+		if err != nil {
+			if !errors.Is(err, errs.ErrBadSpec) {
+				t.Fatalf("rejection is not ErrBadSpec: %v", err)
+			}
+			if got := statusOf(err); got != http.StatusBadRequest {
+				t.Fatalf("statusOf(%v) = %d, want 400", err, got)
+			}
+			return
+		}
+		n, b := req.samples(), req.batch()
+		if n < 1 || n > maxYieldSamples {
+			t.Fatalf("accepted request's sample count %d out of bounds", n)
+		}
+		if b < 1 || b > n {
+			t.Fatalf("accepted request's batch %d out of bounds for %d samples", b, n)
+		}
+		v := tech.DefaultVariation()
+		if req.Variation != nil {
+			v = req.Variation.variation()
+		}
+		if _, err := vary.NewSampler(v, req.Seed); err != nil {
+			t.Fatalf("accepted request's variation rejected by sampler: %v", err)
 		}
 	})
 }

@@ -51,6 +51,7 @@ import (
 	"m3d/internal/dse"
 	"m3d/internal/errs"
 	"m3d/internal/exec"
+	"m3d/internal/flow"
 	"m3d/internal/obs"
 	"m3d/internal/tech"
 )
@@ -143,6 +144,9 @@ type Server struct {
 	sweeps    exec.Cache[string, *SweepResponse]
 	flows     exec.Cache[string, *FlowResponse]
 	dsePoints dse.PointCache
+	// designs retains full flow.Result databases (netlist + routes) for
+	// endpoints that re-analyze a built design (/v1/yield).
+	designs exec.Cache[string, *flow.Result]
 
 	jobs  *jobTier
 	peers *peerRing
@@ -200,10 +204,14 @@ func New(cfg Config) *Server {
 		// Points are far smaller than responses; let the point memo hold a
 		// multiple of the response budget before evicting.
 		s.dsePoints.Bound(cacheCap*64, nil)
+		// Design databases are far larger than responses; keep only a
+		// handful before evicting.
+		s.designs.Bound(cacheCap, nil)
 	}
 	s.sweeps.Instrument(s.reg)
 	s.flows.Instrument(s.reg)
 	s.dsePoints.Instrument(s.reg)
+	s.designs.Instrument(s.reg)
 
 	s.jobs = newJobTier(s, cfg.JobStore, cfg.MaxJobs, cfg.MaxJobQueue)
 	s.peers = newPeerRing(s, cfg.Peers, cfg.Self, cfg.PeerTransport)
@@ -215,6 +223,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/flow", s.handler("flow", true, s.handleFlow))
 	s.mux.Handle("POST /v1/batch", s.handler("batch", true, s.handleBatch))
 	s.mux.Handle("POST /v1/dse", s.handler("dse", true, s.handleDSE))
+	s.mux.Handle("POST /v1/yield", s.handler("yield", true, s.handleYield))
 	s.mux.Handle("POST /v1/jobs", s.handler("jobs", false, s.handleJobs))
 	s.mux.Handle("GET /v1/jobs/{id}", s.handler("jobs.get", false, s.handleJobGet))
 	s.mux.Handle("GET /v1/jobs/{id}/events", s.handler("jobs.events", false, s.handleJobEvents))

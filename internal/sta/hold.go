@@ -61,7 +61,7 @@ func (t *Timer) AnalyzeHold() (*HoldReport, error) {
 	t.valid = false // min-arrival pass repurposes the max-arrival scratch
 	nl := t.nl
 	arr, seen, cls, pending := t.arr, t.seen, t.cls, t.pending
-	netDelay := makeNetDelay(t.wm)
+	netDelay := makeNetDelay(t.wm, t.tierScale)
 
 	for _, inst := range nl.Instances {
 		if isLaunch(inst) || pending[inst.ID] == 0 {
@@ -179,12 +179,19 @@ func isLaunch(inst *netlist.Instance) bool {
 	return inst.Cell.Sequential
 }
 
-// makeNetDelay builds the shared driver+wire delay function.
-func makeNetDelay(wm *WireModel) func(*netlist.Net) float64 {
+// makeNetDelay builds the shared driver+wire delay function. tierScale,
+// when non-nil, multiplies each driven arc by the driver's tier entry
+// (indexed by tech.Tier) — the hook the Monte-Carlo variation engine
+// (internal/vary) scales per-tier cell delays through. Cell-driven arcs
+// scale by the cell's implementing tier; macro-driven arcs (the ILV-rich
+// memory interface) scale by the RRAM tier entry. nil means nominal, and
+// an all-ones scale is bit-for-bit identical to nominal.
+func makeNetDelay(wm *WireModel, tierScale []float64) func(*netlist.Net) float64 {
 	return func(n *netlist.Net) float64 {
 		rw, cw := wm.NetRC(n)
 		cTotal := cw + n.SinkCapF()
 		var rd, intrinsic float64
+		tier := tech.TierRRAM
 		if n.Driver != nil && !n.Driver.Inst.IsMacro() {
 			c := n.Driver.Inst.Cell
 			if isConstKind(c) {
@@ -192,10 +199,15 @@ func makeNetDelay(wm *WireModel) func(*netlist.Net) float64 {
 			}
 			rd = c.DriveResOhm
 			intrinsic = c.IntrinsicDelayS
+			tier = c.Tier
 		} else if n.Driver != nil {
 			rd = 200
 		}
-		return intrinsic + 0.69*(rd*cTotal+rw*(cw/2+n.SinkCapF()))
+		d := intrinsic + 0.69*(rd*cTotal+rw*(cw/2+n.SinkCapF()))
+		if tierScale != nil && n.Driver != nil {
+			d *= tierScale[tier]
+		}
+		return d
 	}
 }
 

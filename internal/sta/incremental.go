@@ -53,7 +53,7 @@ func (t *Timer) AnalyzeIncremental(targetPeriodS float64, changed []*netlist.Ins
 	t.stats.IncrementalPasses++
 	nl := t.nl
 	arr, seen, from := t.arr, t.seen, t.from
-	netDelay := makeNetDelay(t.wm)
+	netDelay := makeNetDelay(t.wm, t.tierScale)
 
 	t.qEpoch++
 	if t.qEpoch == 0 {

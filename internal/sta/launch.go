@@ -25,7 +25,7 @@ func (t *Timer) arrivalsWithLaunchClass() {
 	t.valid = false // class-tracking pass repurposes the max-arrival scratch
 	nl := t.nl
 	arr, seen, cls, pending := t.arr, t.seen, t.cls, t.pending
-	netDelay := makeNetDelay(t.wm)
+	netDelay := makeNetDelay(t.wm, t.tierScale)
 
 	for _, inst := range nl.Instances {
 		launchT := -1.0

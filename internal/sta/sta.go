@@ -156,6 +156,12 @@ type Timer struct {
 	netEp    []uint32
 	netEpoch uint32
 
+	// tierScale, when non-nil, multiplies every driven-arc delay by the
+	// driver tier's entry (indexed by tech.Tier) — the per-sample corner
+	// hook the Monte-Carlo variation engine (internal/vary) drives. nil
+	// (the default) is nominal timing.
+	tierScale []float64
+
 	stats Stats
 }
 
@@ -177,6 +183,21 @@ type Stats struct {
 
 // Stats returns the Timer's accumulated work counters.
 func (t *Timer) Stats() Stats { return t.stats }
+
+// SetTierDelayScale installs per-tier multiplicative delay scales,
+// indexed by tech.Tier (so scale[tech.TierCNFET] stretches every
+// CNFET-driven arc). Passing nil restores nominal timing. The scale is
+// copied, and the cached arrival solution is invalidated so the next
+// AnalyzeIncremental falls back to a full pass under the new corner.
+// An all-ones scale produces bit-for-bit nominal results.
+func (t *Timer) SetTierDelayScale(scale []float64) {
+	if scale == nil {
+		t.tierScale = nil
+	} else {
+		t.tierScale = append(t.tierScale[:0], scale...)
+	}
+	t.valid = false
+}
 
 // NewTimer builds a reusable timing engine for the netlist; wm may be
 // nil (pre-route estimates).
@@ -229,7 +250,7 @@ func (t *Timer) Analyze(targetPeriodS float64) (*Report, error) {
 	t.reset()
 	nl := t.nl
 	arr, seen, from, pending := t.arr, t.seen, t.from, t.pending
-	netDelay := makeNetDelay(t.wm)
+	netDelay := makeNetDelay(t.wm, t.tierScale)
 
 	for _, inst := range nl.Instances {
 		seq := !inst.IsMacro() && inst.Cell.Sequential

@@ -27,6 +27,10 @@ const (
 	// TierCNFET is the BEOL carbon-nanotube FET layer (memory access
 	// transistors, optionally logic).
 	TierCNFET
+
+	// NumTiers is the number of device tiers in the stack — the length
+	// of per-tier parameter arrays (e.g. the variation corner scales).
+	NumTiers
 )
 
 // String returns the tier name.
@@ -141,6 +145,82 @@ type RRAMCell struct {
 	LRSOhm, HRSOhm float64
 }
 
+// Variation models inter-tier process variation of the M3D stack: the
+// newly-introduced BEOL devices (CNFETs, fine-pitch ILVs) vary more than
+// the mature Si FEOL, and the upper CNFET tier additionally suffers a
+// systematic threshold-voltage shift (Musavvir et al., "Inter-Tier
+// Process Variation-Aware Monolithic 3D NoC Architectures"). All sigma
+// fields are relative 1σ fractions of the nominal quantity; the zero
+// value is the nominal, variation-free process.
+type Variation struct {
+	// SiDriveSigma is the FEOL Si CMOS drive-current spread (relative 1σ
+	// of delay on Si-tier cells).
+	SiDriveSigma float64
+	// CNFETDriveSigma is the BEOL CNFET drive-current spread (relative 1σ
+	// of delay on CNFET-tier cells); BEOL devices sit above several
+	// deposition steps and vary more than the FEOL.
+	CNFETDriveSigma float64
+	// CNFETVtShift is the systematic upper-tier Vt shift, expressed as a
+	// mean relative delay penalty on CNFET-tier cells (0.05 = 5% slower
+	// on average, before the random component).
+	CNFETVtShift float64
+	// ILVRSpread is the inter-layer-via resistance spread (relative 1σ);
+	// it loads the ILV-rich memory-interface (RRAM-tier) arcs.
+	ILVRSpread float64
+	// TierCorr is the correlation ρ ∈ [0, 1] between the tiers' random
+	// components: 0 draws every tier independently, 1 collapses the stack
+	// to one fully-correlated process corner.
+	TierCorr float64
+}
+
+// maxVariationSigma bounds the relative spreads: beyond 50% the linear
+// delay-scale model (1 + σ·z) loses physical meaning.
+const maxVariationSigma = 0.5
+
+// IsZero reports whether v is the nominal (variation-free) process.
+func (v Variation) IsZero() bool { return v == (Variation{}) }
+
+// Validate checks the variation parameter ranges.
+func (v Variation) Validate() error {
+	check := func(name string, s float64) error {
+		if s < 0 || s > maxVariationSigma {
+			return fmt.Errorf("tech: %s %g outside [0, %g]", name, s, maxVariationSigma)
+		}
+		return nil
+	}
+	if err := check("SiDriveSigma", v.SiDriveSigma); err != nil {
+		return err
+	}
+	if err := check("CNFETDriveSigma", v.CNFETDriveSigma); err != nil {
+		return err
+	}
+	if err := check("ILVRSpread", v.ILVRSpread); err != nil {
+		return err
+	}
+	if v.CNFETVtShift < 0 || v.CNFETVtShift > 1 {
+		return fmt.Errorf("tech: CNFETVtShift %g outside [0, 1]", v.CNFETVtShift)
+	}
+	if v.TierCorr < 0 || v.TierCorr > 1 {
+		return fmt.Errorf("tech: TierCorr %g outside [0, 1]", v.TierCorr)
+	}
+	return nil
+}
+
+// DefaultVariation returns the stock inter-tier variation corner used
+// when a caller enables variation analysis without overriding the
+// parameters: a mature FEOL, a noticeably wider BEOL CNFET spread with a
+// 5% systematic Vt-shift slowdown, a 10% ILV resistance spread, and
+// half-correlated tiers.
+func DefaultVariation() Variation {
+	return Variation{
+		SiDriveSigma:    0.03,
+		CNFETDriveSigma: 0.08,
+		CNFETVtShift:    0.05,
+		ILVRSpread:      0.10,
+		TierCorr:        0.5,
+	}
+}
+
 // PDK is the full process model. Construct one with Default130 and refine it
 // with the With* options; the zero value is not usable.
 type PDK struct {
@@ -173,6 +253,12 @@ type PDK struct {
 	CNFETWidthRelax float64
 
 	RRAM RRAMCell
+
+	// Variation carries the inter-tier process variation parameters; the
+	// zero value (the Default130 setting) is the nominal process. The
+	// nominal models ignore it — only the Monte-Carlo variation engine
+	// (internal/vary) and its callers sample it.
+	Variation Variation
 
 	// Thermal stack parameters for Eq. 17: RthetaSink is R0 (heat-sink /
 	// package resistance to ambient, K/W) and RthetaPerTier is the
@@ -314,6 +400,14 @@ func (p *PDK) WithCNFETWidthRelax(delta float64) *PDK {
 	return out
 }
 
+// WithVariation returns a copy with the inter-tier variation parameters
+// installed (see Variation; the zero value restores the nominal process).
+func (p *PDK) WithVariation(v Variation) *PDK {
+	out := p.Clone()
+	out.Variation = v
+	return out
+}
+
 // WithILVPitchScale returns a copy with Case 2's via-pitch scale β applied
 // to both ILV cut layers.
 func (p *PDK) WithILVPitchScale(beta float64) *PDK {
@@ -402,6 +496,9 @@ func (p *PDK) Validate() error {
 		if l.Kind == LayerRouting && l.Pitch <= 0 {
 			return fmt.Errorf("tech: routing layer %q needs a positive pitch", l.Name)
 		}
+	}
+	if err := p.Variation.Validate(); err != nil {
+		return err
 	}
 	if p.RRAM.ViasPerCell <= 0 {
 		return fmt.Errorf("tech: RRAM ViasPerCell must be positive")

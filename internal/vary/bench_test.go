@@ -1,0 +1,28 @@
+package vary_test
+
+import (
+	"testing"
+
+	"m3d/internal/exec"
+	"m3d/internal/tech"
+	"m3d/internal/vary"
+)
+
+// BenchmarkMonteCarloSTA is the benchdiff-tracked cost of Monte-Carlo
+// timing: one 32-corner batch through pooled Timers on a 16-stage
+// chain, serial so the number is scheduling-independent.
+func BenchmarkMonteCarloSTA(b *testing.B) {
+	p, nl := chainNetlist(b, 16)
+	e, err := vary.NewEngine(p, nl, nil, tech.DefaultVariation(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := exec.Resolve(exec.WithWorkers(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.CriticalPaths(st, 0, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

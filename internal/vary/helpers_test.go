@@ -1,0 +1,43 @@
+package vary_test
+
+import (
+	"testing"
+
+	"m3d/internal/cell"
+	"m3d/internal/netlist"
+	"m3d/internal/synth"
+	"m3d/internal/tech"
+)
+
+// chainNetlist builds the synthetic linear pipeline the statistical
+// oracle rests on: FF -> n inverters -> FF, every cell on the Si tier.
+// With a single tier, a corner with Si delay scale s has closed-form
+// critical path C0 + D·s, where C0 = ClkQ + setup (launch and capture
+// overheads, unscaled) and D is the summed combinational arc delay —
+// the launch FF's Q arc and each inverter arc all scale by s, while the
+// primary-input endpoint stays far below the capture endpoint for every
+// reachable s (s ≥ 0.05 floors the chain well above the port wire stub).
+func chainNetlist(tb testing.TB, stages int) (*tech.PDK, *netlist.Netlist) {
+	tb.Helper()
+	p := tech.Default130()
+	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b := synth.NewBuilder("chain", lib)
+	d := b.Input("in", 0.2)
+	q := b.Register("launch", synth.Bus{d}, 0.2)
+	sig := q[0]
+	for i := 0; i < stages; i++ {
+		inv := b.NL.AddCell("inv", b.Lib.MustPick(cell.Inv, 1))
+		b.NL.MustPin(inv, "A", false, inv.Cell.InputCapF, sig)
+		out := b.NL.AddNet("n", 0.2)
+		b.NL.MustPin(inv, "Y", true, 0, out)
+		sig = out
+	}
+	b.SinkBus("capture", synth.Bus{sig})
+	if err := b.NL.Check(); err != nil {
+		tb.Fatal(err)
+	}
+	return p, b.NL
+}

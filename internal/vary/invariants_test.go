@@ -1,0 +1,165 @@
+package vary_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"m3d/internal/exec"
+	"m3d/internal/tech"
+	"m3d/internal/vary"
+)
+
+// This file is the property-based invariant suite for the variation
+// subsystem, in the internal/analytic/invariants_test.go style:
+// randomized-but-valid parameter draws checked against the model's
+// mathematical guarantees rather than point goldens. Every subtest logs
+// its seed so a failure replays deterministically.
+
+// invariantSeeds are the fixed seeds the suite runs at.
+var invariantSeeds = []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+
+// randVariation draws valid variation parameters: sigmas in [0, 0.2],
+// a Vt shift in [0, 0.3] and a correlation in [0, 1].
+func randVariation(rng *rand.Rand) tech.Variation {
+	return tech.Variation{
+		SiDriveSigma:    0.2 * rng.Float64(),
+		CNFETDriveSigma: 0.2 * rng.Float64(),
+		CNFETVtShift:    0.3 * rng.Float64(),
+		ILVRSpread:      0.2 * rng.Float64(),
+		TierCorr:        rng.Float64(),
+	}
+}
+
+// TestInvariantYieldMonotoneInPeriod: P(crit ≤ T) is an empirical CDF,
+// so the yield curve over ascending periods never decreases.
+func TestInvariantYieldMonotoneInPeriod(t *testing.T) {
+	p, nl := chainNetlist(t, 10)
+	for _, seed := range invariantSeeds {
+		t.Logf("seed %d", seed)
+		rng := rand.New(rand.NewSource(seed))
+		e, err := vary.NewEngine(p, nl, nil, randVariation(rng), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Analyze(vary.Options{Samples: 400}, exec.WithWorkers(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(res.Curve); i++ {
+			if res.Curve[i].PeriodS <= res.Curve[i-1].PeriodS {
+				t.Fatalf("periods not ascending at %d", i)
+			}
+			if res.Curve[i].Yield < res.Curve[i-1].Yield {
+				t.Fatalf("yield decreased: %g@%g -> %g@%g",
+					res.Curve[i-1].Yield, res.Curve[i-1].PeriodS,
+					res.Curve[i].Yield, res.Curve[i].PeriodS)
+			}
+		}
+	}
+}
+
+// TestInvariantYieldNonIncreasingInSigma: on the single-tier chain, a
+// sample passes period T ≥ nominal iff σ·z ≤ (T − nominal)/D ≥ 0. The
+// draw order is σ-independent, so every engine in the σ ladder sees
+// identical z draws: z ≤ 0 samples pass at every σ, z > 0 samples fail
+// monotonically as σ grows — yield at fixed T ≥ nominal never increases
+// with σ, exactly, not just statistically.
+func TestInvariantYieldNonIncreasingInSigma(t *testing.T) {
+	p, nl := chainNetlist(t, 10)
+	sigmas := []float64{0, 0.02, 0.05, 0.1, 0.2}
+	for _, seed := range invariantSeeds[:4] {
+		t.Logf("seed %d", seed)
+		var nominal float64
+		var prev []vary.YieldPoint
+		for _, sg := range sigmas {
+			e, err := vary.NewEngine(p, nl, nil, tech.Variation{SiDriveSigma: sg}, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nominal == 0 {
+				nominal = e.Nominal().CriticalPathS
+			}
+			// Periods at and above nominal only: below nominal the
+			// z < 0 half can push yield either way.
+			periods := []float64{nominal, nominal * 1.02, nominal * 1.05, nominal * 1.1, nominal * 1.3}
+			res, err := e.Analyze(vary.Options{Samples: 500, Periods: periods}, exec.WithWorkers(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev != nil {
+				for i := range res.Curve {
+					if res.Curve[i].Yield > prev[i].Yield {
+						t.Fatalf("σ=%g yield %g exceeds smaller-σ yield %g at T=%g",
+							sg, res.Curve[i].Yield, prev[i].Yield, res.Curve[i].PeriodS)
+					}
+				}
+			}
+			prev = res.Curve
+		}
+	}
+}
+
+// TestInvariantQuantileOrder: p5 ≤ p50 ≤ p95 on arbitrary sample sets.
+func TestInvariantQuantileOrder(t *testing.T) {
+	for _, seed := range invariantSeeds {
+		t.Logf("seed %d", seed)
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(700))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		q := vary.QuantilesOf(xs)
+		if !(q.P5 <= q.P50 && q.P50 <= q.P95) {
+			t.Fatalf("quantile order violated: %+v", q)
+		}
+	}
+}
+
+// TestInvariantFullCorrelationSingleCorner: at ρ=1 the idiosyncratic
+// term is exactly zero, so every tier sees the one shared deviate z0 —
+// with equal per-tier sigmas and no Vt shift, all three tier scales are
+// bit-for-bit identical (the classic single-corner, all-tiers-track
+// limit of correlated variation).
+func TestInvariantFullCorrelationSingleCorner(t *testing.T) {
+	for _, seed := range invariantSeeds {
+		t.Logf("seed %d", seed)
+		rng := rand.New(rand.NewSource(seed))
+		sg := 0.01 + 0.15*rng.Float64()
+		v := tech.Variation{
+			SiDriveSigma:    sg,
+			CNFETDriveSigma: sg,
+			ILVRSpread:      sg,
+			TierCorr:        1,
+		}
+		s, err := vary.NewSampler(v, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			c := s.Corner(i)
+			si := c.TierScale[tech.TierSiCMOS]
+			if c.TierScale[tech.TierRRAM] != si || c.TierScale[tech.TierCNFET] != si {
+				t.Fatalf("corner %d: ρ=1 tiers decohered: %v", i, c.TierScale)
+			}
+		}
+	}
+}
+
+// TestInvariantZeroSigmaUnitScales: the zero-variation corner is exactly
+// the all-ones scale vector at every index and seed.
+func TestInvariantZeroSigmaUnitScales(t *testing.T) {
+	for _, seed := range invariantSeeds {
+		t.Logf("seed %d", seed)
+		s, err := vary.NewSampler(tech.Variation{}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			for tier, sc := range s.Corner(i).TierScale {
+				if sc != 1.0 {
+					t.Fatalf("corner %d tier %d: scale %v != 1.0", i, tier, sc)
+				}
+			}
+		}
+	}
+}

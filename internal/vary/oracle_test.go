@@ -1,0 +1,161 @@
+package vary_test
+
+import (
+	"math"
+	"testing"
+
+	"m3d/internal/exec"
+	"m3d/internal/netlist"
+	"m3d/internal/sta"
+	"m3d/internal/tech"
+	"m3d/internal/vary"
+)
+
+// oracleSamples is the committed Monte-Carlo size the acceptance
+// criteria pin: large enough that the estimator tolerances below are
+// ~5 standard errors wide, small enough to run in every test pass.
+const oracleSamples = 4096
+
+const oracleSeed = 20260809
+
+// phi is the standard normal CDF.
+func phi(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+
+// chainConstants measures the closed-form decomposition crit(s) = C0 +
+// D·s of the single-tier chain directly from the implementation: one
+// nominal pass (s=1) and one at s=2 give D = crit(2) − crit(1) and
+// C0 = crit(1) − D. Any departure from linearity in s would break the
+// oracle assertions downstream, so it is cross-checked at s=1.5 here.
+func chainConstantsFor(t *testing.T, p *tech.PDK, nl *netlist.Netlist, e *vary.Engine) (c0, d float64) {
+	t.Helper()
+	nom := e.Nominal().CriticalPathS
+	at := func(s float64) float64 {
+		tm := sta.NewTimer(p, nl, nil)
+		tm.SetTierDelayScale([]float64{s, s, s})
+		rep, err := tm.Analyze(1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.CriticalPathS
+	}
+	d = at(2) - nom
+	c0 = nom - d
+	if d <= 0 {
+		t.Fatalf("combinational delay D=%g must be positive", d)
+	}
+	mid := at(1.5)
+	if want := c0 + 1.5*d; math.Abs(mid-want) > 1e-18 {
+		t.Fatalf("crit(s) not linear in s: crit(1.5)=%g want %g", mid, want)
+	}
+	return c0, d
+}
+
+func TestOracleMeanAndVariance(t *testing.T) {
+	p, nl := chainNetlist(t, 16)
+	sigma := 0.05
+	v := tech.Variation{SiDriveSigma: sigma}
+	e, err := vary.NewEngine(p, nl, nil, v, oracleSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, d := chainConstantsFor(t, p, nl, e)
+
+	res, err := e.Analyze(vary.Options{Samples: oracleSamples}, exec.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CritPathS) != oracleSamples {
+		t.Fatalf("got %d samples, want %d", len(res.CritPathS), oracleSamples)
+	}
+
+	// crit_i = C0 + D·(1 + σ·z_i) with z ~ N(0,1): mean C0+D, std D·σ.
+	// (The s ≥ 0.05 floor needs z < −19 to bite at σ=0.05 — never.)
+	wantMean := c0 + d
+	wantStd := d * sigma
+
+	var sum, sumSq float64
+	for _, c := range res.CritPathS {
+		sum += c
+		sumSq += (c - wantMean) * (c - wantMean)
+	}
+	n := float64(oracleSamples)
+	mean := sum / n
+	std := math.Sqrt(sumSq / n)
+
+	// 5 standard errors: SE(mean) = σ_tot/√n, SE(std) ≈ σ_tot/√(2n).
+	if tol := 5 * wantStd / math.Sqrt(n); math.Abs(mean-wantMean) > tol {
+		t.Errorf("MC mean %g, oracle %g (tol %g)", mean, wantMean, tol)
+	}
+	if tol := 5 * wantStd / math.Sqrt(2*n); math.Abs(std-wantStd) > tol {
+		t.Errorf("MC std %g, oracle %g (tol %g)", std, wantStd, tol)
+	}
+
+	// Empirical yield vs the closed-form Φ((T − μ)/σ_tot) across the
+	// transition; binomial SE ≤ 0.5/√n ≈ 0.008, tolerance 5×.
+	for _, k := range []float64{-2, -1, 0, 1, 2} {
+		T := wantMean + k*wantStd
+		met := 0
+		for _, c := range res.CritPathS {
+			if c <= T {
+				met++
+			}
+		}
+		got := float64(met) / n
+		want := phi(k)
+		if math.Abs(got-want) > 0.04 {
+			t.Errorf("yield at μ%+g·σ: MC %g, Φ %g", k, got, want)
+		}
+	}
+}
+
+func TestOracleZeroSigmaCollapsesToNominal(t *testing.T) {
+	p, nl := chainNetlist(t, 12)
+	e, err := vary.NewEngine(p, nl, nil, tech.Variation{}, oracleSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent nominal oracle through the plain package-level path.
+	want, err := sta.Analyze(p, nl, nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Nominal().CriticalPathS != want.CriticalPathS {
+		t.Fatalf("engine nominal %v != sta.Analyze %v",
+			e.Nominal().CriticalPathS, want.CriticalPathS)
+	}
+	res, err := e.Analyze(vary.Options{Samples: 256}, exec.WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.CritPathS {
+		if c != want.CriticalPathS { // bit-for-bit, not approximately
+			t.Fatalf("sample %d: σ=0 corner %v != nominal %v", i, c, want.CriticalPathS)
+		}
+	}
+	q := res.CritQuantiles
+	if q.P5 != want.CriticalPathS || q.P50 != want.CriticalPathS || q.P95 != want.CriticalPathS {
+		t.Fatalf("σ=0 quantile band %+v not collapsed onto nominal %v", q, want.CriticalPathS)
+	}
+}
+
+func TestOracleSeedReproducible(t *testing.T) {
+	p, nl := chainNetlist(t, 8)
+	v := tech.DefaultVariation()
+	run := func() []float64 {
+		e, err := vary.NewEngine(p, nl, nil, v, oracleSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Analyze(vary.Options{Samples: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CritPathS
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across fresh engines: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package vary models inter-tier process variation for the monolithic-3D
+// stack and estimates its timing-yield and energy consequences by Monte
+// Carlo. The physical picture follows Musavvir et al. (inter-tier
+// process variation in monolithic 3D): the bottom FEOL Si CMOS tier sees
+// ordinary drive-strength spread, while the BEOL tiers fabricated on top
+// — CNFET access transistors and the RRAM/ILV stack — carry both a
+// systematic degradation (CNFET Vt shift from low-temperature processing)
+// and a wider random spread (CNFET drive σ, ILV resistance spread), with
+// a tunable tier-to-tier correlation from shared lithography and thermal
+// history.
+//
+// Each Monte-Carlo sample is a Corner: one multiplicative delay scale per
+// tech.Tier, pushed through the reusable sta.Timer via SetTierDelayScale,
+// plus the matching analytic-model perturbations for EDP bands. Corners
+// are drawn by a seeded, sample-indexed generator — Corner(i) is a pure
+// function of (Variation, seed, i) — so a fan-out over the worker pool
+// (exec.MapWith) returns deep-equal results at any pool width, the same
+// determinism contract internal/dse relies on.
+package vary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"m3d/internal/errs"
+	"m3d/internal/tech"
+)
+
+// minScale floors every per-tier delay scale: no corner, however many
+// sigma out, can make a tier infinitely fast (or invert delay signs).
+const minScale = 0.05
+
+// Corner is one sampled process corner: the per-tier multiplicative
+// delay scales, indexed by tech.Tier. A scale of exactly 1.0 in every
+// entry is bit-for-bit nominal timing (the σ=0 corner).
+type Corner struct {
+	// Index is the sample index the corner was drawn at.
+	Index int
+	// TierScale[t] multiplies every delay arc driven from tier t.
+	TierScale [tech.NumTiers]float64
+}
+
+// Sampler draws correlated process corners from a seeded, sample-indexed
+// RNG. It is stateless between draws: Corner(i) depends only on the
+// variation parameters, the seed, and i, never on which corners were
+// drawn before — the property that makes Monte-Carlo fan-outs
+// width-deterministic.
+type Sampler struct {
+	v    tech.Variation
+	seed uint64
+}
+
+// NewSampler validates the variation parameters and builds a sampler
+// for the given seed. Invalid parameters match errs.ErrBadSpec.
+func NewSampler(v tech.Variation, seed int64) (*Sampler, error) {
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("vary: %v: %w", err, errs.ErrBadSpec)
+	}
+	return &Sampler{v: v, seed: uint64(seed)}, nil
+}
+
+// Variation returns the sampler's variation parameters.
+func (s *Sampler) Variation() tech.Variation { return s.v }
+
+// mix is the splitmix64 finalizer: a high-quality 64-bit hash used to
+// decorrelate per-sample RNG streams derived from (seed, index).
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// clampScale floors a sampled delay scale at minScale.
+func clampScale(s float64) float64 {
+	if s < minScale {
+		return minScale
+	}
+	return s
+}
+
+// Corner draws the i-th process corner. The draw order is fixed — one
+// shared factor z0, then one idiosyncratic deviate per tier (Si, RRAM,
+// CNFET) — so the sequence of deviates consumed never depends on the
+// σ values; two samplers at different σ see identical z draws for the
+// same (seed, i), which is what makes yield monotone comparisons across
+// a σ ladder exact rather than statistical.
+//
+// Each tier's deviate is z_t = ρ·z0 + √(1−ρ²)·ε_t. At ρ=1 the √ term is
+// exactly zero, so every tier sees the identical z0 (the single-corner
+// limit); at σ=0 every scale is exactly 1.0 (0·z == 0 in IEEE-754), so
+// the corner collapses bit-for-bit onto nominal timing.
+func (s *Sampler) Corner(i int) Corner {
+	rng := rand.New(rand.NewSource(int64(mix(s.seed ^ mix(uint64(i))))))
+	z0 := rng.NormFloat64()
+	rho := s.v.TierCorr
+	idio := math.Sqrt(1 - rho*rho)
+	zSi := rho*z0 + idio*rng.NormFloat64()
+	zRRAM := rho*z0 + idio*rng.NormFloat64()
+	zCN := rho*z0 + idio*rng.NormFloat64()
+
+	var c Corner
+	c.Index = i
+	c.TierScale[tech.TierSiCMOS] = clampScale(1 + s.v.SiDriveSigma*zSi)
+	c.TierScale[tech.TierRRAM] = clampScale(1 + s.v.ILVRSpread*zRRAM)
+	c.TierScale[tech.TierCNFET] = clampScale(1 + s.v.CNFETVtShift + s.v.CNFETDriveSigma*zCN)
+	return c
+}
+
+// Quantiles summarizes a Monte-Carlo sample set by its 5th, 50th and
+// 95th percentiles — the band the experiment tables report.
+type Quantiles struct {
+	P5  float64 `json:"p5"`
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+}
+
+// QuantilesOf computes nearest-rank p5/p50/p95 over xs (which it does
+// not modify). By construction P5 ≤ P50 ≤ P95. Empty input yields zeros.
+func QuantilesOf(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Quantiles{
+		P5:  nearestRank(sorted, 0.05),
+		P50: nearestRank(sorted, 0.50),
+		P95: nearestRank(sorted, 0.95),
+	}
+}
+
+// nearestRank returns the nearest-rank p-quantile of an ascending slice.
+func nearestRank(sorted []float64, p float64) float64 {
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,211 @@
+package vary
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"m3d/internal/errs"
+	"m3d/internal/exec"
+	"m3d/internal/netlist"
+	"m3d/internal/route"
+	"m3d/internal/sta"
+	"m3d/internal/tech"
+)
+
+// MaxSamples bounds one Monte-Carlo run; requests beyond it match
+// errs.ErrBadSpec.
+const MaxSamples = 1 << 20
+
+// critPathBounds are the vary.critpath.seconds histogram buckets
+// (seconds): digital critical paths in this PDK land in the ns range.
+var critPathBounds = []float64{1e-10, 3e-10, 1e-9, 3e-9, 1e-8, 3e-8, 1e-7}
+
+// Options configures one Monte-Carlo yield run.
+type Options struct {
+	// Samples is the number of process corners to time (1..MaxSamples).
+	Samples int
+	// Seed selects the corner stream; the same (Variation, Seed, Samples)
+	// triple reproduces the run exactly at any worker width.
+	Seed int64
+	// Periods are the clock periods (seconds) the yield curve is
+	// evaluated at; empty selects DefaultPeriods around the nominal
+	// critical path.
+	Periods []float64
+}
+
+// Validate checks the run options. Violations match errs.ErrBadSpec.
+func (o Options) Validate() error {
+	if o.Samples < 1 || o.Samples > MaxSamples {
+		return fmt.Errorf("vary: samples %d out of range [1, %d]: %w", o.Samples, MaxSamples, errs.ErrBadSpec)
+	}
+	for _, p := range o.Periods {
+		if p <= 0 {
+			return fmt.Errorf("vary: period %g must be positive: %w", p, errs.ErrBadSpec)
+		}
+	}
+	return nil
+}
+
+// YieldPoint is one point of the timing-yield curve: the fraction of
+// sampled corners whose critical path meets the clock period.
+type YieldPoint struct {
+	PeriodS float64 `json:"period_s"`
+	Yield   float64 `json:"yield"`
+}
+
+// Result is one Monte-Carlo yield analysis.
+type Result struct {
+	// Nominal is the zero-variation STA report the run is anchored on.
+	Nominal *sta.Report
+	// CritPathS holds the per-sample critical paths (seconds), indexed
+	// by sample; deep-equal at any worker width for a fixed seed.
+	CritPathS []float64
+	// Curve is P(slack ≥ 0) vs clock period, non-decreasing in period.
+	Curve []YieldPoint
+	// CritQuantiles is the p5/p50/p95 band of the sampled critical path.
+	CritQuantiles Quantiles
+}
+
+// analyzePeriodS is the constraint handed to per-corner STA passes; only
+// the target-independent critical path is consumed, so any positive
+// period works.
+const analyzePeriodS = 1.0
+
+// Engine runs Monte-Carlo timing yield over one placed-and-routed
+// netlist. It owns a pool of sta.Timer instances (each with its own
+// WireModel scratch over the shared read-only netlist and routes), so
+// repeated and concurrent sampling reuses the slice-indexed timing
+// machinery instead of rebuilding it per corner. Analyze results are
+// pure in (netlist, corner), so timer reuse — whatever the pool's warmth
+// — never changes a sample's value.
+type Engine struct {
+	p       *tech.PDK
+	nl      *netlist.Netlist
+	routes  *route.Result
+	sampler *Sampler
+	nominal *sta.Report
+	timers  sync.Pool
+}
+
+// NewEngine builds a yield engine for one design. routes may be nil
+// (pre-route wire estimates). The variation parameters are validated
+// (errs.ErrBadSpec on violation) and the nominal STA runs once here so
+// every later sample is anchored on the same baseline.
+func NewEngine(p *tech.PDK, nl *netlist.Netlist, routes *route.Result, v tech.Variation, seed int64) (*Engine, error) {
+	s, err := NewSampler(v, seed)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{p: p, nl: nl, routes: routes, sampler: s}
+	e.timers.New = func() any {
+		return sta.NewTimer(e.p, e.nl, sta.NewWireModel(e.p, e.routes))
+	}
+	nom, err := e.timers.Get().(*sta.Timer).Analyze(analyzePeriodS)
+	if err != nil {
+		return nil, fmt.Errorf("vary: nominal analysis: %w", err)
+	}
+	e.nominal = nom
+	return e, nil
+}
+
+// Nominal returns the zero-variation STA report computed at construction.
+func (e *Engine) Nominal() *sta.Report { return e.nominal }
+
+// Sampler returns the engine's corner sampler.
+func (e *Engine) Sampler() *Sampler { return e.sampler }
+
+// CriticalPaths times the sample window [lo, hi): each sample index i
+// draws Corner(i), installs its per-tier delay scales on a pooled Timer
+// and runs a full STA pass, returning the per-sample critical paths in
+// index order. Because corners are index-addressed and results land at
+// their input index, the returned slice is deep-equal at any worker
+// width — callers may split [0, N) into any batch sequence (the serve
+// streaming handler refines quantiles per batch) without changing a
+// single value.
+func (e *Engine) CriticalPaths(st *exec.Settings, lo, hi int) ([]float64, error) {
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("vary: bad sample window [%d, %d): %w", lo, hi, errs.ErrBadSpec)
+	}
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	samples := st.Metrics.Counter("vary.samples")
+	hist := st.Metrics.Histogram("vary.critpath.seconds", critPathBounds...)
+	return exec.MapWith(st, idx, func(_ context.Context, _ int, sample int) (float64, error) {
+		t := e.timers.Get().(*sta.Timer)
+		defer e.timers.Put(t)
+		c := e.sampler.Corner(sample)
+		t.SetTierDelayScale(c.TierScale[:])
+		rep, err := t.Analyze(analyzePeriodS)
+		if err != nil {
+			return 0, fmt.Errorf("vary: sample %d: %w", sample, err)
+		}
+		samples.Add(1)
+		hist.Observe(rep.CriticalPathS)
+		return rep.CriticalPathS, nil
+	})
+}
+
+// Curve evaluates the timing-yield curve P(critical path ≤ T) for each
+// period: the empirical fraction of corners meeting timing. Monotone
+// non-decreasing in T by construction.
+func Curve(critPathS []float64, periods []float64) []YieldPoint {
+	out := make([]YieldPoint, len(periods))
+	for i, T := range periods {
+		met := 0
+		for _, c := range critPathS {
+			if c <= T {
+				met++
+			}
+		}
+		y := 0.0
+		if len(critPathS) > 0 {
+			y = float64(met) / float64(len(critPathS))
+		}
+		out[i] = YieldPoint{PeriodS: T, Yield: y}
+	}
+	return out
+}
+
+// DefaultPeriods spans the yield transition around a nominal critical
+// path: 25 evenly spaced clock periods from 0.90× to 1.50× nominal,
+// covering both the fast corners that still meet an aggressive clock and
+// the slow tail that needs guard-band.
+func DefaultPeriods(nominalS float64) []float64 {
+	const n = 25
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = nominalS * (0.90 + 0.60*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// Analyze runs a full Monte-Carlo yield analysis: o.Samples corners
+// through per-corner STA, the yield curve over o.Periods (DefaultPeriods
+// around nominal when empty), and the critical-path quantile band. The
+// result is deep-equal at any worker width for a fixed seed.
+func (e *Engine) Analyze(o Options, opts ...exec.Option) (*Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	st := exec.Resolve(opts...)
+	if st.Label == "" {
+		st.Label = "vary.sample"
+	}
+	crit, err := e.CriticalPaths(st, 0, o.Samples)
+	if err != nil {
+		return nil, err
+	}
+	periods := o.Periods
+	if len(periods) == 0 {
+		periods = DefaultPeriods(e.nominal.CriticalPathS)
+	}
+	return &Result{
+		Nominal:       e.nominal,
+		CritPathS:     crit,
+		Curve:         Curve(crit, periods),
+		CritQuantiles: QuantilesOf(crit),
+	}, nil
+}

@@ -28,6 +28,7 @@ import (
 	"m3d/internal/serve"
 	"m3d/internal/tech"
 	"m3d/internal/thermal"
+	"m3d/internal/vary"
 	"m3d/internal/workload"
 )
 
@@ -70,7 +71,19 @@ const (
 	TierSiCMOS = tech.TierSiCMOS
 	TierRRAM   = tech.TierRRAM
 	TierCNFET  = tech.TierCNFET
+	// NumTiers is the number of device tiers — the length of per-tier
+	// parameter arrays such as VariationCorner.TierScale.
+	NumTiers = tech.NumTiers
 )
+
+// Variation is the inter-tier process variation model (per-tier σ,
+// systematic CNFET Vt shift, ILV resistance spread, tier correlation);
+// attach one to a PDK with its WithVariation method.
+type Variation = tech.Variation
+
+// DefaultVariation returns the stock corner model the yield surfaces
+// fall back to.
+func DefaultVariation() Variation { return tech.DefaultVariation() }
 
 // Default130 returns the default 130 nm foundry M3D PDK model.
 func Default130() *PDK { return tech.Default130() }
@@ -120,6 +133,10 @@ type (
 	Result = analytic.Result
 	// SweepPoint is one Fig. 8 (CS count × bandwidth) grid cell.
 	SweepPoint = analytic.SweepPoint
+	// DesignPoint selects one combined Case 1 × Case 3 design — δ,
+	// interleaved tier pairs, bandwidth scale — for objective
+	// extraction (DSE evaluation, VariationEDPBand).
+	DesignPoint = analytic.DesignPoint
 )
 
 // Evaluate applies Eqs. 1-8 to one load.
@@ -313,7 +330,8 @@ func RunFlowCaseStudy(p *PDK, scale SoCSpec, numCS int, opts ...Option) (*FlowRe
 // into the pool, sentinel→status error mapping and graceful drain.
 type (
 	// Service is the evaluation HTTP handler (an http.Handler serving
-	// /healthz, /metrics, /v1/sweep, /v1/flow, /v1/batch, /v1/dse).
+	// /healthz, /metrics, /v1/sweep, /v1/flow, /v1/batch, /v1/dse,
+	// /v1/yield).
 	Service = serve.Server
 	// ServiceConfig configures a Service (PDK, pool width, admission
 	// capacity, per-request deadline, observability sinks).
@@ -337,6 +355,13 @@ type (
 	ServiceDSERequest   = serve.DSERequest
 	ServiceDSEUpdate    = serve.DSEUpdate
 	ServiceDSEPromotion = serve.DSEPromotion
+	// ServiceYieldRequest / ServiceYieldUpdate are the /v1/yield body
+	// and the streamed reply-array element (a per-batch refinement of
+	// the yield curve and critical-path quantiles);
+	// ServiceVariationSpec is the request's wire-form variation model.
+	ServiceYieldRequest  = serve.YieldRequest
+	ServiceYieldUpdate   = serve.YieldUpdate
+	ServiceVariationSpec = serve.VariationSpec
 )
 
 // NewService returns an evaluation HTTP handler; mount it on any
@@ -447,6 +472,63 @@ func ExploreDesignSpace(p *PDK, space DSESpace, opt DSEOptions, onUpdate func(DS
 // compared to (see EXPERIMENTS.md).
 func BruteForceDesignSpace(p *PDK, space DSESpace, opts ...Option) (*DSEResult, error) {
 	return dse.BruteForce(p, space, opts...)
+}
+
+// Inter-tier process variation and Monte-Carlo timing yield
+// (internal/vary; DESIGN.md §15): seeded, sample-indexed corner draws
+// over the per-tier Variation model, thousands of re-timed STA runs
+// through reusable timers, timing-yield curves P(slack ≥ 0) vs clock
+// period, and variation-aware EDP quantile bands. Deterministic at any
+// worker width; POST /v1/yield is the served twin with streamed
+// per-batch quantile refinement.
+type (
+	// VariationSampler draws correlated per-tier corner samples from a
+	// seeded stream; sample i is the same at any worker width.
+	VariationSampler = vary.Sampler
+	// VariationCorner is one drawn corner: per-tier delay scale factors
+	// indexed by Tier.
+	VariationCorner = vary.Corner
+	// YieldEngine re-times one placed-and-routed design under sampled
+	// corners (a reusable timer pool over the shared netlist).
+	YieldEngine = vary.Engine
+	// YieldOptions tune one Monte-Carlo yield analysis (sample count,
+	// seed, clock periods).
+	YieldOptions = vary.Options
+	// YieldResult is the full analysis: nominal report, per-sample
+	// critical paths, the yield curve and the quantile band.
+	YieldResult = vary.Result
+	// YieldPoint is one yield-curve sample: P(critical path ≤ period).
+	YieldPoint = vary.YieldPoint
+	// Quantiles is a p5/p50/p95 band (critical paths, EDP benefits).
+	Quantiles = vary.Quantiles
+)
+
+// MaxYieldSamples bounds one Monte-Carlo yield run.
+const MaxYieldSamples = vary.MaxSamples
+
+var (
+	// NewVariationSampler validates the variation model and returns a
+	// seeded corner sampler (invalid models match ErrBadSpec).
+	NewVariationSampler = vary.NewSampler
+	// QuantilesOf computes the nearest-rank p5/p50/p95 band of xs.
+	QuantilesOf = vary.QuantilesOf
+	// YieldCurve folds per-sample critical paths into P(meets period)
+	// per clock period.
+	YieldCurve = vary.Curve
+	// DefaultYieldPeriods spans 0.90×–1.50× the nominal critical path.
+	DefaultYieldPeriods = vary.DefaultPeriods
+	// VariationEDPSamples / VariationEDPBand evaluate the Sec. III EDP
+	// benefit of one design point under n sampled corners.
+	VariationEDPSamples = vary.EDPSamples
+	VariationEDPBand    = vary.EDPBand
+)
+
+// NewYieldEngine builds a Monte-Carlo timing-yield engine over a
+// completed flow run's design database (netlist and routes), sampling
+// corners from v with the given seed.
+func NewYieldEngine(res *FlowResult, v Variation, seed int64) (*YieldEngine, error) {
+	pdk, nl, routes := res.Design()
+	return vary.NewEngine(pdk, nl, routes, v, seed)
 }
 
 // Thermal modeling (Eq. 17).

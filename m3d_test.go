@@ -1,6 +1,9 @@
 package m3d
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 // TestPublicAPI exercises the re-exported surface end to end: a downstream
 // user's first session with the library.
@@ -101,6 +104,60 @@ func TestPublicAPI(t *testing.T) {
 	}
 	if top := DSETopK(dres.Frontier, 1); len(top) != 1 {
 		t.Errorf("DSETopK: %d points", len(top))
+	}
+
+	// Inter-tier variation + Monte-Carlo timing yield.
+	if _, err := NewVariationSampler(Variation{SiDriveSigma: 2}, 1); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("oversized σ must match ErrBadSpec, got %v", err)
+	}
+	smp, err := NewVariationSampler(DefaultVariation(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := smp.Corner(7); c != smp.Corner(7) || len(c.TierScale) != int(NumTiers) {
+		t.Error("corner draws must be index-deterministic across tiers")
+	}
+	nomSmp, err := NewVariationSampler(Variation{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range nomSmp.Corner(3).TierScale {
+		if s != 1.0 {
+			t.Errorf("σ=0 corner scale = %v, want exactly 1", s)
+		}
+	}
+	band, err := VariationEDPBand(params, am, []Load{{F0: 256e6, D0: 1e6, NPart: 64}},
+		DesignPoint{Delta: 1, TierPairs: 1, BWScale: 1}, smp, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(band.P5 <= band.P50 && band.P50 <= band.P95) {
+		t.Errorf("EDP band out of order: %+v", band)
+	}
+	fres, err := RunFlow(pdk, SoCSpec{Style: Style3D, NumCS: 1, ArrayRows: 2, ArrayCols: 2,
+		RRAMCapBits: 1 << 23, Banks: 1, GlobalSRAMBits: 65536, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewYieldEngine(fres, DefaultVariation(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yres, err := eng.Analyze(YieldOptions{Samples: 64}, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(yres.CritPathS) != 64 || len(yres.Curve) != len(DefaultYieldPeriods(yres.Nominal.CriticalPathS)) {
+		t.Errorf("yield run shape off: %d samples, %d curve points", len(yres.CritPathS), len(yres.Curve))
+	}
+	for i := 1; i < len(yres.Curve); i++ {
+		if yres.Curve[i].Yield < yres.Curve[i-1].Yield {
+			t.Error("yield curve must be monotone in period")
+		}
+	}
+	q := QuantilesOf(yres.CritPathS)
+	if !(q.P5 <= q.P50 && q.P50 <= q.P95) {
+		t.Errorf("critical-path quantiles out of order: %+v", q)
 	}
 
 	// Experiment entry points return data.

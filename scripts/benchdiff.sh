@@ -31,7 +31,8 @@ BENCHDIR="bench"
 TRACKED="BenchmarkCacheChurnLRU BenchmarkCacheHitLRU BenchmarkCacheHitLRUParallel \
 BenchmarkCacheHitUnbounded BenchmarkSweepSerial BenchmarkSweepParallelCached \
 BenchmarkSweepCached BenchmarkRunFlowReduced BenchmarkRouteNets \
-BenchmarkRouteNetsParallel BenchmarkSTAFullTiming BenchmarkOptimizeDrivesIncremental"
+BenchmarkRouteNetsParallel BenchmarkSTAFullTiming BenchmarkOptimizeDrivesIncremental \
+BenchmarkMonteCarloSTA"
 
 mkdir -p "$BENCHDIR"
 RAW="$(mktemp)"
@@ -61,6 +62,7 @@ run_bench "serve cached path" 'BenchmarkSweepCached' "$BENCHTIME" ./internal/ser
 run_bench "flow pipeline (reduced)" 'BenchmarkRunFlowReduced$' 1x ./internal/flow/
 run_bench "router (serial + parallel)" 'BenchmarkRouteNets(Parallel)?$' "$BENCHTIME" ./internal/route/
 run_bench "sta full + incremental" 'Benchmark(STAFullTiming|OptimizeDrivesIncremental)$' "$BENCHTIME" ./internal/sta/
+run_bench "variation mc sta" 'BenchmarkMonteCarloSTA$' "$BENCHTIME" ./internal/vary/
 
 # Every tracked benchmark must have produced at least one result line.
 for name in $TRACKED; do

@@ -23,7 +23,7 @@ echo "== concurrency equivalence suite (race + shuffle) =="
 # The speculative parallel router and the incremental STA are pinned
 # against their serial/full oracles; -shuffle and -count=2 shake out
 # order dependence and stale-scratch bugs between repeated runs.
-go test -race -shuffle=on -count=2 -timeout 45m ./internal/route/ ./internal/sta/ ./internal/flow/
+go test -race -shuffle=on -count=2 -timeout 45m ./internal/route/ ./internal/sta/ ./internal/flow/ ./internal/vary/
 
 echo "== obs golden + trace schema =="
 go test ./internal/obs/ ./internal/report/ ./cmd/m3dreport/
@@ -53,11 +53,20 @@ echo "== dse smoke =="
 # non-dominated, and converge with the pinned grid totals.
 ./scripts/dsesmoke.sh
 
+echo "== yield smoke =="
+# Boot cmd/m3dserve once more and stream one pinned /v1/yield
+# Monte-Carlo run: sample counts must strictly increase, quantile
+# bands stay ordered, yield curves stay monotone in period, and the
+# server must drain gracefully.
+./scripts/yieldsmoke.sh
+
 echo "== invariant suite =="
 # Property-based guarantees of the Sec. III model (randomized seeded
-# draws) and the paper's headline EDP band, end to end.
+# draws), the paper's headline EDP band, and the inter-tier variation
+# sampler (yield monotonicity, quantile order, correlation collapse).
 go test -run 'TestInvariant' -count=1 ./internal/analytic/
 go test -run 'TestHeadline' -count=1 ./internal/core/
+go test -run 'TestInvariant' -count=1 ./internal/vary/
 
 echo "== fuzz smoke (${FUZZTIME}/target) =="
 for pkg in verilog def lef liberty; do
@@ -69,6 +78,7 @@ go test -fuzz=FuzzSweepRequest -fuzztime="$FUZZTIME" ./internal/serve/
 go test -fuzz=FuzzBatchRequest -fuzztime="$FUZZTIME" ./internal/serve/
 go test -fuzz=FuzzDSERequest -fuzztime="$FUZZTIME" ./internal/serve/
 go test -fuzz=FuzzJobsRequest -fuzztime="$FUZZTIME" ./internal/serve/
+go test -fuzz=FuzzYieldRequest -fuzztime="$FUZZTIME" ./internal/serve/
 
 echo "== profile harness smoke =="
 # The `make profile` pipeline must keep producing parseable pprof

@@ -1,0 +1,9 @@
+#!/bin/sh
+# yieldsmoke.sh — end-to-end gate for the POST /v1/yield streaming
+# endpoint: boots cmd/m3dserve on an ephemeral port, streams one pinned
+# Monte-Carlo timing-yield run and checks the refinement invariants
+# (strictly increasing sample counts, ordered p5/p50/p95 bands, yield
+# curve monotone in period, single trailing done element), then
+# requires a graceful drain. Run from the repo root.
+set -eu
+exec go run ./scripts/yieldsmoke "$@"

@@ -1,0 +1,224 @@
+// Command yieldsmoke is the check.sh gate for POST /v1/yield: it
+// builds cmd/m3dserve, boots it on an ephemeral port, streams one
+// pinned Monte-Carlo timing-yield run over real HTTP, and checks the
+// refinement invariants end to end through the compiled binary — a
+// well-formed chunked JSON array whose non-final elements carry
+// strictly increasing sample counts, an ordered p5 ≤ p50 ≤ p95
+// critical-path band in every element, a yield curve monotone
+// non-decreasing in clock period, and a single done=true element last
+// that repeats the converged sample total. Then SIGTERMs the server
+// and insists on a clean drain.
+//
+// Run from the repo root (check.sh does):
+//
+//	go run ./scripts/yieldsmoke
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"m3d/internal/vary"
+)
+
+const (
+	startDeadline = 30 * time.Second
+	drainDeadline = 20 * time.Second
+)
+
+// yieldBody mirrors the serve suite's pinned stream request: a small
+// M3D design, 96 corners refined in batches of 32 → three refinement
+// elements plus the final done element.
+const yieldBody = `{"flow":{"style":"M3D","num_cs":1,"array_rows":2,"array_cols":2,"rram_cap_mb":1,"banks":1,"global_sram_bits":65536,"seed":1},"samples":96,"batch":32,"seed":7}`
+
+// update is the wire shape of one stream element (serve.YieldUpdate).
+type update struct {
+	Samples          int               `json:"samples"`
+	NominalCritPathS float64           `json:"nominal_crit_path_s"`
+	NominalFmaxHz    float64           `json:"nominal_fmax_hz"`
+	Curve            []vary.YieldPoint `json:"curve"`
+	CritQuantiles    vary.Quantiles    `json:"crit_quantiles"`
+	Done             bool              `json:"done"`
+	Error            string            `json:"error"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("yieldsmoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("yield smoke ok: streamed refinement monotone, bands ordered, curve monotone + graceful drain")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "yieldsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	// A real binary, as in servesmoke: SIGTERM must reach the server
+	// itself, not a go-run parent.
+	bin := filepath.Join(tmp, "m3dserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/m3dserve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build m3dserve: %w", err)
+	}
+
+	srv := exec.Command(bin, "-addr", "localhost:0", "-drain", "10s")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	var stderr bytes.Buffer
+	srv.Stderr = &stderr
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if srv.ProcessState == nil {
+			srv.Process.Kill()
+			srv.Wait()
+		}
+	}()
+
+	addr, err := listenAddr(stdout)
+	if err != nil {
+		return err
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/yield", "application/json", strings.NewReader(yieldBody))
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/v1/yield: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		return fmt.Errorf("/v1/yield: Content-Type %q, want application/json", ct)
+	}
+	if err := checkStream(body); err != nil {
+		return fmt.Errorf("/v1/yield stream: %w\nbody:\n%s", err, body)
+	}
+
+	// SIGTERM → graceful drain → exit 0.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("server exit after SIGTERM: %w\nstderr:\n%s", err, stderr.Bytes())
+		}
+	case <-time.After(drainDeadline):
+		srv.Process.Kill()
+		return fmt.Errorf("server did not drain within %s\nstderr:\n%s", drainDeadline, stderr.Bytes())
+	}
+	return nil
+}
+
+// checkStream enforces the /v1/yield refinement invariants on the
+// full body.
+func checkStream(body []byte) error {
+	var updates []update
+	if err := json.Unmarshal(body, &updates); err != nil {
+		return fmt.Errorf("not a JSON array: %w", err)
+	}
+	// 96 samples at batch 32 → 3 refinements + the done element.
+	if len(updates) != 4 {
+		return fmt.Errorf("got %d elements, want 4", len(updates))
+	}
+	prev := 0
+	for i, u := range updates {
+		if u.Error != "" {
+			return fmt.Errorf("element %d carries an in-band error: %s", i, u.Error)
+		}
+		if u.Done != (i == len(updates)-1) {
+			return fmt.Errorf("element %d: done flag misplaced", i)
+		}
+		if u.Done {
+			if u.Samples != prev {
+				return fmt.Errorf("done element samples %d != final refinement %d", u.Samples, prev)
+			}
+		} else {
+			if u.Samples <= prev {
+				return fmt.Errorf("element %d: samples %d not increasing past %d", i, u.Samples, prev)
+			}
+			prev = u.Samples
+		}
+		if u.NominalCritPathS <= 0 || u.NominalFmaxHz <= 0 {
+			return fmt.Errorf("element %d: nominal timing missing", i)
+		}
+		q := u.CritQuantiles
+		if !(q.P5 <= q.P50 && q.P50 <= q.P95) {
+			return fmt.Errorf("element %d: quantile band out of order: %+v", i, q)
+		}
+		if len(u.Curve) == 0 {
+			return fmt.Errorf("element %d: empty yield curve", i)
+		}
+		for j := 1; j < len(u.Curve); j++ {
+			if u.Curve[j].PeriodS <= u.Curve[j-1].PeriodS {
+				return fmt.Errorf("element %d: curve periods not increasing at %d", i, j)
+			}
+			if u.Curve[j].Yield < u.Curve[j-1].Yield {
+				return fmt.Errorf("element %d: yield fell with a longer period at %d", i, j)
+			}
+		}
+	}
+	if final := updates[len(updates)-1]; final.Samples != 96 {
+		return fmt.Errorf("final samples %d, want 96", final.Samples)
+	}
+	return nil
+}
+
+// listenAddr reads the server's "listening on <addr>" banner.
+func listenAddr(stdout io.Reader) (string, error) {
+	type line struct {
+		text string
+		err  error
+	}
+	ch := make(chan line, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			ch <- line{text: sc.Text()}
+			for sc.Scan() {
+			}
+			return
+		}
+		ch <- line{err: fmt.Errorf("server stdout closed before banner: %v", sc.Err())}
+	}()
+	select {
+	case l := <-ch:
+		if l.err != nil {
+			return "", l.err
+		}
+		addr, ok := strings.CutPrefix(l.text, "listening on ")
+		if !ok {
+			return "", fmt.Errorf("unexpected banner %q", l.text)
+		}
+		return addr, nil
+	case <-time.After(startDeadline):
+		return "", fmt.Errorf("server did not announce a listen address within %s", startDeadline)
+	}
+}
