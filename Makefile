@@ -4,7 +4,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check vet build test race race-equiv fuzz bench benchdiff invariants report serve serve-smoke dse-smoke jobs-smoke yield-smoke profile profilecheck
+.PHONY: check vet build test race race-equiv fuzz bench benchdiff invariants report serve serve-smoke dse-smoke jobs-smoke yield-smoke profile profile-yield profilecheck
 
 check:
 	FUZZTIME=$(FUZZTIME) ./scripts/check.sh
@@ -22,12 +22,13 @@ race:
 	$(GO) test -race ./...
 
 # The concurrency equivalence suite: differential oracles for the
-# speculative parallel router and the incremental STA, shuffled and
-# repeated under the race detector.
+# speculative parallel router, the incremental STA, the corner-batched
+# STA, and the wavefront-parallel placer, shuffled and repeated under
+# the race detector.
 # -timeout: the flow suite alone runs ~8 min under -race on one core,
 # so count=2 overruns go test's 10m default.
 race-equiv:
-	$(GO) test -race -shuffle=on -count=2 -timeout 45m ./internal/route/ ./internal/sta/ ./internal/flow/ ./internal/vary/
+	$(GO) test -race -shuffle=on -count=2 -timeout 45m ./internal/route/ ./internal/sta/ ./internal/flow/ ./internal/vary/ ./internal/place/
 
 fuzz:
 	for pkg in verilog def lef liberty; do \
@@ -65,6 +66,18 @@ profile:
 		-o prof/flow.test ./internal/flow/
 	$(GO) tool pprof -top -nodecount 15 prof/flow.test prof/cpu.out
 	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_objects prof/flow.test prof/mem.out
+
+# CPU + heap profile of a 4096-corner Monte-Carlo yield run through the
+# corner-batched STA kernel. Writes prof/yield_cpu.out, prof/yield_mem.out
+# and prints the top entries; dig deeper with
+#   go tool pprof prof/vary.test prof/yield_cpu.out
+profile-yield:
+	mkdir -p prof
+	$(GO) test -run '^$$' -bench 'BenchmarkMonteCarloYield4096$$' -benchtime 3x -benchmem \
+		-cpuprofile prof/yield_cpu.out -memprofile prof/yield_mem.out \
+		-o prof/vary.test ./internal/vary/
+	$(GO) tool pprof -top -nodecount 15 prof/vary.test prof/yield_cpu.out
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_objects prof/vary.test prof/yield_mem.out
 
 # Smoke the profiling harness (part of `make check`).
 profilecheck:

@@ -284,6 +284,7 @@ func sweepDeltaVariation(p *tech.PDK, rows []core.Fig10Row, vf *variationFlags) 
 	if err != nil {
 		log.Fatal(err)
 	}
+	sampler.Prime(*vf.samples)
 	tb := report.New(
 		fmt.Sprintf("Case 1 under inter-tier variation (%d corners, seed %d)",
 			*vf.samples, *vf.seed),

@@ -9,8 +9,10 @@
 // The request mix is seeded and deterministic (-mix, -distinct, -seed):
 // "sweep" items cycle a small set of distinct cached sweep bodies (each
 // evaluates once, then memoizes — and on a fleet, shards to its owner),
-// "flow" items replay one small cached flow, "health" items probe
-// GET /healthz. Responses are classified as ok (2xx), shed (429 —
+// "flow" items replay one small cached flow, "yield" items stream a
+// 256-corner Monte-Carlo timing-yield run over the same cached design
+// (the steady-state cost is the corner-batched STA kernel), "health"
+// items probe GET /healthz. Responses are classified as ok (2xx), shed (429 —
 // backpressure, allowed), or errors; transport failures and 503s fail
 // over to the next target in the list and only count as errors once
 // every target has refused.
@@ -156,12 +158,21 @@ func buildMix(mix string, distinct int) ([]workItem, error) {
 				body:   `{"style":"2D","num_cs":1,"array_rows":2,"array_cols":2,"rram_cap_mb":1,"banks":1,"global_sram_bits":65536}`,
 				weight: weight,
 			})
+		case "yield":
+			// Monte-Carlo timing yield on the same small cached design:
+			// the flow build memoizes after one evaluation, so the steady
+			// state measures the corner-batched STA kernel plus streaming.
+			items = append(items, workItem{
+				name: "yield", method: http.MethodPost, path: "/v1/yield",
+				body:   `{"flow":{"style":"2D","num_cs":1,"array_rows":2,"array_cols":2,"rram_cap_mb":1,"banks":1,"global_sram_bits":65536},"samples":256,"batch":128,"seed":7}`,
+				weight: weight,
+			})
 		case "health":
 			items = append(items, workItem{
 				name: "health", method: http.MethodGet, path: "/healthz", weight: weight,
 			})
 		default:
-			return nil, fmt.Errorf("mix entry %q: unknown kind (want sweep, flow or health)", part)
+			return nil, fmt.Errorf("mix entry %q: unknown kind (want sweep, flow, yield or health)", part)
 		}
 	}
 	if len(items) == 0 {

@@ -439,6 +439,8 @@ func newEvaluator(pdk *tech.PDK, space Space, cache *PointCache, reg *obs.Regist
 		if sampler, err = vary.NewSampler(pdk.Variation, varySeed); err != nil {
 			return nil, err
 		}
+		// Every point evaluation reuses the same corners; draw them once.
+		sampler.Prime(varySamples)
 	}
 	return &evaluator{
 		space:  space,

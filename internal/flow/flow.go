@@ -601,7 +601,7 @@ func runWith(ctx context.Context, st *exec.Settings, p *tech.PDK, spec SoCSpec) 
 		}
 		if err = fp.PackMacros3D(nl.MacroInstances()); err == nil {
 			for _, tier := range tiers {
-				if _, err = place.Global(fp, nl, tier, place.Options{Seed: spec.Seed}); err != nil {
+				if _, err = place.Global(fp, nl, tier, place.Options{Seed: spec.Seed, Workers: st.Workers}); err != nil {
 					break
 				}
 			}

@@ -1,0 +1,142 @@
+package place
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"m3d/internal/netlist"
+)
+
+// The attraction loop in Global is a Gauss-Seidel sweep: cell i's move
+// reads the LIVE positions of its net neighbours, so cells earlier in
+// the sweep are seen post-move and later cells pre-move. Naive tiling
+// would change which neighbours are seen updated and move the goldens.
+//
+// The wavefront scheduler parallelizes the sweep EXACTLY instead:
+// level[i] = 1 + max(level[j]) over attraction neighbours j < i (in
+// sweep order), computed once per Global call from the topology alone.
+// Running levels in ascending order with a barrier between them gives
+// every cell the serial sweep's exact read set:
+//
+//   - a neighbour j < i has level[j] < level[i], so j's move committed
+//     in an earlier level — seen updated, as in the serial sweep;
+//   - a neighbour k > i has level[k] > level[i] (the rule above forces
+//     it, since i is one of k's earlier neighbours), so k has not moved
+//     yet — seen pre-move, as in the serial sweep;
+//   - cells sharing a level are pairwise non-adjacent, so their moves
+//     neither race (each writes only its own Pos) nor read each other.
+//
+// Order within a level is therefore irrelevant and the result is
+// bit-identical to the serial sweep at any worker count — which is how
+// flow/equiv_test.go's DEF/GDS goldens survive placement parallelism
+// untouched.
+//
+// Only the attraction sweep parallelizes this way. spread() and Refine
+// stay serial by design: both consume a sequential RNG stream whose
+// draw count depends on earlier outcomes (spread draws per moved cell,
+// the annealer's accept test draws conditionally), so any reordering
+// changes the stream and the goldens with it. See DESIGN.md §16.
+
+// minParallelCells gates the wavefront: below this the schedule build
+// and per-level barriers cost more than the sweep.
+const minParallelCells = 256
+
+// wavefrontGrain is the chunk of same-level cells one dispatch claims.
+const wavefrontGrain = 64
+
+// wavefront is the level schedule of one Global call's attraction sweep.
+type wavefront struct {
+	levels  [][]*netlist.Instance
+	workers int
+}
+
+// newWavefront builds the level schedule for cells (Global's movable set
+// in sweep order). numInstances sizes the Instance.ID index. Returns nil
+// when the serial sweep is the better plan.
+func newWavefront(cells []*netlist.Instance, numInstances, workers int) *wavefront {
+	if workers < 2 || len(cells) < minParallelCells {
+		return nil
+	}
+	idxOf := make([]int32, numInstances)
+	for i := range idxOf {
+		idxOf[i] = -1
+	}
+	for i, c := range cells {
+		idxOf[c.ID] = int32(i)
+	}
+	level := make([]int32, len(cells))
+	var maxLvl int32
+	for i, c := range cells {
+		var lv int32
+		consider := func(other *netlist.Pin) {
+			// Neighbours outside the movable sweep set (fixed cells,
+			// macros, other tiers) hold still all sweep — no edge.
+			j := idxOf[other.Inst.ID]
+			if j >= 0 && int(j) < i && level[j]+1 > lv {
+				lv = level[j] + 1
+			}
+		}
+		for _, pin := range c.Pins() {
+			// Exactly the nets the attraction body reads positions
+			// through; any other net cannot carry a dependency.
+			net := pin.Net
+			if net == nil || net.Clock || len(net.Sinks)+1 > maxFanoutForForces {
+				continue
+			}
+			if net.Driver != nil {
+				consider(net.Driver)
+			}
+			for _, other := range net.Sinks {
+				consider(other)
+			}
+		}
+		level[i] = lv
+		if lv > maxLvl {
+			maxLvl = lv
+		}
+	}
+	w := &wavefront{levels: make([][]*netlist.Instance, maxLvl+1), workers: workers}
+	for i, c := range cells {
+		w.levels[level[i]] = append(w.levels[level[i]], c)
+	}
+	return w
+}
+
+// run applies f to every cell, level by level. Small levels run inline;
+// large ones fan out over the workers with chunked atomic dispatch.
+func (w *wavefront) run(f func(*netlist.Instance)) {
+	for _, lvl := range w.levels {
+		if len(lvl) < 2*wavefrontGrain {
+			for _, c := range lvl {
+				f(c)
+			}
+			continue
+		}
+		nw := w.workers
+		if m := (len(lvl) + wavefrontGrain - 1) / wavefrontGrain; nw > m {
+			nw = m
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < nw; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					lo := int(next.Add(wavefrontGrain)) - wavefrontGrain
+					if lo >= len(lvl) {
+						return
+					}
+					hi := lo + wavefrontGrain
+					if hi > len(lvl) {
+						hi = len(lvl)
+					}
+					for _, c := range lvl[lo:hi] {
+						f(c)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

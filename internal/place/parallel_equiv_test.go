@@ -1,0 +1,133 @@
+package place
+
+import (
+	"testing"
+
+	"m3d/internal/geom"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+// globalPositions runs Global on a fresh fixture at the given width and
+// returns every movable cell's final position in netlist order (the two
+// fixtures of one comparison are built identically, so order aligns).
+func globalPositions(t testing.TB, rows, cols, workers int) (Result, []geom.Point) {
+	t.Helper()
+	fx := newFixture(t, rows, cols)
+	res, err := Global(fx.fp, fx.nl, tech.TierSiCMOS, Options{Seed: 7, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLegal(fx.fp, fx.nl, tech.TierSiCMOS); err != nil {
+		t.Fatalf("workers %d: placement not legal: %v", workers, err)
+	}
+	cells := movableOn(fx.nl, tech.TierSiCMOS)
+	pos := make([]geom.Point, len(cells))
+	for i, c := range cells {
+		pos[i] = c.Pos
+	}
+	return res, pos
+}
+
+// TestGlobalParallelMatchesSerial is the placement half of the perf
+// pass's oracle suite: the wavefront-parallel attraction sweep must
+// reproduce the serial placer cell-for-cell at widths 2 and 8. The 2×2
+// fixture covers the all-inline schedule (every level under the fan-out
+// grain); the 4×4 fixture has levels wide enough to actually fan out.
+func TestGlobalParallelMatchesSerial(t *testing.T) {
+	for _, sz := range []struct{ rows, cols int }{{2, 2}, {4, 4}} {
+		ref, want := globalPositions(t, sz.rows, sz.cols, 1)
+		for _, workers := range []int{2, 8} {
+			res, got := globalPositions(t, sz.rows, sz.cols, workers)
+			if res != ref {
+				t.Fatalf("%dx%d workers %d: result %+v != serial %+v", sz.rows, sz.cols, workers, res, ref)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%dx%d workers %d: %d cells != serial %d", sz.rows, sz.cols, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%dx%d workers %d: cell %d at %v, serial placed it at %v",
+						sz.rows, sz.cols, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWavefrontScheduleInvariants checks the schedule the exactness
+// argument rests on: every sweep cell appears exactly once, and no two
+// cells of one level are attraction neighbours.
+func TestWavefrontScheduleInvariants(t *testing.T) {
+	fx := newFixture(t, 4, 4)
+	cells := movableOn(fx.nl, tech.TierSiCMOS)
+	wf := newWavefront(cells, len(fx.nl.Instances), 8)
+	if wf == nil {
+		t.Fatalf("wavefront unexpectedly nil for %d cells", len(cells))
+	}
+	scheduled := make(map[int]int) // Instance.ID -> level
+	total := 0
+	for lv, lvl := range wf.levels {
+		total += len(lvl)
+		for _, c := range lvl {
+			if prev, dup := scheduled[c.ID]; dup {
+				t.Fatalf("cell %s scheduled at levels %d and %d", c.Name, prev, lv)
+			}
+			scheduled[c.ID] = lv
+		}
+	}
+	if total != len(cells) {
+		t.Fatalf("schedule covers %d cells, sweep has %d", total, len(cells))
+	}
+	for _, c := range cells {
+		for _, pin := range c.Pins() {
+			net := pin.Net
+			if net == nil || net.Clock || len(net.Sinks)+1 > maxFanoutForForces {
+				continue
+			}
+			check := func(other *netlist.Pin) {
+				if other.Inst == c {
+					return
+				}
+				if lv, ok := scheduled[other.Inst.ID]; ok && lv == scheduled[c.ID] {
+					t.Fatalf("neighbours %s and %s share level %d", c.Name, other.Inst.Name, lv)
+				}
+			}
+			if net.Driver != nil {
+				check(net.Driver)
+			}
+			for _, other := range net.Sinks {
+				check(other)
+			}
+		}
+	}
+}
+
+// BenchmarkPlaceGlobal is the serial global-placement baseline on the
+// 8×8 systolic fixture (≈6.3k movable cells).
+func BenchmarkPlaceGlobal(b *testing.B) {
+	fx := newFixture(b, 8, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Global(fx.fp, fx.nl, tech.TierSiCMOS, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlaceGlobalParallel is the benchdiff-tracked wavefront
+// placement cost at width 8 on the same fixture. On a single-core host
+// this measures the schedule + fan-out overhead band over the serial
+// baseline (like BenchmarkRouteNetsParallel); on multi-core hosts the
+// wide levels actually overlap.
+func BenchmarkPlaceGlobalParallel(b *testing.B) {
+	fx := newFixture(b, 8, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Global(fx.fp, fx.nl, tech.TierSiCMOS, Options{Seed: 1, Workers: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -21,7 +21,7 @@ type fixture struct {
 }
 
 // newFixture builds a small systolic design on a die sized for it.
-func newFixture(t *testing.T, rows, cols int) *fixture {
+func newFixture(t testing.TB, rows, cols int) *fixture {
 	t.Helper()
 	p := tech.Default130()
 	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)

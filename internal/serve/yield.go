@@ -192,6 +192,9 @@ func (s *Server) handleYield(ctx context.Context, w http.ResponseWriter, r *http
 	est := exec.Resolve(s.evalOptions(ctx)...)
 	est.Label = "vary.sample"
 	total, batch := req.samples(), req.batch()
+	// Draw every corner once up front: batches then read the cached
+	// prefix instead of re-seeding a generator per corner per batch.
+	eng.Prime(total)
 	crit := make([]float64, 0, total)
 	var st *arrayStream
 	for lo := 0; lo < total; lo += batch {

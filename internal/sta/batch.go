@@ -1,0 +1,261 @@
+package sta
+
+import (
+	"fmt"
+
+	"m3d/internal/cell"
+	"m3d/internal/netlist"
+	"m3d/internal/tech"
+)
+
+// BatchTimer prices K process corners with ONE levelization walk. The
+// Kahn traversal in Timer.Analyze — queue order, pending decrements,
+// seen flags — depends only on the netlist topology, never on delay
+// values, so K corners that differ only in per-tier delay scales share
+// all of that bookkeeping. Arrival times become a structure-of-arrays
+// slab indexed [pin*K + corner]; each arc's corner-independent base
+// delay (netDelayParts) is expanded to K scaled delays once per out-pin
+// visit and applied inside the shared worst-input scan.
+//
+// Corner k of one AnalyzeBatch call is bit-for-bit identical to a
+// serial Timer pass under SetTierDelayScale(scales[k][:]): the per-arc
+// multiply d·scale[tier], the relaxation compare, the >= last-max
+// worst-input tie rule and the endpoint > scan are the same operations
+// on the same operands in the same order. The Monte-Carlo variation
+// engine (internal/vary) relies on this to swap K full graph walks for
+// one without moving a single output bit.
+//
+// Like Timer, a BatchTimer is single-goroutine and the netlist topology
+// must not change between passes; distinct BatchTimers over the same
+// read-only netlist may run concurrently (each owns its WireModel).
+type BatchTimer struct {
+	p  *tech.PDK
+	nl *netlist.Netlist
+	wm *WireModel
+
+	kmax int
+
+	// pendingInit is the static levelization structure (see Timer).
+	pendingInit []int32
+
+	// Per-pass scratch, reused across passes.
+	pending []int32
+	arr     []float64 // [pin*K + corner] arrival slab, K = kmax
+	seen    []bool    // per pin, shared by all corners
+	queue   []*netlist.Instance
+	dk      []float64 // per-corner delay of the arc being relaxed
+	worstIn []float64 // per-corner worst input / worst endpoint scratch
+}
+
+// NewBatchTimer builds a corner-batched timing engine able to price up
+// to maxCorners corners per pass; wm may be nil (pre-route estimates).
+func NewBatchTimer(p *tech.PDK, nl *netlist.Netlist, wm *WireModel, maxCorners int) (*BatchTimer, error) {
+	if maxCorners < 1 {
+		return nil, fmt.Errorf("sta: batch size must be >= 1, got %d", maxCorners)
+	}
+	if wm == nil {
+		wm = NewWireModel(p, nil)
+	}
+	bt := &BatchTimer{
+		p: p, nl: nl, wm: wm,
+		kmax:        maxCorners,
+		pendingInit: make([]int32, len(nl.Instances)),
+		pending:     make([]int32, len(nl.Instances)),
+		arr:         make([]float64, nl.NumPins()*maxCorners),
+		seen:        make([]bool, nl.NumPins()),
+		dk:          make([]float64, maxCorners),
+		worstIn:     make([]float64, maxCorners),
+	}
+	for _, inst := range nl.Instances {
+		var n int32
+		for _, pin := range inst.Pins() {
+			if !pin.IsOutput && pin.Net != nil && !pin.Net.Clock {
+				n++
+			}
+		}
+		bt.pendingInit[inst.ID] = n
+	}
+	return bt, nil
+}
+
+// MaxCorners returns the batch capacity fixed at construction.
+func (bt *BatchTimer) MaxCorners() int { return bt.kmax }
+
+// AnalyzeBatch runs one max-arrival propagation for len(scales) corners
+// at once. scales[k] is corner k's per-tier delay multiplier (indexed by
+// tech.Tier, the SetTierDelayScale convention); critOut[k] receives the
+// corner's critical path in seconds. len(critOut) must equal len(scales)
+// and len(scales) must not exceed MaxCorners. Only the critical path is
+// produced — no slack, trace or Fmax — which is exactly what Monte-Carlo
+// yield consumes per sample.
+func (bt *BatchTimer) AnalyzeBatch(scales [][tech.NumTiers]float64, critOut []float64) error {
+	K := len(scales)
+	if K == 0 {
+		return fmt.Errorf("sta: batch analyze needs at least one corner")
+	}
+	if K > bt.kmax {
+		return fmt.Errorf("sta: batch of %d corners exceeds capacity %d", K, bt.kmax)
+	}
+	if len(critOut) != K {
+		return fmt.Errorf("sta: critOut length %d != batch size %d", len(critOut), K)
+	}
+
+	nl := bt.nl
+	copy(bt.pending, bt.pendingInit)
+	for i := range bt.seen {
+		bt.seen[i] = false
+	}
+	bt.queue = bt.queue[:0]
+	arr, seen, pending := bt.arr, bt.seen, bt.pending
+	dk, worstIn := bt.dk[:K], bt.worstIn[:K]
+
+	// Launch points: same classification as Timer.Analyze. Launch times
+	// (ClkQS, macro access latency) are corner-independent, so all K
+	// lanes of a launch pin carry the same value.
+	for _, inst := range nl.Instances {
+		seq := !inst.IsMacro() && inst.Cell.Sequential
+		mac := inst.IsMacro()
+		tie := !mac && (inst.Cell.Kind == cell.TieHi || inst.Cell.Kind == cell.TieLo)
+		if seq || mac || tie || pending[inst.ID] == 0 {
+			launchT := 0.0
+			if seq {
+				launchT = inst.Cell.ClkQS
+			}
+			if mac {
+				launchT = inst.Macro.AccessLatencyS
+			}
+			for _, pin := range inst.Pins() {
+				if pin.IsOutput {
+					base := pin.ID * K
+					for k := 0; k < K; k++ {
+						arr[base+k] = launchT
+					}
+					seen[pin.ID] = true
+				}
+			}
+			bt.queue = append(bt.queue, inst)
+			pending[inst.ID] = -1
+		}
+	}
+
+	for qi := 0; qi < len(bt.queue); qi++ {
+		inst := bt.queue[qi]
+		for _, out := range inst.Pins() {
+			if !out.IsOutput || out.Net == nil || out.Net.Clock {
+				continue
+			}
+			if !seen[out.ID] {
+				continue
+			}
+			outBase := out.ID * K
+			d, tier, scaled := netDelayParts(bt.wm, out.Net)
+			if scaled {
+				for k := 0; k < K; k++ {
+					dk[k] = d * scales[k][tier]
+				}
+			} else {
+				for k := 0; k < K; k++ {
+					dk[k] = d
+				}
+			}
+			for _, sink := range out.Net.Sinks {
+				sinkBase := sink.ID * K
+				// Timer.Analyze relaxes with `!seen || tSink > arr`; the
+				// seen flag flips identically across corners, so test it
+				// once and run the value compare per lane.
+				if !seen[sink.ID] {
+					for k := 0; k < K; k++ {
+						arr[sinkBase+k] = arr[outBase+k] + dk[k]
+					}
+					seen[sink.ID] = true
+				} else {
+					for k := 0; k < K; k++ {
+						tSink := arr[outBase+k] + dk[k]
+						if tSink > arr[sinkBase+k] {
+							arr[sinkBase+k] = tSink
+						}
+					}
+				}
+				sid := sink.Inst.ID
+				if pending[sid] < 0 {
+					continue // launch point; D pins are endpoints only
+				}
+				pending[sid]--
+				if pending[sid] == 0 {
+					pending[sid] = -1
+					// Worst-input scan: same pin order and the same >=
+					// last-max tie rule as the serial path, one max per
+					// corner lane.
+					for k := 0; k < K; k++ {
+						worstIn[k] = 0
+					}
+					for _, in := range sink.Inst.Pins() {
+						if in.IsOutput || in.Net == nil || in.Net.Clock {
+							continue
+						}
+						if !seen[in.ID] {
+							continue
+						}
+						inBase := in.ID * K
+						for k := 0; k < K; k++ {
+							if arr[inBase+k] >= worstIn[k] {
+								worstIn[k] = arr[inBase+k]
+							}
+						}
+					}
+					for _, op := range sink.Inst.Pins() {
+						if op.IsOutput {
+							copy(arr[op.ID*K:op.ID*K+K], worstIn)
+							seen[op.ID] = true
+						}
+					}
+					bt.queue = append(bt.queue, sink.Inst)
+				}
+			}
+		}
+	}
+
+	// Endpoint scan: DFF D pins (+ setup), macro input pins — the same
+	// order and strict-> compare as Timer.buildReport, minus the trace.
+	worst := worstIn
+	for k := 0; k < K; k++ {
+		worst[k] = 0
+	}
+	endpoints := 0
+	for _, inst := range nl.Instances {
+		seq := !inst.IsMacro() && inst.Cell.Sequential
+		mac := inst.IsMacro()
+		if !seq && !mac {
+			continue
+		}
+		for _, pin := range inst.Pins() {
+			if pin.IsOutput || pin.Net == nil || pin.Net.Clock {
+				continue
+			}
+			if !seen[pin.ID] {
+				continue
+			}
+			endpoints++
+			base := pin.ID * K
+			if seq {
+				setup := inst.Cell.SetupS
+				for k := 0; k < K; k++ {
+					if tEnd := arr[base+k] + setup; tEnd > worst[k] {
+						worst[k] = tEnd
+					}
+				}
+			} else {
+				for k := 0; k < K; k++ {
+					if tEnd := arr[base+k]; tEnd > worst[k] {
+						worst[k] = tEnd
+					}
+				}
+			}
+		}
+	}
+	if endpoints == 0 {
+		return fmt.Errorf("sta: design has no timing endpoints")
+	}
+	copy(critOut, worst)
+	return nil
+}

@@ -17,6 +17,15 @@ import (
 // wire model — the same analysis surface the flow's sign-off stage uses.
 func routedFixture(tb testing.TB, rows, cols int) (*tech.PDK, *netlist.Netlist, *WireModel, *cell.Library) {
 	tb.Helper()
+	p, nl, routes, lib := routedFixtureRoutes(tb, rows, cols)
+	return p, nl, NewWireModel(p, routes), lib
+}
+
+// routedFixtureRoutes is routedFixture exposing the raw routing result,
+// for tests that need one WireModel per goroutine (a WireModel's RC
+// cache makes it single-goroutine).
+func routedFixtureRoutes(tb testing.TB, rows, cols int) (*tech.PDK, *netlist.Netlist, *route.Result, *cell.Library) {
+	tb.Helper()
 	p := tech.Default130()
 	lib, err := cell.NewLibrary(p, tech.TierSiCMOS)
 	if err != nil {
@@ -39,7 +48,7 @@ func routedFixture(tb testing.TB, rows, cols int) (*tech.PDK, *netlist.Netlist, 
 	if err != nil {
 		tb.Fatal(err)
 	}
-	return p, b.NL, NewWireModel(p, routes), lib
+	return p, b.NL, routes, lib
 }
 
 // TestTimingDeterministicAcrossRepeats is the map-iteration-order audit's

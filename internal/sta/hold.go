@@ -179,6 +179,34 @@ func isLaunch(inst *netlist.Instance) bool {
 	return inst.Cell.Sequential
 }
 
+// netDelayParts computes the corner-independent pieces of one net's
+// driver+wire arc delay: the nominal delay d, the driver's implementing
+// tier, and whether a per-tier corner scale applies to the arc at all
+// (driven nets only; const-kind tie cells contribute a hard zero that no
+// corner may stretch). Splitting the arc this way lets the corner-batched
+// BatchTimer price K corners of one arc as d·scale_k[tier] — the exact
+// operand pair the serial path multiplies — without re-walking the RC
+// model per corner.
+func netDelayParts(wm *WireModel, n *netlist.Net) (d float64, tier tech.Tier, scaled bool) {
+	rw, cw := wm.NetRC(n)
+	cTotal := cw + n.SinkCapF()
+	var rd, intrinsic float64
+	tier = tech.TierRRAM
+	if n.Driver != nil && !n.Driver.Inst.IsMacro() {
+		c := n.Driver.Inst.Cell
+		if isConstKind(c) {
+			return 0, tier, false
+		}
+		rd = c.DriveResOhm
+		intrinsic = c.IntrinsicDelayS
+		tier = c.Tier
+	} else if n.Driver != nil {
+		rd = 200
+	}
+	d = intrinsic + 0.69*(rd*cTotal+rw*(cw/2+n.SinkCapF()))
+	return d, tier, n.Driver != nil
+}
+
 // makeNetDelay builds the shared driver+wire delay function. tierScale,
 // when non-nil, multiplies each driven arc by the driver's tier entry
 // (indexed by tech.Tier) — the hook the Monte-Carlo variation engine
@@ -188,23 +216,8 @@ func isLaunch(inst *netlist.Instance) bool {
 // an all-ones scale is bit-for-bit identical to nominal.
 func makeNetDelay(wm *WireModel, tierScale []float64) func(*netlist.Net) float64 {
 	return func(n *netlist.Net) float64 {
-		rw, cw := wm.NetRC(n)
-		cTotal := cw + n.SinkCapF()
-		var rd, intrinsic float64
-		tier := tech.TierRRAM
-		if n.Driver != nil && !n.Driver.Inst.IsMacro() {
-			c := n.Driver.Inst.Cell
-			if isConstKind(c) {
-				return 0
-			}
-			rd = c.DriveResOhm
-			intrinsic = c.IntrinsicDelayS
-			tier = c.Tier
-		} else if n.Driver != nil {
-			rd = 200
-		}
-		d := intrinsic + 0.69*(rd*cTotal+rw*(cw/2+n.SinkCapF()))
-		if tierScale != nil && n.Driver != nil {
+		d, tier, scaled := netDelayParts(wm, n)
+		if tierScale != nil && scaled {
 			d *= tierScale[tier]
 		}
 		return d

@@ -23,6 +23,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"m3d/internal/errs"
 	"m3d/internal/tech"
@@ -47,9 +49,24 @@ type Corner struct {
 // variation parameters, the seed, and i, never on which corners were
 // drawn before — the property that makes Monte-Carlo fan-outs
 // width-deterministic.
+//
+// Because each draw is a pure function of (Variation, seed, i), corners
+// may be cached: Prime(n) precomputes the first n corners once, after
+// which Corner(i) is a slice read. Reseeding the per-draw RNG dominates
+// the cost of a cold draw (~2k generator-warmup steps), so priming is
+// what lets the yield engine and the DSE's per-point EDP bands reuse the
+// same corner stream thousands of times for free.
 type Sampler struct {
 	v    tech.Variation
 	seed uint64
+
+	// primed is the append-only corner cache: an atomically published
+	// prefix of the corner stream. Readers load the current slice
+	// header; Prime extends under mu and publishes a longer prefix.
+	// Cached and freshly drawn corners are bit-identical by
+	// construction, so cache warmth never changes a result.
+	mu     sync.Mutex
+	primed atomic.Pointer[[]Corner]
 }
 
 // NewSampler validates the variation parameters and builds a sampler
@@ -93,7 +110,23 @@ func clampScale(s float64) float64 {
 // limit); at σ=0 every scale is exactly 1.0 (0·z == 0 in IEEE-754), so
 // the corner collapses bit-for-bit onto nominal timing.
 func (s *Sampler) Corner(i int) Corner {
-	rng := rand.New(rand.NewSource(int64(mix(s.seed ^ mix(uint64(i))))))
+	if c := s.primed.Load(); c != nil && i >= 0 && i < len(*c) {
+		return (*c)[i]
+	}
+	return s.drawCorner(rand.New(rand.NewSource(s.cornerSeed(i))), i)
+}
+
+// cornerSeed derives the i-th draw's RNG seed from the sampler seed.
+func (s *Sampler) cornerSeed(i int) int64 {
+	return int64(mix(s.seed ^ mix(uint64(i))))
+}
+
+// drawCorner consumes the fixed four-deviate sequence from rng (already
+// seeded with cornerSeed(i)) and builds the corner. Seeding a reused
+// *rand.Rand via Seed(cornerSeed(i)) produces the identical stream to a
+// fresh rand.New(rand.NewSource(...)), which is what lets Prime batch
+// draws without an allocation per corner — or a bit of divergence.
+func (s *Sampler) drawCorner(rng *rand.Rand, i int) Corner {
 	z0 := rng.NormFloat64()
 	rho := s.v.TierCorr
 	idio := math.Sqrt(1 - rho*rho)
@@ -107,6 +140,51 @@ func (s *Sampler) Corner(i int) Corner {
 	c.TierScale[tech.TierRRAM] = clampScale(1 + s.v.ILVRSpread*zRRAM)
 	c.TierScale[tech.TierCNFET] = clampScale(1 + s.v.CNFETVtShift + s.v.CNFETDriveSigma*zCN)
 	return c
+}
+
+// Prime extends the corner cache to cover indices [0, n). It is safe to
+// call concurrently with Corner readers (the cache is published
+// atomically and only ever grows) and is idempotent: re-priming a
+// covered prefix is a single atomic load. Callers that know their
+// sample count — the yield engine, serve's streaming handler, the DSE's
+// per-point EDP bands — prime once and turn every later draw into a
+// slice read.
+func (s *Sampler) Prime(n int) {
+	if n > MaxSamples {
+		n = MaxSamples
+	}
+	if n <= 0 {
+		return
+	}
+	if c := s.primed.Load(); c != nil && len(*c) >= n {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var have []Corner
+	if c := s.primed.Load(); c != nil {
+		have = *c
+	}
+	if len(have) >= n {
+		return
+	}
+	out := have
+	if cap(out) < n {
+		// Doubling growth keeps a batch-at-a-time caller (serve streams
+		// corners in request-sized windows) at amortized O(n) copying.
+		newCap := n
+		if newCap < 2*cap(out) {
+			newCap = 2 * cap(out)
+		}
+		out = make([]Corner, len(have), newCap)
+		copy(out, have)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := len(out); i < n; i++ {
+		rng.Seed(s.cornerSeed(i))
+		out = append(out, s.drawCorner(rng, i))
+	}
+	s.primed.Store(&out)
 }
 
 // Quantiles summarizes a Monte-Carlo sample set by its 5th, 50th and

@@ -8,6 +8,7 @@ import (
 	"m3d/internal/errs"
 	"m3d/internal/exec"
 	"m3d/internal/netlist"
+	"m3d/internal/obs"
 	"m3d/internal/route"
 	"m3d/internal/sta"
 	"m3d/internal/tech"
@@ -72,20 +73,38 @@ type Result struct {
 // period works.
 const analyzePeriodS = 1.0
 
+// batchCorners is the engine's internal corner-slab width: every sample
+// window is cut into slabs of this many corners and each slab is priced
+// by ONE sta.BatchTimer graph walk. The slab cut is a fixed function of
+// the sample indices — never of the worker width — and corner i's value
+// is independent of which slab prices it, so results stay bit-identical
+// at any width and across any caller-side window split.
+const batchCorners = 32
+
+// batchScratch is one worker's reusable timing state: a corner-batched
+// timer (with its own WireModel RC cache over the shared read-only
+// netlist and routes) plus the slab's corner-scale staging slice.
+type batchScratch struct {
+	bt     *sta.BatchTimer
+	scales [][tech.NumTiers]float64
+}
+
 // Engine runs Monte-Carlo timing yield over one placed-and-routed
-// netlist. It owns a pool of sta.Timer instances (each with its own
-// WireModel scratch over the shared read-only netlist and routes), so
-// repeated and concurrent sampling reuses the slice-indexed timing
-// machinery instead of rebuilding it per corner. Analyze results are
-// pure in (netlist, corner), so timer reuse — whatever the pool's warmth
-// — never changes a sample's value.
+// netlist. It owns a free list of batchScratch instances — a plain
+// slice-indexed stack, not a sync.Pool, so scratch survives GC cycles,
+// steady-state sampling allocates nothing, and heap profiles of the
+// yield path show the design's timing state once instead of churn.
+// Analyze results are pure in (netlist, corner), so scratch reuse —
+// whatever the stack's warmth — never changes a sample's value.
 type Engine struct {
 	p       *tech.PDK
 	nl      *netlist.Netlist
 	routes  *route.Result
 	sampler *Sampler
 	nominal *sta.Report
-	timers  sync.Pool
+
+	mu   sync.Mutex
+	free []*batchScratch
 }
 
 // NewEngine builds a yield engine for one design. routes may be nil
@@ -98,10 +117,7 @@ func NewEngine(p *tech.PDK, nl *netlist.Netlist, routes *route.Result, v tech.Va
 		return nil, err
 	}
 	e := &Engine{p: p, nl: nl, routes: routes, sampler: s}
-	e.timers.New = func() any {
-		return sta.NewTimer(e.p, e.nl, sta.NewWireModel(e.p, e.routes))
-	}
-	nom, err := e.timers.Get().(*sta.Timer).Analyze(analyzePeriodS)
+	nom, err := sta.Analyze(p, nl, sta.NewWireModel(p, routes), analyzePeriodS)
 	if err != nil {
 		return nil, fmt.Errorf("vary: nominal analysis: %w", err)
 	}
@@ -115,37 +131,135 @@ func (e *Engine) Nominal() *sta.Report { return e.nominal }
 // Sampler returns the engine's corner sampler.
 func (e *Engine) Sampler() *Sampler { return e.sampler }
 
+// Prime precomputes the first n process corners (see Sampler.Prime).
+// Callers that stream one run as many CriticalPaths windows — the serve
+// yield handler — prime the full sample count up front so the cache
+// grows once instead of once per window.
+func (e *Engine) Prime(n int) { e.sampler.Prime(n) }
+
+// get pops a scratch off the free list, building one on a cold stack.
+func (e *Engine) get() (*batchScratch, error) {
+	e.mu.Lock()
+	if n := len(e.free); n > 0 {
+		sc := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.mu.Unlock()
+		return sc, nil
+	}
+	e.mu.Unlock()
+	bt, err := sta.NewBatchTimer(e.p, e.nl, sta.NewWireModel(e.p, e.routes), batchCorners)
+	if err != nil {
+		return nil, fmt.Errorf("vary: batch timer: %w", err)
+	}
+	return &batchScratch{bt: bt, scales: make([][tech.NumTiers]float64, 0, batchCorners)}, nil
+}
+
+func (e *Engine) put(sc *batchScratch) {
+	e.mu.Lock()
+	e.free = append(e.free, sc)
+	e.mu.Unlock()
+}
+
+// runSlab prices corners [slabLo, slabHi) with one batched graph walk,
+// writing critical paths into out (len slabHi-slabLo).
+func (e *Engine) runSlab(sc *batchScratch, slabLo, slabHi int, out []float64,
+	samples *obs.Counter, hist *obs.Histogram) error {
+	sc.scales = sc.scales[:0]
+	for i := slabLo; i < slabHi; i++ {
+		sc.scales = append(sc.scales, e.sampler.Corner(i).TierScale)
+	}
+	if err := sc.bt.AnalyzeBatch(sc.scales, out); err != nil {
+		return fmt.Errorf("vary: samples [%d, %d): %w", slabLo, slabHi, err)
+	}
+	samples.Add(int64(slabHi - slabLo))
+	for _, c := range out {
+		hist.Observe(c)
+	}
+	return nil
+}
+
 // CriticalPaths times the sample window [lo, hi): each sample index i
-// draws Corner(i), installs its per-tier delay scales on a pooled Timer
-// and runs a full STA pass, returning the per-sample critical paths in
-// index order. Because corners are index-addressed and results land at
-// their input index, the returned slice is deep-equal at any worker
-// width — callers may split [0, N) into any batch sequence (the serve
-// streaming handler refines quantiles per batch) without changing a
-// single value.
+// draws Corner(i) and prices it through the corner-batched STA kernel,
+// returning the per-sample critical paths in index order. Because
+// corners are index-addressed, slab cuts are index-aligned, and results
+// land at their input index, the returned slice is deep-equal at any
+// worker width — callers may split [0, N) into any batch sequence (the
+// serve streaming handler refines quantiles per batch) without changing
+// a single value.
 func (e *Engine) CriticalPaths(st *exec.Settings, lo, hi int) ([]float64, error) {
 	if lo < 0 || hi < lo {
 		return nil, fmt.Errorf("vary: bad sample window [%d, %d): %w", lo, hi, errs.ErrBadSpec)
 	}
-	idx := make([]int, hi-lo)
-	for i := range idx {
-		idx[i] = lo + i
+	out := make([]float64, hi-lo)
+	if err := e.CriticalPathsInto(st, lo, hi, out); err != nil {
+		return nil, err
 	}
+	return out, nil
+}
+
+// CriticalPathsInto is CriticalPaths writing into caller-owned storage:
+// dst must have length hi-lo and receives dst[i-lo] = critical path of
+// corner i. With st.Workers == 1 the steady-state path allocates
+// nothing — no fan-out machinery, one reused scratch, cached corners —
+// which is what BenchmarkMonteCarloSTA pins.
+func (e *Engine) CriticalPathsInto(st *exec.Settings, lo, hi int, dst []float64) error {
+	if lo < 0 || hi < lo {
+		return fmt.Errorf("vary: bad sample window [%d, %d): %w", lo, hi, errs.ErrBadSpec)
+	}
+	if len(dst) != hi-lo {
+		return fmt.Errorf("vary: dst length %d != window [%d, %d) size %d: %w",
+			len(dst), lo, hi, hi-lo, errs.ErrBadSpec)
+	}
+	if err := st.Ctx.Err(); err != nil {
+		return fmt.Errorf("vary: %w: %w", errs.ErrCanceled, err)
+	}
+	if hi == lo {
+		return nil
+	}
+	e.sampler.Prime(hi)
 	samples := st.Metrics.Counter("vary.samples")
 	hist := st.Metrics.Histogram("vary.critpath.seconds", critPathBounds...)
-	return exec.MapWith(st, idx, func(_ context.Context, _ int, sample int) (float64, error) {
-		t := e.timers.Get().(*sta.Timer)
-		defer e.timers.Put(t)
-		c := e.sampler.Corner(sample)
-		t.SetTierDelayScale(c.TierScale[:])
-		rep, err := t.Analyze(analyzePeriodS)
+
+	if st.Workers <= 1 {
+		sc, err := e.get()
 		if err != nil {
-			return 0, fmt.Errorf("vary: sample %d: %w", sample, err)
+			return err
 		}
-		samples.Add(1)
-		hist.Observe(rep.CriticalPathS)
-		return rep.CriticalPathS, nil
+		defer e.put(sc)
+		for slabLo := lo; slabLo < hi; slabLo += batchCorners {
+			if err := st.Ctx.Err(); err != nil {
+				return fmt.Errorf("vary: %w: %w", errs.ErrCanceled, err)
+			}
+			slabHi := slabLo + batchCorners
+			if slabHi > hi {
+				slabHi = hi
+			}
+			if err := e.runSlab(sc, slabLo, slabHi, dst[slabLo-lo:slabHi-lo], samples, hist); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type window struct{ lo, hi int }
+	wins := make([]window, 0, (hi-lo+batchCorners-1)/batchCorners)
+	for slabLo := lo; slabLo < hi; slabLo += batchCorners {
+		slabHi := slabLo + batchCorners
+		if slabHi > hi {
+			slabHi = hi
+		}
+		wins = append(wins, window{slabLo, slabHi})
+	}
+	_, err := exec.MapWith(st, wins, func(_ context.Context, _ int, w window) (struct{}, error) {
+		sc, err := e.get()
+		if err != nil {
+			return struct{}{}, err
+		}
+		defer e.put(sc)
+		// Slabs are disjoint, so the dst sub-slices never overlap.
+		return struct{}{}, e.runSlab(sc, w.lo, w.hi, dst[w.lo-lo:w.hi-lo], samples, hist)
 	})
+	return err
 }
 
 // Curve evaluates the timing-yield curve P(critical path ≤ T) for each

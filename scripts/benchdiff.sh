@@ -32,7 +32,8 @@ TRACKED="BenchmarkCacheChurnLRU BenchmarkCacheHitLRU BenchmarkCacheHitLRUParalle
 BenchmarkCacheHitUnbounded BenchmarkSweepSerial BenchmarkSweepParallelCached \
 BenchmarkSweepCached BenchmarkRunFlowReduced BenchmarkRouteNets \
 BenchmarkRouteNetsParallel BenchmarkSTAFullTiming BenchmarkOptimizeDrivesIncremental \
-BenchmarkMonteCarloSTA"
+BenchmarkBatchCornerSTA BenchmarkMonteCarloSTA BenchmarkPlaceGlobal \
+BenchmarkPlaceGlobalParallel"
 
 mkdir -p "$BENCHDIR"
 RAW="$(mktemp)"
@@ -61,8 +62,9 @@ run_bench "analytic sweep" 'BenchmarkSweep(Serial|ParallelCached)$' "$BENCHTIME"
 run_bench "serve cached path" 'BenchmarkSweepCached' "$BENCHTIME" ./internal/serve/
 run_bench "flow pipeline (reduced)" 'BenchmarkRunFlowReduced$' 1x ./internal/flow/
 run_bench "router (serial + parallel)" 'BenchmarkRouteNets(Parallel)?$' "$BENCHTIME" ./internal/route/
-run_bench "sta full + incremental" 'Benchmark(STAFullTiming|OptimizeDrivesIncremental)$' "$BENCHTIME" ./internal/sta/
+run_bench "sta full + incremental + batch" 'Benchmark(STAFullTiming|OptimizeDrivesIncremental|BatchCornerSTA)$' "$BENCHTIME" ./internal/sta/
 run_bench "variation mc sta" 'BenchmarkMonteCarloSTA$' "$BENCHTIME" ./internal/vary/
+run_bench "placer (serial + wavefront)" 'BenchmarkPlaceGlobal(Parallel)?$' "$BENCHTIME" ./internal/place/
 
 # Every tracked benchmark must have produced at least one result line.
 for name in $TRACKED; do

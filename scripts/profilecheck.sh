@@ -1,9 +1,10 @@
 #!/bin/sh
 # profilecheck.sh — smoke test for the profiling harness. Runs one
-# reduced-flow benchmark iteration under the CPU and heap profilers
-# (exactly what `make profile` does, at minimum duration) and asserts
-# both profiles are produced, non-empty, and parseable by `go tool
-# pprof`. Keeps the perf workflow from rotting silently: if the
+# reduced-flow benchmark iteration and one 4096-corner yield benchmark
+# iteration under the CPU and heap profilers (exactly what `make
+# profile` and `make profile-yield` do, at minimum duration) and
+# asserts all profiles are produced, non-empty, and parseable by `go
+# tool pprof`. Keeps the perf workflow from rotting silently: if a
 # benchmark is renamed or the profile flags break, `make check` fails.
 #
 #   ./scripts/profilecheck.sh                 # temp dir, cleaned up
@@ -30,5 +31,17 @@ for f in cpu.out mem.out; do
         exit 1
     fi
     go tool pprof -top "$DIR/flow.test" "$DIR/$f" >/dev/null
+done
+
+go test -run '^$' -bench 'BenchmarkMonteCarloYield4096$' -benchtime 1x \
+    -cpuprofile "$DIR/yield_cpu.out" -memprofile "$DIR/yield_mem.out" \
+    -o "$DIR/vary.test" ./internal/vary/ >/dev/null
+
+for f in yield_cpu.out yield_mem.out; do
+    if ! [ -s "$DIR/$f" ]; then
+        echo "profilecheck: $DIR/$f missing or empty" >&2
+        exit 1
+    fi
+    go tool pprof -top "$DIR/vary.test" "$DIR/$f" >/dev/null
 done
 echo "profilecheck: OK"

@@ -4,6 +4,12 @@
 # Monte-Carlo timing-yield run and checks the refinement invariants
 # (strictly increasing sample counts, ordered p5/p50/p95 bands, yield
 # curve monotone in period, single trailing done element), then
-# requires a graceful drain. Run from the repo root.
+# requires a graceful drain. A second large-batch pass streams 4096
+# corners under a wall-clock budget — the end-to-end check that yield
+# runs through the corner-batched STA kernel (a 4096-corner run
+# completes in ~0.25 s on one core; the 30 s budget only catches a
+# fall-back to one full timing walk per corner). Run from the repo
+# root.
 set -eu
-exec go run ./scripts/yieldsmoke "$@"
+go run ./scripts/yieldsmoke "$@"
+exec go run ./scripts/yieldsmoke -samples 4096 -batch 1024 -budget 30s

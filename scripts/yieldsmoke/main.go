@@ -12,12 +12,20 @@
 // Run from the repo root (check.sh does):
 //
 //	go run ./scripts/yieldsmoke
+//	go run ./scripts/yieldsmoke -samples 4096 -batch 1024 -budget 60s
+//
+// The second form is the large-batch mode: it streams a 4096-corner run
+// and asserts the whole request stays inside the -budget wall clock —
+// the end-to-end check that Monte-Carlo yield goes through the
+// corner-batched STA kernel rather than one full timing walk per
+// corner.
 package main
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -38,9 +46,13 @@ const (
 )
 
 // yieldBody mirrors the serve suite's pinned stream request: a small
-// M3D design, 96 corners refined in batches of 32 → three refinement
-// elements plus the final done element.
-const yieldBody = `{"flow":{"style":"M3D","num_cs":1,"array_rows":2,"array_cols":2,"rram_cap_mb":1,"banks":1,"global_sram_bits":65536,"seed":1},"samples":96,"batch":32,"seed":7}`
+// M3D design timed under samples corners refined in batches of batch
+// (the defaults give three refinement elements plus the final done
+// element).
+func yieldBody(samples, batch int) string {
+	return fmt.Sprintf(`{"flow":{"style":"M3D","num_cs":1,"array_rows":2,"array_cols":2,"rram_cap_mb":1,"banks":1,"global_sram_bits":65536,"seed":1},"samples":%d,"batch":%d,"seed":7}`,
+		samples, batch)
+}
 
 // update is the wire shape of one stream element (serve.YieldUpdate).
 type update struct {
@@ -56,13 +68,20 @@ type update struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("yieldsmoke: ")
-	if err := run(); err != nil {
+	samples := flag.Int("samples", 96, "Monte-Carlo corners to stream")
+	batch := flag.Int("batch", 32, "per-update refinement batch")
+	budget := flag.Duration("budget", 0, "fail when the yield request exceeds this wall clock (0 = no gate)")
+	flag.Parse()
+	if *samples < 1 || *batch < 1 || *batch > *samples || *samples%*batch != 0 {
+		log.Fatalf("-samples %d / -batch %d: want batch to divide samples", *samples, *batch)
+	}
+	if err := run(*samples, *batch, *budget); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("yield smoke ok: streamed refinement monotone, bands ordered, curve monotone + graceful drain")
+	fmt.Printf("yield smoke ok: %d corners streamed, refinement monotone, bands ordered, curve monotone + graceful drain\n", *samples)
 }
 
-func run() error {
+func run(samples, batch int, budget time.Duration) error {
 	tmp, err := os.MkdirTemp("", "yieldsmoke")
 	if err != nil {
 		return err
@@ -100,12 +119,15 @@ func run() error {
 		return err
 	}
 
-	resp, err := http.Post("http://"+addr+"/v1/yield", "application/json", strings.NewReader(yieldBody))
+	t0 := time.Now()
+	resp, err := http.Post("http://"+addr+"/v1/yield", "application/json",
+		strings.NewReader(yieldBody(samples, batch)))
 	if err != nil {
 		return err
 	}
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	elapsed := time.Since(t0)
 	if err != nil {
 		return err
 	}
@@ -115,9 +137,17 @@ func run() error {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 		return fmt.Errorf("/v1/yield: Content-Type %q, want application/json", ct)
 	}
-	if err := checkStream(body); err != nil {
+	if err := checkStream(body, samples, batch); err != nil {
 		return fmt.Errorf("/v1/yield stream: %w\nbody:\n%s", err, body)
 	}
+	// The wall-clock budget covers the whole request — flow build,
+	// samples/batch batched-STA refinements, streaming — so a kernel
+	// regression (e.g. falling back to one timing walk per corner)
+	// fails here even while the stream stays well-formed.
+	if budget > 0 && elapsed > budget {
+		return fmt.Errorf("%d-corner yield run took %s, over the -budget gate %s", samples, elapsed.Round(time.Millisecond), budget)
+	}
+	log.Printf("%d corners in %s", samples, elapsed.Round(time.Millisecond))
 
 	// SIGTERM → graceful drain → exit 0.
 	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
@@ -139,14 +169,15 @@ func run() error {
 
 // checkStream enforces the /v1/yield refinement invariants on the
 // full body.
-func checkStream(body []byte) error {
+func checkStream(body []byte, samples, batch int) error {
 	var updates []update
 	if err := json.Unmarshal(body, &updates); err != nil {
 		return fmt.Errorf("not a JSON array: %w", err)
 	}
-	// 96 samples at batch 32 → 3 refinements + the done element.
-	if len(updates) != 4 {
-		return fmt.Errorf("got %d elements, want 4", len(updates))
+	// samples/batch refinement elements + the done element.
+	want := samples/batch + 1
+	if len(updates) != want {
+		return fmt.Errorf("got %d elements, want %d", len(updates), want)
 	}
 	prev := 0
 	for i, u := range updates {
@@ -185,8 +216,8 @@ func checkStream(body []byte) error {
 			}
 		}
 	}
-	if final := updates[len(updates)-1]; final.Samples != 96 {
-		return fmt.Errorf("final samples %d, want 96", final.Samples)
+	if final := updates[len(updates)-1]; final.Samples != samples {
+		return fmt.Errorf("final samples %d, want %d", final.Samples, samples)
 	}
 	return nil
 }
